@@ -1,0 +1,80 @@
+// Shared helpers for the per-figure/table bench binaries.
+
+#ifndef INTCOMP_BENCH_BENCH_COMMON_H_
+#define INTCOMP_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchutil/report.h"
+#include "benchutil/timer.h"
+#include "core/codec.h"
+#include "core/query.h"
+#include "core/registry.h"
+#include "core/set_ops.h"
+
+namespace intcomp {
+
+inline double ToMb(size_t bytes) { return static_cast<double>(bytes) / (1024.0 * 1024.0); }
+
+struct EncodedLists {
+  std::vector<std::unique_ptr<CompressedSet>> sets;
+  double space_mb = 0;
+
+  std::vector<const CompressedSet*> Ptrs() const {
+    std::vector<const CompressedSet*> p;
+    p.reserve(sets.size());
+    for (const auto& s : sets) p.push_back(s.get());
+    return p;
+  }
+};
+
+inline EncodedLists EncodeLists(const Codec& codec,
+                                const std::vector<std::vector<uint32_t>>& lists,
+                                uint64_t domain) {
+  EncodedLists enc;
+  size_t bytes = 0;
+  for (const auto& l : lists) {
+    enc.sets.push_back(codec.Encode(l, domain));
+    bytes += enc.sets.back()->SizeInBytes();
+  }
+  enc.space_mb = ToMb(bytes);
+  return enc;
+}
+
+// Benchmarks one query (lists + plan) across every codec and prints a
+// paper-style figure block. Returns the result cardinality as a sanity
+// checksum (identical across codecs by construction; verified here).
+inline size_t RunQueryBench(const std::string& title,
+                            const std::vector<std::vector<uint32_t>>& lists,
+                            const QueryPlan& plan, uint64_t domain,
+                            int repeats = 3) {
+  std::vector<FigureRow> rows;
+  size_t expected_card = 0;
+  bool first = true;
+  for (const Codec* codec : AllCodecs()) {
+    EncodedLists enc = EncodeLists(*codec, lists, domain);
+    auto ptrs = enc.Ptrs();
+    std::vector<uint32_t> result;
+    const double ms = MeasureMs(
+        [&] { result = EvaluatePlan(*codec, plan, ptrs); }, repeats);
+    if (first) {
+      expected_card = result.size();
+      first = false;
+    } else if (result.size() != expected_card) {
+      std::fprintf(stderr, "CHECKSUM MISMATCH for %s on %s: %zu vs %zu\n",
+                   std::string(codec->Name()).c_str(), title.c_str(),
+                   result.size(), expected_card);
+    }
+    rows.push_back({std::string(codec->Name()), enc.space_mb, ms});
+  }
+  PrintFigureBlock(title, rows);
+  std::printf("# result cardinality: %zu\n", expected_card);
+  return expected_card;
+}
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,18 @@
+// Figure 11 (Appendix C.6): Higgs intersection queries Q1/Q2 (11M rows).
+
+#include "bench/bench_common.h"
+#include "benchutil/flags.h"
+#include "workload/datasets.h"
+
+int main(int argc, char** argv) {
+  intcomp::Flags flags(argc, argv);
+  const int repeats = static_cast<int>(flags.GetInt("repeats", 3));
+  for (const auto& q : intcomp::MakeHiggsQueries(flags.GetInt("seed", 50))) {
+    intcomp::RunQueryBench("Fig 11: Higgs " + q.name, q.lists, q.plan,
+                           q.domain, repeats);
+  }
+  intcomp::PrintPaperShape(
+      "Q1 (dense): Roaring best in space and time; Q2 (both lists sparse): "
+      "SIMDBP128* and SIMDPforDelta* most competitive (paper Fig. 11).");
+  return 0;
+}

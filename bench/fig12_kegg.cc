@@ -1,0 +1,18 @@
+// Figure 12 (Appendix C.7): Kegg intersection queries Q1/Q2 (53,414 rows).
+
+#include "bench/bench_common.h"
+#include "benchutil/flags.h"
+#include "workload/datasets.h"
+
+int main(int argc, char** argv) {
+  intcomp::Flags flags(argc, argv);
+  const int repeats = static_cast<int>(flags.GetInt("repeats", 5));
+  for (const auto& q : intcomp::MakeKeggQueries(flags.GetInt("seed", 51))) {
+    intcomp::RunQueryBench("Fig 12: Kegg " + q.name, q.lists, q.plan,
+                           q.domain, repeats);
+  }
+  intcomp::PrintPaperShape(
+      "Q1 (dense): Roaring and Bitset are the top two; Q2 (sparse): "
+      "SIMDBP128* and SIMDPforDelta* are the top two (paper Fig. 12).");
+  return 0;
+}

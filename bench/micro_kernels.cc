@@ -1,0 +1,160 @@
+// google-benchmark micro suite for the hot kernels: scalar vs SIMD bit
+// packing, SIMD prefix sum, per-codec encode/decode throughput, and the
+// Roaring container kernels. These are the ablation benches for the design
+// choices in DESIGN.md §5.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitpack.h"
+#include "common/bits.h"
+#include "common/prng.h"
+#include "common/simdpack.h"
+#include "common/simdpack256.h"
+#include "core/registry.h"
+#include "workload/synthetic.h"
+
+namespace intcomp {
+namespace {
+
+void FillRandom(uint32_t* out, size_t n, int bits, uint64_t seed) {
+  Prng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint32_t>(rng.Next()) & LowMask32(bits);
+  }
+}
+
+void BM_ScalarPack128(benchmark::State& state) {
+  const int b = static_cast<int>(state.range(0));
+  uint32_t in[128], packed[128];
+  FillRandom(in, 128, b, 1);
+  for (auto _ : state) {
+    PackBits(in, 128, b, packed);
+    benchmark::DoNotOptimize(packed);
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_ScalarPack128)->Arg(4)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_ScalarUnpack128(benchmark::State& state) {
+  const int b = static_cast<int>(state.range(0));
+  uint32_t in[128], packed[128], out[128];
+  FillRandom(in, 128, b, 2);
+  PackBits(in, 128, b, packed);
+  for (auto _ : state) {
+    UnpackBits(packed, 128, b, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_ScalarUnpack128)->Arg(4)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_SimdPack128(benchmark::State& state) {
+  const int b = static_cast<int>(state.range(0));
+  uint32_t in[128], packed[128];
+  FillRandom(in, 128, b, 3);
+  for (auto _ : state) {
+    SimdPack128(in, b, packed);
+    benchmark::DoNotOptimize(packed);
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_SimdPack128)->Arg(4)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_SimdUnpack128(benchmark::State& state) {
+  const int b = static_cast<int>(state.range(0));
+  uint32_t in[128], packed[128], out[128];
+  FillRandom(in, 128, b, 4);
+  SimdPack128(in, b, packed);
+  for (auto _ : state) {
+    SimdUnpack128(packed, b, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_SimdUnpack128)->Arg(4)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_Simd256Pack128(benchmark::State& state) {
+  const int b = static_cast<int>(state.range(0));
+  uint32_t in[128], packed[132];
+  FillRandom(in, 128, b, 9);
+  for (auto _ : state) {
+    Simd256Pack128(in, b, packed);
+    benchmark::DoNotOptimize(packed);
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_Simd256Pack128)->Arg(4)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_Simd256Unpack128(benchmark::State& state) {
+  const int b = static_cast<int>(state.range(0));
+  uint32_t in[128], packed[132], out[128];
+  FillRandom(in, 128, b, 10);
+  Simd256Pack128(in, b, packed);
+  for (auto _ : state) {
+    Simd256Unpack128(packed, b, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_Simd256Unpack128)->Arg(4)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_SimdPrefixSum128(benchmark::State& state) {
+  uint32_t buf[128];
+  FillRandom(buf, 128, 8, 5);
+  for (auto _ : state) {
+    uint32_t tmp[128];
+    std::copy(buf, buf + 128, tmp);
+    SimdPrefixSum128(tmp, 0);
+    benchmark::DoNotOptimize(tmp);
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_SimdPrefixSum128);
+
+void BM_ScalarPrefixSum128(benchmark::State& state) {
+  uint32_t buf[128];
+  FillRandom(buf, 128, 8, 6);
+  for (auto _ : state) {
+    uint32_t tmp[128];
+    std::copy(buf, buf + 128, tmp);
+    ScalarPrefixSum(tmp, 128, 0);
+    benchmark::DoNotOptimize(tmp);
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_ScalarPrefixSum128);
+
+// Per-codec encode/decode throughput on a 100K uniform list.
+void BM_CodecEncode(benchmark::State& state) {
+  const Codec* codec = AllCodecs()[state.range(0)];
+  state.SetLabel(std::string(codec->Name()));
+  const auto list = GenerateUniform(100000, 1 << 27, 7);
+  for (auto _ : state) {
+    auto set = codec->Encode(list, 1 << 27);
+    benchmark::DoNotOptimize(set);
+  }
+  state.SetItemsProcessed(state.iterations() * list.size());
+}
+BENCHMARK(BM_CodecEncode)->DenseRange(0, 23);
+
+void BM_CodecDecode(benchmark::State& state) {
+  const Codec* codec = AllCodecs()[state.range(0)];
+  state.SetLabel(std::string(codec->Name()));
+  const auto list = GenerateUniform(100000, 1 << 27, 8);
+  auto set = codec->Encode(list, 1 << 27);
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    codec->Decode(*set, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * list.size());
+}
+BENCHMARK(BM_CodecDecode)->DenseRange(0, 23);
+
+}  // namespace
+}  // namespace intcomp
+
+BENCHMARK_MAIN();

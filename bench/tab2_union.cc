@@ -1,0 +1,95 @@
+// Table 2: union time (ms) of two lists with |L2|/|L1| = 1000, varying
+// |L2|, under uniform / zipf / markov distributions. Default {1M}.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "benchutil/flags.h"
+#include "workload/synthetic.h"
+
+namespace intcomp {
+namespace {
+
+void Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  std::vector<size_t> sizes;
+  {
+    const std::string csv = flags.GetString("sizes", "1000000");
+    size_t pos = 0;
+    while (pos < csv.size()) {
+      size_t comma = csv.find(',', pos);
+      if (comma == std::string::npos) comma = csv.size();
+      sizes.push_back(std::stoull(csv.substr(pos, comma - pos)));
+      pos = comma + 1;
+    }
+  }
+  const uint64_t domain = flags.GetInt("domain", kPaperDomain);
+  const size_t ratio = flags.GetInt("ratio", 1000);
+  const int repeats = static_cast<int>(flags.GetInt("repeats", 3));
+  const uint64_t seed = flags.GetInt("seed", 8);
+
+  struct Dist {
+    const char* name;
+    std::vector<uint32_t> (*make)(size_t, uint64_t, uint64_t);
+  };
+  const Dist dists[] = {
+      {"uniform",
+       [](size_t n, uint64_t d, uint64_t s) { return GenerateUniform(n, d, s); }},
+      {"zipf",
+       [](size_t n, uint64_t d, uint64_t s) {
+         return GenerateZipf(n, d, kPaperZipfSkew, s);
+       }},
+      {"markov",
+       [](size_t n, uint64_t d, uint64_t s) {
+         return GenerateMarkov(n, d, kPaperMarkovClustering, s);
+       }},
+  };
+
+  std::printf("Table 2: union time (ms), |L2|/|L1| = %zu\n", ratio);
+  std::vector<std::string> cols;
+  std::vector<std::vector<double>> values(AllCodecs().size());
+  std::vector<std::string> row_names;
+  for (const Codec* codec : AllCodecs()) {
+    row_names.emplace_back(codec->Name());
+  }
+  for (const Dist& dist : dists) {
+    for (size_t n2 : sizes) {
+      const size_t n1 = std::max<size_t>(1, n2 / ratio);
+      const auto l1 = dist.make(n1, domain, seed + 1);
+      const auto l2 = dist.make(n2, domain, seed + 2);
+      cols.push_back(std::string(dist.name) + "/" + std::to_string(n2));
+      size_t expected = static_cast<size_t>(-1);
+      for (size_t ci = 0; ci < AllCodecs().size(); ++ci) {
+        const Codec* codec = AllCodecs()[ci];
+        auto s1 = codec->Encode(l1, domain);
+        auto s2 = codec->Encode(l2, domain);
+        std::vector<uint32_t> out;
+        const double ms =
+            MeasureMs([&] { codec->Union(*s1, *s2, &out); }, repeats);
+        if (expected == static_cast<size_t>(-1)) {
+          expected = out.size();
+        } else if (out.size() != expected) {
+          std::fprintf(stderr, "CHECKSUM MISMATCH: %s %s/%zu: %zu vs %zu\n",
+                       row_names[ci].c_str(), dist.name, n2, out.size(),
+                       expected);
+        }
+        values[ci].push_back(ms);
+      }
+    }
+  }
+  PrintMatrix("Table 2: union time (ms)", cols, row_names, values);
+  PrintPaperShape(
+      "inverted-list codecs union faster than bitmap codecs (union output is "
+      "dense, so bitmaps pay bit-extraction); SIMDBP128* and SIMDPforDelta* "
+      "are fastest; Roaring is the best bitmap (paper Table 2).");
+}
+
+}  // namespace
+}  // namespace intcomp
+
+int main(int argc, char** argv) {
+  intcomp::Run(argc, argv);
+  return 0;
+}

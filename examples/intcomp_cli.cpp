@@ -1,0 +1,208 @@
+// intcomp_cli — a command-line tool over the library, demonstrating codec
+// selection, persistence (Serialize/Deserialize), and compressed querying.
+//
+//   intcomp_cli stats    --in=ids.txt                 # try every codec
+//   intcomp_cli compress --in=ids.txt --out=a.icmp --codec=Roaring
+//   intcomp_cli inspect  --in=a.icmp
+//   intcomp_cli query    --a=a.icmp --b=b.icmp --op=and|or|diff
+//
+// Input text files contain one non-negative integer per line (need not be
+// sorted; duplicates are removed). Compressed files are a small envelope
+// (magic + codec name) around the codec's Serialize image.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "benchutil/flags.h"
+#include "core/registry.h"
+#include "core/set_ops.h"
+
+namespace {
+
+using namespace intcomp;
+
+constexpr char kMagic[] = "ICMP1";
+
+std::vector<uint32_t> ReadIdFile(const std::string& path, bool* ok) {
+  std::ifstream in(path);
+  *ok = static_cast<bool>(in);
+  std::vector<uint32_t> v;
+  unsigned long long x;
+  while (in >> x) v.push_back(static_cast<uint32_t>(x));
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+bool WriteCompressed(const std::string& path, const Codec& codec,
+                     const CompressedSet& set) {
+  std::vector<uint8_t> buf;
+  buf.insert(buf.end(), kMagic, kMagic + 5);
+  buf.push_back(static_cast<uint8_t>(codec.Name().size()));
+  buf.insert(buf.end(), codec.Name().begin(), codec.Name().end());
+  codec.Serialize(set, &buf);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+  return static_cast<bool>(out);
+}
+
+// Returns the codec and set loaded from `path`, or {nullptr, nullptr}.
+std::pair<const Codec*, std::unique_ptr<CompressedSet>> LoadCompressed(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {nullptr, nullptr};
+  std::vector<uint8_t> buf((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+  if (buf.size() < 6 || std::memcmp(buf.data(), kMagic, 5) != 0) {
+    return {nullptr, nullptr};
+  }
+  const size_t name_len = buf[5];
+  if (buf.size() < 6 + name_len) return {nullptr, nullptr};
+  const std::string name(reinterpret_cast<const char*>(buf.data() + 6),
+                         name_len);
+  const Codec* codec = FindCodec(name);
+  if (codec == nullptr) return {nullptr, nullptr};
+  auto set = codec->Deserialize(buf.data() + 6 + name_len,
+                                buf.size() - 6 - name_len);
+  return {codec, std::move(set)};
+}
+
+int Stats(const Flags& flags) {
+  bool ok;
+  const auto values = ReadIdFile(flags.GetString("in", ""), &ok);
+  if (!ok) {
+    std::fprintf(stderr, "cannot read --in file\n");
+    return 1;
+  }
+  const uint64_t domain =
+      values.empty() ? 1 : static_cast<uint64_t>(values.back()) + 1;
+  std::printf("%zu ids, max %u, raw %zu bytes\n\n", values.size(),
+              values.empty() ? 0 : values.back(), values.size() * 4);
+  std::printf("%-18s %12s %10s\n", "codec", "bytes", "ratio");
+  for (const Codec* codec : AllCodecs()) {
+    auto set = codec->Encode(values, domain);
+    std::printf("%-18s %12zu %9.2fx\n", std::string(codec->Name()).c_str(),
+                set->SizeInBytes(),
+                set->SizeInBytes() > 0
+                    ? static_cast<double>(values.size() * 4) /
+                          static_cast<double>(set->SizeInBytes())
+                    : 0.0);
+  }
+  for (const Codec* codec : ExtensionCodecs()) {
+    auto set = codec->Encode(values, domain);
+    std::printf("%-18s %12zu %9.2fx\n", std::string(codec->Name()).c_str(),
+                set->SizeInBytes(),
+                static_cast<double>(values.size() * 4) /
+                    static_cast<double>(std::max<size_t>(1, set->SizeInBytes())));
+  }
+  return 0;
+}
+
+int Compress(const Flags& flags) {
+  bool ok;
+  const auto values = ReadIdFile(flags.GetString("in", ""), &ok);
+  if (!ok) {
+    std::fprintf(stderr, "cannot read --in file\n");
+    return 1;
+  }
+  const std::string name = flags.GetString("codec", "Hybrid");
+  const Codec* codec = FindCodec(name);
+  if (codec == nullptr) {
+    std::fprintf(stderr, "unknown codec '%s'\n", name.c_str());
+    return 1;
+  }
+  const uint64_t domain =
+      values.empty() ? 1 : static_cast<uint64_t>(values.back()) + 1;
+  auto set = codec->Encode(values, domain);
+  if (!WriteCompressed(flags.GetString("out", "out.icmp"), *codec, *set)) {
+    std::fprintf(stderr, "cannot write --out file\n");
+    return 1;
+  }
+  std::printf("%zu ids -> %zu bytes with %s (%.2fx)\n", values.size(),
+              set->SizeInBytes(), name.c_str(),
+              static_cast<double>(values.size() * 4) /
+                  static_cast<double>(std::max<size_t>(1, set->SizeInBytes())));
+  return 0;
+}
+
+int Inspect(const Flags& flags) {
+  auto [codec, set] = LoadCompressed(flags.GetString("in", ""));
+  if (codec == nullptr || set == nullptr) {
+    std::fprintf(stderr, "not a valid .icmp file\n");
+    return 1;
+  }
+  std::vector<uint32_t> values;
+  codec->Decode(*set, &values);
+  std::printf("codec: %s\ncardinality: %zu\ncompressed bytes: %zu\n",
+              std::string(codec->Name()).c_str(), set->Cardinality(),
+              set->SizeInBytes());
+  if (!values.empty()) {
+    std::printf("min: %u\nmax: %u\n", values.front(), values.back());
+  }
+  return 0;
+}
+
+int Query(const Flags& flags) {
+  auto [ca, sa] = LoadCompressed(flags.GetString("a", ""));
+  auto [cb, sb] = LoadCompressed(flags.GetString("b", ""));
+  if (ca == nullptr || cb == nullptr || sa == nullptr || sb == nullptr) {
+    std::fprintf(stderr, "cannot load --a / --b\n");
+    return 1;
+  }
+  const std::string op = flags.GetString("op", "and");
+  std::vector<uint32_t> result;
+  if (ca == cb) {  // same codec: operate on the compressed form
+    if (op == "or") {
+      ca->Union(*sa, *sb, &result);
+    } else if (op == "diff") {
+      DifferenceSets(*ca, *sa, *sb, &result);
+    } else {
+      ca->Intersect(*sa, *sb, &result);
+    }
+  } else {  // cross-codec: decode one side and probe the other
+    std::vector<uint32_t> db;
+    cb->Decode(*sb, &db);
+    if (op == "or") {
+      std::vector<uint32_t> da;
+      ca->Decode(*sa, &da);
+      UnionLists(da, db, &result);
+    } else if (op == "diff") {
+      std::vector<uint32_t> da, common;
+      ca->Decode(*sa, &da);
+      IntersectLists(da, db, &common);
+      DifferenceLists(da, common, &result);
+    } else {
+      ca->IntersectWithList(*sa, db, &result);
+    }
+  }
+  std::printf("%zu ids\n", result.size());
+  for (size_t i = 0; i < result.size() && i < 20; ++i) {
+    std::printf("%u\n", result[i]);
+  }
+  if (result.size() > 20) std::printf("... (%zu more)\n", result.size() - 20);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: intcomp_cli stats|compress|inspect|query [--flags]\n");
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  Flags flags(argc, argv);
+  if (cmd == "stats") return Stats(flags);
+  if (cmd == "compress") return Compress(flags);
+  if (cmd == "inspect") return Inspect(flags);
+  if (cmd == "query") return Query(flags);
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 1;
+}

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Runs every benchmark binary with default (laptop-scale) settings and
+# captures the output the EXPERIMENTS.md results refer to.
+set -e
+cd "$(dirname "$0")"
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  echo "===== $b ====="
+  "$b"
+  echo
+done

@@ -1,0 +1,28 @@
+// Minimal --key=value / --key value flag parsing for the bench binaries.
+
+#ifndef INTCOMP_BENCHUTIL_FLAGS_H_
+#define INTCOMP_BENCHUTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace intcomp {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  // Returns the flag's value or `def` when absent.
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  std::string GetString(const std::string& name, const std::string& def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_BENCHUTIL_FLAGS_H_

@@ -1,0 +1,39 @@
+#include "benchutil/report.h"
+
+#include <cstdio>
+
+namespace intcomp {
+
+void PrintFigureBlock(const std::string& title,
+                      const std::vector<FigureRow>& rows) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%-18s %12s %12s\n", "codec", "space(MB)", "time(ms)");
+  for (const FigureRow& r : rows) {
+    std::printf("%-18s %12.3f %12.3f\n", r.codec.c_str(), r.space_mb,
+                r.time_ms);
+  }
+  std::fflush(stdout);
+}
+
+void PrintMatrix(const std::string& title,
+                 const std::vector<std::string>& col_names,
+                 const std::vector<std::string>& row_names,
+                 const std::vector<std::vector<double>>& values) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%-18s", "codec");
+  for (const auto& c : col_names) std::printf(" %12s", c.c_str());
+  std::printf("\n");
+  for (size_t r = 0; r < row_names.size(); ++r) {
+    std::printf("%-18s", row_names[r].c_str());
+    for (double v : values[r]) std::printf(" %12.3f", v);
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+void PrintPaperShape(const std::string& claim) {
+  std::printf("# paper-shape: %s\n", claim.c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace intcomp

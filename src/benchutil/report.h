@@ -1,0 +1,38 @@
+// Paper-style result printing: one block per figure panel (rows of
+// codec / space / time) or one matrix per table.
+
+#ifndef INTCOMP_BENCHUTIL_REPORT_H_
+#define INTCOMP_BENCHUTIL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace intcomp {
+
+struct FigureRow {
+  std::string codec;
+  double space_mb = 0;
+  double time_ms = 0;
+};
+
+// Prints a figure panel, e.g.
+//   == Fig 3a: decompression, uniform, |L| = 1M ==
+//   codec            space(MB)   time(ms)
+//   Bitset             256.00       41.48 ...
+void PrintFigureBlock(const std::string& title,
+                      const std::vector<FigureRow>& rows);
+
+// Prints a table with one row per codec and one column per configuration
+// (e.g. Table 1's list sizes), like the paper's Tables 1-3.
+void PrintMatrix(const std::string& title,
+                 const std::vector<std::string>& col_names,
+                 const std::vector<std::string>& row_names,
+                 const std::vector<std::vector<double>>& values);
+
+// Prints a "# paper-shape: ..." footer restating the qualitative result the
+// panel is expected to reproduce.
+void PrintPaperShape(const std::string& claim);
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_BENCHUTIL_REPORT_H_

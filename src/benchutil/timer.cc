@@ -1,0 +1,17 @@
+#include "benchutil/timer.h"
+
+#include <algorithm>
+
+namespace intcomp {
+
+double MeasureMs(const std::function<void()>& fn, int repeats) {
+  double best = 1e300;
+  for (int i = 0; i < repeats; ++i) {
+    WallTimer timer;
+    fn();
+    best = std::min(best, timer.ElapsedMs());
+  }
+  return best;
+}
+
+}  // namespace intcomp

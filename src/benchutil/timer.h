@@ -1,0 +1,33 @@
+// Wall-clock measurement helpers for the benchmark harness.
+
+#ifndef INTCOMP_BENCHUTIL_TIMER_H_
+#define INTCOMP_BENCHUTIL_TIMER_H_
+
+#include <chrono>
+#include <functional>
+
+namespace intcomp {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Runs `fn` `repeats` times and returns the minimum wall time in ms (the
+// standard way to suppress scheduler noise for in-memory microbenchmarks).
+double MeasureMs(const std::function<void()>& fn, int repeats = 3);
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_BENCHUTIL_TIMER_H_

@@ -1,0 +1,118 @@
+#include "bitmap/bbc.h"
+
+#include <algorithm>
+
+#include "bitmap/group_builder.h"
+#include "common/bits.h"
+
+// Bit-order note: the paper's Fig. 2 draws bitmaps left-to-right and numbers
+// the odd-bit position from the right of each displayed byte. Internally we
+// map bitmap position p to byte p/8, bit p%8 (LSB first), which mirrors the
+// illustration but is self-consistent across all codecs in this library.
+
+namespace intcomp {
+namespace {
+
+class Encoder {
+ public:
+  explicit Encoder(std::vector<uint8_t>* bytes) : bytes_(bytes) {}
+
+  void AddFill(bool bit, uint64_t n) {
+    if (n == 0) return;
+    if (!literals_.empty() || (fill_count_ > 0 && fill_bit_ != bit)) Emit();
+    fill_bit_ = bit;
+    fill_count_ += n;
+  }
+
+  void AddLiteral(uint32_t payload) {
+    if (payload == 0) {
+      AddFill(false, 1);
+    } else if (payload == 0xffu) {
+      AddFill(true, 1);
+    } else {
+      literals_.push_back(static_cast<uint8_t>(payload));
+    }
+  }
+
+  void Finish() { Emit(); }
+
+ private:
+  void Emit() {
+    uint64_t k = fill_count_;
+    bool t = fill_bit_;
+    fill_count_ = 0;
+    if (literals_.empty() && k == 0) return;
+
+    // Odd-byte special case: exactly one literal differing from the fill
+    // byte in a single bit (patterns 2 and 4).
+    if (literals_.size() == 1) {
+      uint8_t lit = literals_[0];
+      bool odd_type = t;
+      bool is_odd = false;
+      if (k > 0) {
+        is_odd = PopCount32(lit ^ (t ? 0xffu : 0x00u)) == 1;
+      } else if (PopCount32(lit) == 1) {
+        is_odd = true;
+        odd_type = false;
+      } else if (PopCount32(lit) == 7) {
+        is_odd = true;
+        odd_type = true;
+      }
+      if (is_odd) {
+        uint32_t pos = static_cast<uint32_t>(
+            CountTrailingZeros32(lit ^ (odd_type ? 0xffu : 0x00u)));
+        if (k <= 3) {
+          bytes_->push_back(static_cast<uint8_t>(
+              0x40 | (odd_type ? 0x20 : 0) | (k << 3) | pos));
+        } else {
+          bytes_->push_back(
+              static_cast<uint8_t>(0x10 | (odd_type ? 0x08 : 0) | pos));
+          VByteEncode(static_cast<uint32_t>(k), bytes_);
+        }
+        literals_.clear();
+        return;
+      }
+    }
+
+    // General case: header + literal tail, split into chunks of 15.
+    size_t emitted = 0;
+    bool first = true;
+    do {
+      size_t q = std::min<size_t>(15, literals_.size() - emitted);
+      uint64_t header_fills = first ? k : 0;
+      if (header_fills <= 3) {
+        bytes_->push_back(static_cast<uint8_t>(
+            0x80 | (t ? 0x40 : 0) | (header_fills << 4) | q));
+      } else {
+        bytes_->push_back(static_cast<uint8_t>(0x20 | (t ? 0x10 : 0) | q));
+        VByteEncode(static_cast<uint32_t>(header_fills), bytes_);
+      }
+      bytes_->insert(bytes_->end(), literals_.begin() + emitted,
+                     literals_.begin() + emitted + q);
+      emitted += q;
+      first = false;
+    } while (emitted < literals_.size());
+    literals_.clear();
+  }
+
+  std::vector<uint8_t>* bytes_;
+  std::vector<uint8_t> literals_;
+  uint64_t fill_count_ = 0;
+  bool fill_bit_ = false;
+};
+
+}  // namespace
+
+void BbcTraits::EncodeWords(std::span<const uint32_t> sorted,
+                            std::vector<uint8_t>* bytes) {
+  bytes->clear();
+  Encoder enc(bytes);
+  ForEachGroup(sorted, Decoder::kGroupBits,
+               [&enc](uint64_t zero_gap, uint32_t payload) {
+                 enc.AddFill(false, zero_gap);
+                 enc.AddLiteral(payload);
+               });
+  enc.Finish();
+}
+
+}  // namespace intcomp

@@ -1,0 +1,115 @@
+// BBC (Byte-aligned Bitmap Code) — paper §2.8 and Fig. 2, [4, 22].
+//
+// 8-bit groups. Four header patterns:
+//   P1 (1 t kk qqqq): up to 3 fill bytes + up to 15 literal bytes (verbatim).
+//   P2 (01 t kk ppp): up to 3 fill bytes + one "odd" byte differing from the
+//       fill in exactly bit p — all in one header byte.
+//   P3 (001 t qqqq):  >= 4 fill bytes (VByte counter follows) + literals.
+//   P4 (0001 t ppp):  >= 4 fill bytes (VByte counter) + one odd byte.
+// Bit positions are numbered from the least-significant bit (the mirror
+// image of the paper's left-to-right illustration; see bbc.cc).
+
+#ifndef INTCOMP_BITMAP_BBC_H_
+#define INTCOMP_BITMAP_BBC_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitmap/rle_codec.h"
+#include "bitmap/runstream.h"
+#include "common/vbyte_raw.h"
+
+namespace intcomp {
+
+struct BbcTraits {
+  static constexpr char kName[] = "BBC";
+  using Word = uint8_t;
+
+  class Decoder {
+   public:
+    static constexpr int kGroupBits = 8;
+
+    explicit Decoder(std::span<const uint8_t> bytes)
+        : data_(bytes.data()), size_(bytes.size()) {}
+
+    bool Next(RunSegment* seg) {
+      if (literals_left_ > 0) {
+        --literals_left_;
+        seg->is_fill = false;
+        seg->literal = data_[pos_++];
+        return true;
+      }
+      if (has_odd_) {
+        has_odd_ = false;
+        seg->is_fill = false;
+        seg->literal = odd_;
+        return true;
+      }
+      while (pos_ < size_) {
+        uint8_t h = data_[pos_++];
+        bool t;
+        uint32_t fills;
+        if (h & 0x80) {  // P1
+          t = (h & 0x40) != 0;
+          fills = (h >> 4) & 3u;
+          literals_left_ = h & 0x0f;
+        } else if (h & 0x40) {  // P2
+          t = (h & 0x20) != 0;
+          fills = (h >> 3) & 3u;
+          SetOdd(t, h & 7u);
+        } else if (h & 0x20) {  // P3
+          t = (h & 0x10) != 0;
+          literals_left_ = h & 0x0f;
+          fills = VByteDecode(data_, &pos_);
+        } else {  // P4
+          t = (h & 0x08) != 0;
+          uint32_t p = h & 7u;
+          fills = VByteDecode(data_, &pos_);
+          SetOdd(t, p);
+        }
+        if (fills > 0) {
+          seg->is_fill = true;
+          seg->fill_bit = t;
+          seg->count = fills;
+          return true;
+        }
+        if (literals_left_ > 0) {
+          --literals_left_;
+          seg->is_fill = false;
+          seg->literal = data_[pos_++];
+          return true;
+        }
+        if (has_odd_) {
+          has_odd_ = false;
+          seg->is_fill = false;
+          seg->literal = odd_;
+          return true;
+        }
+      }
+      return false;
+    }
+
+   private:
+    void SetOdd(bool t, uint32_t p) {
+      odd_ = (t ? 0xffu : 0x00u) ^ (1u << p);
+      has_odd_ = true;
+    }
+
+    const uint8_t* data_;
+    size_t size_;
+    size_t pos_ = 0;
+    uint32_t literals_left_ = 0;
+    uint32_t odd_ = 0;
+    bool has_odd_ = false;
+  };
+
+  static void EncodeWords(std::span<const uint32_t> sorted,
+                          std::vector<uint8_t>* bytes);
+};
+
+using BbcCodec = RleBitmapCodec<BbcTraits>;
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_BITMAP_BBC_H_

@@ -1,0 +1,95 @@
+#include "bitmap/bitset.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/serialize_util.h"
+
+namespace intcomp {
+
+std::unique_ptr<CompressedSet> BitsetCodec::Encode(
+    std::span<const uint32_t> sorted, uint64_t /*domain*/) const {
+  auto set = std::make_unique<Set>();
+  set->cardinality = sorted.size();
+  if (!sorted.empty()) {
+    // Size tracks the maximal element: trailing zero words are not stored.
+    set->words.resize(static_cast<size_t>(sorted.back()) / 64 + 1, 0);
+    for (uint32_t v : sorted) set->words[v >> 6] |= uint64_t{1} << (v & 63);
+  }
+  return set;
+}
+
+void BitsetCodec::Decode(const CompressedSet& set,
+                         std::vector<uint32_t>* out) const {
+  const auto& s = static_cast<const Set&>(set);
+  out->resize(s.cardinality);  // every slot is overwritten below
+  uint32_t* p = out->data();
+  for (size_t w = 0; w < s.words.size(); ++w) {
+    p = EmitSetBits64(s.words[w], static_cast<uint32_t>(w * 64), p);
+  }
+}
+
+void BitsetCodec::Intersect(const CompressedSet& a, const CompressedSet& b,
+                            std::vector<uint32_t>* out) const {
+  const auto& sa = static_cast<const Set&>(a);
+  const auto& sb = static_cast<const Set&>(b);
+  out->clear();
+  size_t n = std::min(sa.words.size(), sb.words.size());
+  for (size_t w = 0; w < n; ++w) {
+    uint64_t x = sa.words[w] & sb.words[w];
+    while (x != 0) {
+      out->push_back(static_cast<uint32_t>(w * 64) +
+                     static_cast<uint32_t>(CountTrailingZeros64(x)));
+      x = ClearLowestBit64(x);
+    }
+  }
+}
+
+void BitsetCodec::Union(const CompressedSet& a, const CompressedSet& b,
+                        std::vector<uint32_t>* out) const {
+  const auto& sa = static_cast<const Set&>(a);
+  const auto& sb = static_cast<const Set&>(b);
+  out->clear();
+  out->reserve(sa.cardinality + sb.cardinality);
+  size_t n = std::max(sa.words.size(), sb.words.size());
+  for (size_t w = 0; w < n; ++w) {
+    uint64_t x = (w < sa.words.size() ? sa.words[w] : 0) |
+                 (w < sb.words.size() ? sb.words[w] : 0);
+    while (x != 0) {
+      out->push_back(static_cast<uint32_t>(w * 64) +
+                     static_cast<uint32_t>(CountTrailingZeros64(x)));
+      x = ClearLowestBit64(x);
+    }
+  }
+}
+
+void BitsetCodec::IntersectWithList(const CompressedSet& a,
+                                    std::span<const uint32_t> probe,
+                                    std::vector<uint32_t>* out) const {
+  const auto& sa = static_cast<const Set&>(a);
+  out->clear();
+  const uint64_t limit = sa.words.size() * 64;
+  for (uint32_t v : probe) {
+    if (v >= limit) break;  // probe is sorted; nothing further can match
+    if ((sa.words[v >> 6] >> (v & 63)) & 1u) out->push_back(v);
+  }
+}
+
+void BitsetCodec::Serialize(const CompressedSet& set,
+                            std::vector<uint8_t>* out) const {
+  const auto& s = static_cast<const Set&>(set);
+  ByteWriter(out).PutU64(s.cardinality);
+  WriteVector(s.words, out);
+}
+
+std::unique_ptr<CompressedSet> BitsetCodec::Deserialize(const uint8_t* data,
+                                                        size_t size) const {
+  ByteReader reader(data, size);
+  if (reader.Remaining() < 8) return nullptr;
+  auto set = std::make_unique<Set>();
+  set->cardinality = reader.GetU64();
+  if (!ReadVector(&reader, &set->words)) return nullptr;
+  return set;
+}
+
+}  // namespace intcomp

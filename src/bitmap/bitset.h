@@ -1,0 +1,51 @@
+// Bitset — the uncompressed bitmap baseline ("Bitset" in the paper's
+// legends). Space and performance depend on the maximal element, not the
+// list size (paper §5.1(5)).
+
+#ifndef INTCOMP_BITMAP_BITSET_H_
+#define INTCOMP_BITMAP_BITSET_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/codec.h"
+
+namespace intcomp {
+
+class BitsetCodec final : public Codec {
+ public:
+  struct Set final : CompressedSet {
+    std::vector<uint64_t> words;  // bit i of word w = value 64*w + i
+    size_t cardinality = 0;
+
+    size_t SizeInBytes() const override { return words.size() * 8; }
+    size_t Cardinality() const override { return cardinality; }
+  };
+
+  BitsetCodec() = default;
+
+  std::string_view Name() const override { return "Bitset"; }
+  CodecFamily Family() const override { return CodecFamily::kBitmap; }
+
+  std::unique_ptr<CompressedSet> Encode(std::span<const uint32_t> sorted,
+                                        uint64_t domain) const override;
+  void Decode(const CompressedSet& set,
+              std::vector<uint32_t>* out) const override;
+  void Intersect(const CompressedSet& a, const CompressedSet& b,
+                 std::vector<uint32_t>* out) const override;
+  void Union(const CompressedSet& a, const CompressedSet& b,
+             std::vector<uint32_t>* out) const override;
+  void IntersectWithList(const CompressedSet& a,
+                         std::span<const uint32_t> probe,
+                         std::vector<uint32_t>* out) const override;
+  void Serialize(const CompressedSet& set,
+                 std::vector<uint8_t>* out) const override;
+  std::unique_ptr<CompressedSet> Deserialize(const uint8_t* data,
+                                             size_t size) const override;
+};
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_BITMAP_BITSET_H_

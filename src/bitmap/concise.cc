@@ -1,0 +1,99 @@
+#include "bitmap/concise.h"
+
+#include <algorithm>
+
+#include "bitmap/group_builder.h"
+
+namespace intcomp {
+namespace {
+
+// Streaming encoder. Invariant: at most one of (held literal, pending fill)
+// is active — a literal flushes any pending fill, and a fill first tries to
+// absorb the held literal as its mixed first group.
+class Encoder {
+ public:
+  explicit Encoder(std::vector<uint32_t>* words) : words_(words) {}
+
+  void AddFill(bool bit, uint64_t n) {
+    if (n == 0) return;
+    if (has_held_) {
+      uint32_t fill_pattern = bit ? ConciseTraits::kPayloadOnes : 0u;
+      uint32_t diff = held_ ^ fill_pattern;
+      if (PopCount32(diff) == 1) {
+        // Merge the held near-fill literal as the run's mixed first group.
+        uint32_t pos = static_cast<uint32_t>(CountTrailingZeros32(diff)) + 1;
+        EmitRun(bit, pos, n + 1);
+        has_held_ = false;
+        return;
+      }
+      words_->push_back(ConciseTraits::kLiteralFlag | held_);
+      has_held_ = false;
+    }
+    if (fill_count_ > 0 && fill_bit_ != bit) FlushFill();
+    fill_bit_ = bit;
+    fill_count_ += n;
+  }
+
+  void AddLiteral(uint32_t payload) {
+    if (payload == 0) {
+      AddFill(false, 1);
+      return;
+    }
+    if (payload == ConciseTraits::kPayloadOnes) {
+      AddFill(true, 1);
+      return;
+    }
+    FlushFill();
+    if (has_held_) words_->push_back(ConciseTraits::kLiteralFlag | held_);
+    held_ = payload;
+    has_held_ = true;
+  }
+
+  void Finish() {
+    FlushFill();
+    if (has_held_) {
+      words_->push_back(ConciseTraits::kLiteralFlag | held_);
+      has_held_ = false;
+    }
+  }
+
+ private:
+  void FlushFill() {
+    if (fill_count_ > 0) EmitRun(fill_bit_, 0, fill_count_);
+    fill_count_ = 0;
+  }
+
+  void EmitRun(bool bit, uint32_t position, uint64_t groups) {
+    // Only the first word of a split run carries the odd-bit position.
+    uint64_t n = std::min(groups, ConciseTraits::kMaxRunGroups);
+    words_->push_back(ConciseTraits::MakeSequence(bit, position, n));
+    groups -= n;
+    while (groups > 0) {
+      n = std::min(groups, ConciseTraits::kMaxRunGroups);
+      words_->push_back(ConciseTraits::MakeSequence(bit, 0, n));
+      groups -= n;
+    }
+  }
+
+  std::vector<uint32_t>* words_;
+  uint64_t fill_count_ = 0;
+  bool fill_bit_ = false;
+  uint32_t held_ = 0;
+  bool has_held_ = false;
+};
+
+}  // namespace
+
+void ConciseTraits::EncodeWords(std::span<const uint32_t> sorted,
+                                std::vector<uint32_t>* words) {
+  words->clear();
+  Encoder enc(words);
+  ForEachGroup(sorted, Decoder::kGroupBits,
+               [&enc](uint64_t zero_gap, uint32_t payload) {
+                 enc.AddFill(false, zero_gap);
+                 enc.AddLiteral(payload);
+               });
+  enc.Finish();
+}
+
+}  // namespace intcomp

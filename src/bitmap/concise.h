@@ -1,0 +1,95 @@
+// CONCISE (Compressed 'n' Composable Integer Set) — paper §2.3, [13].
+//
+// 31-bit groups. A literal word has MSB = 1 and the group payload in the low
+// 31 bits. A sequence (fill) word has MSB = 0, bit 30 = fill value, bits
+// 29..25 = odd-bit position, bits 24..0 = number of groups in the run minus
+// one. A non-zero position p means the *first* group of the run is not a
+// pure fill: its bit p-1 is flipped relative to the fill value ("mixed fill
+// group" — the limitation of WAH that CONCISE addresses).
+
+#ifndef INTCOMP_BITMAP_CONCISE_H_
+#define INTCOMP_BITMAP_CONCISE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitmap/rle_codec.h"
+#include "bitmap/runstream.h"
+#include "common/bits.h"
+
+namespace intcomp {
+
+struct ConciseTraits {
+  static constexpr char kName[] = "CONCISE";
+  using Word = uint32_t;
+
+  static constexpr uint32_t kLiteralFlag = 0x80000000u;
+  static constexpr uint32_t kFillBit = 0x40000000u;
+  static constexpr uint32_t kCountMask = 0x01ffffffu;  // 25 bits
+  static constexpr uint64_t kMaxRunGroups = uint64_t{1} << 25;
+  static constexpr uint32_t kPayloadOnes = (1u << 31) - 1;
+
+  static uint32_t MakeSequence(bool fill_bit, uint32_t position,
+                               uint64_t groups) {
+    return (fill_bit ? kFillBit : 0u) | (position << 25) |
+           static_cast<uint32_t>(groups - 1);
+  }
+
+  class Decoder {
+   public:
+    static constexpr int kGroupBits = 31;
+
+    explicit Decoder(std::span<const uint32_t> words)
+        : p_(words.data()), end_(words.data() + words.size()) {}
+
+    bool Next(RunSegment* seg) {
+      if (pending_groups_ > 0) {
+        seg->is_fill = true;
+        seg->fill_bit = pending_bit_;
+        seg->count = pending_groups_;
+        pending_groups_ = 0;
+        return true;
+      }
+      if (p_ == end_) return false;
+      uint32_t w = *p_++;
+      if (w & kLiteralFlag) {
+        seg->is_fill = false;
+        seg->literal = w & kPayloadOnes;
+        return true;
+      }
+      bool bit = (w & kFillBit) != 0;
+      uint32_t pos = (w >> 25) & 31u;
+      uint64_t groups = (w & kCountMask) + uint64_t{1};
+      if (pos == 0) {
+        seg->is_fill = true;
+        seg->fill_bit = bit;
+        seg->count = groups;
+        return true;
+      }
+      // Mixed first group: a near-fill literal, then the rest of the run.
+      seg->is_fill = false;
+      seg->literal = (bit ? kPayloadOnes : 0u) ^ (1u << (pos - 1));
+      if (groups > 1) {
+        pending_bit_ = bit;
+        pending_groups_ = groups - 1;
+      }
+      return true;
+    }
+
+   private:
+    const uint32_t* p_;
+    const uint32_t* end_;
+    uint64_t pending_groups_ = 0;
+    bool pending_bit_ = false;
+  };
+
+  static void EncodeWords(std::span<const uint32_t> sorted,
+                          std::vector<uint32_t>* words);
+};
+
+using ConciseCodec = RleBitmapCodec<ConciseTraits>;
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_BITMAP_CONCISE_H_

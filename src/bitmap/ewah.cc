@@ -1,0 +1,71 @@
+#include "bitmap/ewah.h"
+
+#include <algorithm>
+
+#include "bitmap/group_builder.h"
+
+namespace intcomp {
+namespace {
+
+class Encoder {
+ public:
+  explicit Encoder(std::vector<uint32_t>* words) : words_(words) {}
+
+  void AddFill(bool bit, uint64_t n) {
+    if (n == 0) return;
+    // Literals must be flushed before a new fill run starts, and a marker
+    // carries only one fill value, so differing runs also force a flush.
+    if (!literals_.empty() || (fill_count_ > 0 && fill_bit_ != bit)) Flush();
+    fill_bit_ = bit;
+    fill_count_ += n;
+  }
+
+  void AddLiteral(uint32_t payload) {
+    if (payload == 0) {
+      AddFill(false, 1);
+    } else if (payload == ~uint32_t{0}) {
+      AddFill(true, 1);
+    } else {
+      literals_.push_back(payload);
+      if (literals_.size() == EwahTraits::kMaxLiterals) Flush();
+    }
+  }
+
+  void Finish() { Flush(); }
+
+ private:
+  void Flush() {
+    while (fill_count_ > EwahTraits::kMaxFill) {
+      words_->push_back(EwahTraits::MakeMarker(fill_bit_, EwahTraits::kMaxFill, 0));
+      fill_count_ -= EwahTraits::kMaxFill;
+    }
+    if (fill_count_ == 0 && literals_.empty()) return;
+    words_->push_back(EwahTraits::MakeMarker(
+        fill_bit_, static_cast<uint32_t>(fill_count_),
+        static_cast<uint32_t>(literals_.size())));
+    words_->insert(words_->end(), literals_.begin(), literals_.end());
+    fill_count_ = 0;
+    literals_.clear();
+  }
+
+  std::vector<uint32_t>* words_;
+  std::vector<uint32_t> literals_;
+  uint64_t fill_count_ = 0;
+  bool fill_bit_ = false;
+};
+
+}  // namespace
+
+void EwahTraits::EncodeWords(std::span<const uint32_t> sorted,
+                             std::vector<uint32_t>* words) {
+  words->clear();
+  Encoder enc(words);
+  ForEachGroup(sorted, Decoder::kGroupBits,
+               [&enc](uint64_t zero_gap, uint32_t payload) {
+                 enc.AddFill(false, zero_gap);
+                 enc.AddLiteral(payload);
+               });
+  enc.Finish();
+}
+
+}  // namespace intcomp

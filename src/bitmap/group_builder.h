@@ -1,0 +1,40 @@
+// Helper for bitmap-codec encoders: walks a sorted value list as a sequence
+// of fixed-width bitmap groups, reporting each non-empty group's payload and
+// the number of all-zero groups preceding it.
+
+#ifndef INTCOMP_BITMAP_GROUP_BUILDER_H_
+#define INTCOMP_BITMAP_GROUP_BUILDER_H_
+
+#include <cstdint>
+#include <span>
+
+namespace intcomp {
+
+// Invokes `fn(zero_gap, payload)` for each non-empty group of width `w`
+// (w <= 32) in order, where `zero_gap` is the count of all-zero groups since
+// the previous non-empty group (or since position 0). Trailing zero groups
+// are not reported; RLE bitmaps need not store them.
+template <typename Fn>
+void ForEachGroup(std::span<const uint32_t> values, int w, Fn fn) {
+  size_t i = 0;
+  uint64_t prev_group = 0;
+  bool first = true;
+  const uint64_t width = static_cast<uint64_t>(w);
+  while (i < values.size()) {
+    uint64_t g = values[i] / width;
+    uint64_t base = g * width;
+    uint32_t payload = 0;
+    while (i < values.size() && values[i] < base + width) {
+      payload |= uint32_t{1} << (values[i] - base);
+      ++i;
+    }
+    uint64_t gap = first ? g : g - prev_group - 1;
+    first = false;
+    prev_group = g;
+    fn(gap, payload);
+  }
+}
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_BITMAP_GROUP_BUILDER_H_

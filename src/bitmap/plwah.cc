@@ -1,0 +1,80 @@
+#include "bitmap/plwah.h"
+
+#include <algorithm>
+
+#include "bitmap/group_builder.h"
+#include "common/bits.h"
+
+namespace intcomp {
+namespace {
+
+class Encoder {
+ public:
+  explicit Encoder(std::vector<uint32_t>* words) : words_(words) {}
+
+  void AddFill(bool bit, uint64_t n) {
+    if (n == 0) return;
+    if (fill_count_ > 0 && fill_bit_ != bit) FlushFill(0);
+    fill_bit_ = bit;
+    fill_count_ += n;
+  }
+
+  void AddLiteral(uint32_t payload) {
+    if (payload == 0) {
+      AddFill(false, 1);
+      return;
+    }
+    if (payload == PlwahTraits::kPayloadOnes) {
+      AddFill(true, 1);
+      return;
+    }
+    if (fill_count_ > 0) {
+      uint32_t fill_pattern = fill_bit_ ? PlwahTraits::kPayloadOnes : 0u;
+      uint32_t diff = payload ^ fill_pattern;
+      if (PopCount32(diff) == 1) {
+        // Absorb the near-fill literal into the fill word's position list.
+        FlushFill(static_cast<uint32_t>(CountTrailingZeros32(diff)) + 1);
+        return;
+      }
+      FlushFill(0);
+    }
+    words_->push_back(payload);
+  }
+
+  void Finish() { FlushFill(0); }
+
+ private:
+  // Emits pending fill words; only the last one may carry the absorbed
+  // literal's position (the literal follows the whole run).
+  void FlushFill(uint32_t position) {
+    while (fill_count_ > PlwahTraits::kCountMask) {
+      words_->push_back(
+          PlwahTraits::MakeFill(fill_bit_, 0, PlwahTraits::kCountMask));
+      fill_count_ -= PlwahTraits::kCountMask;
+    }
+    if (fill_count_ > 0 || position != 0) {
+      words_->push_back(PlwahTraits::MakeFill(fill_bit_, position, fill_count_));
+    }
+    fill_count_ = 0;
+  }
+
+  std::vector<uint32_t>* words_;
+  uint64_t fill_count_ = 0;
+  bool fill_bit_ = false;
+};
+
+}  // namespace
+
+void PlwahTraits::EncodeWords(std::span<const uint32_t> sorted,
+                              std::vector<uint32_t>* words) {
+  words->clear();
+  Encoder enc(words);
+  ForEachGroup(sorted, Decoder::kGroupBits,
+               [&enc](uint64_t zero_gap, uint32_t payload) {
+                 enc.AddFill(false, zero_gap);
+                 enc.AddLiteral(payload);
+               });
+  enc.Finish();
+}
+
+}  // namespace intcomp

@@ -1,0 +1,89 @@
+// PLWAH (Position List Word Aligned Hybrid) — paper §2.4, [17].
+//
+// 31-bit groups. Literal words are as in WAH (MSB = 0, 31 payload bits).
+// A fill word has MSB = 1, bit 30 = fill value, bits 29..25 = position list,
+// bits 24..0 = fill-group count. A non-zero position p means the literal
+// group *following* the run differs from the fill value in exactly bit p-1
+// and has been absorbed into the fill word.
+
+#ifndef INTCOMP_BITMAP_PLWAH_H_
+#define INTCOMP_BITMAP_PLWAH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitmap/rle_codec.h"
+#include "bitmap/runstream.h"
+
+namespace intcomp {
+
+struct PlwahTraits {
+  static constexpr char kName[] = "PLWAH";
+  using Word = uint32_t;
+
+  static constexpr uint32_t kFillFlag = 0x80000000u;
+  static constexpr uint32_t kFillBit = 0x40000000u;
+  static constexpr uint32_t kCountMask = 0x01ffffffu;  // 25 bits
+  static constexpr uint32_t kPayloadOnes = (1u << 31) - 1;
+
+  static uint32_t MakeFill(bool fill_bit, uint32_t position, uint64_t count) {
+    return kFillFlag | (fill_bit ? kFillBit : 0u) | (position << 25) |
+           static_cast<uint32_t>(count);
+  }
+
+  class Decoder {
+   public:
+    static constexpr int kGroupBits = 31;
+
+    explicit Decoder(std::span<const uint32_t> words)
+        : p_(words.data()), end_(words.data() + words.size()) {}
+
+    bool Next(RunSegment* seg) {
+      if (has_pending_literal_) {
+        has_pending_literal_ = false;
+        seg->is_fill = false;
+        seg->literal = pending_literal_;
+        return true;
+      }
+      if (p_ == end_) return false;
+      uint32_t w = *p_++;
+      if ((w & kFillFlag) == 0) {
+        seg->is_fill = false;
+        seg->literal = w;
+        return true;
+      }
+      bool bit = (w & kFillBit) != 0;
+      uint32_t pos = (w >> 25) & 31u;
+      uint32_t count = w & kCountMask;
+      if (pos != 0) {
+        pending_literal_ = (bit ? kPayloadOnes : 0u) ^ (1u << (pos - 1));
+        if (count == 0) {  // degenerate: absorbed literal with no fill run
+          seg->is_fill = false;
+          seg->literal = pending_literal_;
+          return true;
+        }
+        has_pending_literal_ = true;
+      }
+      seg->is_fill = true;
+      seg->fill_bit = bit;
+      seg->count = count;
+      return true;
+    }
+
+   private:
+    const uint32_t* p_;
+    const uint32_t* end_;
+    uint32_t pending_literal_ = 0;
+    bool has_pending_literal_ = false;
+  };
+
+  static void EncodeWords(std::span<const uint32_t> sorted,
+                          std::vector<uint32_t>* words);
+};
+
+using PlwahCodec = RleBitmapCodec<PlwahTraits>;
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_BITMAP_PLWAH_H_

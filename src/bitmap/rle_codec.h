@@ -1,0 +1,115 @@
+// Generic Codec adapter for run-length-encoded bitmap methods.
+//
+// A codec supplies a Traits type:
+//
+//   struct FooTraits {
+//     static constexpr char kName[] = "Foo";
+//     using Word = uint32_t;                       // storage unit
+//     struct Decoder {                             // segment decoder
+//       static constexpr int kGroupBits = ...;
+//       explicit Decoder(std::span<const Word> words);
+//       bool Next(RunSegment* seg);
+//     };
+//     static void EncodeWords(std::span<const uint32_t> sorted,
+//                             std::vector<Word>* words);
+//   };
+//
+// and RleBitmapCodec<FooTraits> provides the full Codec interface by running
+// the shared run-stream engine over the decoder — i.e. intersection and
+// union operate directly on the compressed words, as all WAH-family methods
+// do (paper §2.1).
+
+#ifndef INTCOMP_BITMAP_RLE_CODEC_H_
+#define INTCOMP_BITMAP_RLE_CODEC_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bitmap/runstream.h"
+#include "common/serialize_util.h"
+#include "core/codec.h"
+
+namespace intcomp {
+
+template <typename Traits>
+class RleBitmapCodec final : public Codec {
+ public:
+  using Word = typename Traits::Word;
+  using Decoder = typename Traits::Decoder;
+
+  struct Set final : CompressedSet {
+    std::vector<Word> words;
+    size_t cardinality = 0;
+
+    size_t SizeInBytes() const override { return words.size() * sizeof(Word); }
+    size_t Cardinality() const override { return cardinality; }
+  };
+
+  RleBitmapCodec() = default;
+
+  std::string_view Name() const override { return Traits::kName; }
+  CodecFamily Family() const override { return CodecFamily::kBitmap; }
+
+  std::unique_ptr<CompressedSet> Encode(std::span<const uint32_t> sorted,
+                                        uint64_t /*domain*/) const override {
+    auto set = std::make_unique<Set>();
+    set->cardinality = sorted.size();
+    Traits::EncodeWords(sorted, &set->words);
+    return set;
+  }
+
+  void Decode(const CompressedSet& set,
+              std::vector<uint32_t>* out) const override {
+    out->clear();
+    const auto& s = static_cast<const Set&>(set);
+    out->reserve(s.cardinality);
+    SegmentDecode(Decoder(s.words), out);
+  }
+
+  void Intersect(const CompressedSet& a, const CompressedSet& b,
+                 std::vector<uint32_t>* out) const override {
+    out->clear();
+    const auto& sa = static_cast<const Set&>(a);
+    const auto& sb = static_cast<const Set&>(b);
+    SegmentIntersect(Decoder(sa.words), Decoder(sb.words), out);
+  }
+
+  void Union(const CompressedSet& a, const CompressedSet& b,
+             std::vector<uint32_t>* out) const override {
+    out->clear();
+    const auto& sa = static_cast<const Set&>(a);
+    const auto& sb = static_cast<const Set&>(b);
+    out->reserve(sa.cardinality + sb.cardinality);
+    SegmentUnion(Decoder(sa.words), Decoder(sb.words), out);
+  }
+
+  void IntersectWithList(const CompressedSet& a,
+                         std::span<const uint32_t> probe,
+                         std::vector<uint32_t>* out) const override {
+    out->clear();
+    const auto& sa = static_cast<const Set&>(a);
+    SegmentIntersectWithList(Decoder(sa.words), probe, out);
+  }
+
+  void Serialize(const CompressedSet& set,
+                 std::vector<uint8_t>* out) const override {
+    const auto& s = static_cast<const Set&>(set);
+    ByteWriter(out).PutU64(s.cardinality);
+    WriteVector(s.words, out);
+  }
+
+  std::unique_ptr<CompressedSet> Deserialize(const uint8_t* data,
+                                             size_t size) const override {
+    ByteReader reader(data, size);
+    if (reader.Remaining() < 8) return nullptr;
+    auto set = std::make_unique<Set>();
+    set->cardinality = reader.GetU64();
+    if (!ReadVector(&reader, &set->words)) return nullptr;
+    return set;
+  }
+};
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_BITMAP_RLE_CODEC_H_

@@ -1,0 +1,13 @@
+#include "bitmap/runstream.h"
+
+namespace intcomp {
+
+void EmitRange(uint64_t start, uint64_t count, std::vector<uint32_t>* out) {
+  size_t old = out->size();
+  out->resize(old + count);
+  uint32_t* p = out->data() + old;
+  uint32_t v = static_cast<uint32_t>(start);
+  for (uint64_t i = 0; i < count; ++i) p[i] = v++;
+}
+
+}  // namespace intcomp

@@ -1,0 +1,76 @@
+#include "bitmap/sbh.h"
+
+#include <algorithm>
+
+#include "bitmap/group_builder.h"
+
+namespace intcomp {
+namespace {
+
+constexpr uint32_t kLiteralOnes = 0x7f;
+
+class Encoder {
+ public:
+  explicit Encoder(std::vector<uint8_t>* bytes) : bytes_(bytes) {}
+
+  void AddFill(bool bit, uint64_t n) {
+    if (n == 0) return;
+    if (pending_ > 0 && fill_bit_ != bit) FlushFill();
+    fill_bit_ = bit;
+    pending_ += n;
+  }
+
+  void AddLiteral(uint32_t payload) {
+    if (payload == 0) {
+      AddFill(false, 1);
+    } else if (payload == kLiteralOnes) {
+      AddFill(true, 1);
+    } else {
+      FlushFill();
+      bytes_->push_back(static_cast<uint8_t>(payload));
+    }
+  }
+
+  void Finish() { FlushFill(); }
+
+ private:
+  void FlushFill() {
+    uint8_t flags = static_cast<uint8_t>(0x80 | (fill_bit_ ? 0x40 : 0));
+    if (pending_ > 0 && pending_ <= 63) {
+      // Short run: single byte. Safe because the next byte is never a fill
+      // token of the same type (adjacent same-type runs are merged).
+      bytes_->push_back(static_cast<uint8_t>(flags | pending_));
+      pending_ = 0;
+      return;
+    }
+    // Long runs always use the two-byte form, even for a short final chunk:
+    // a one-byte token directly followed by a same-type fill byte would be
+    // misparsed as a two-byte token.
+    while (pending_ > 0) {
+      uint64_t n = std::min(pending_, SbhTraits::kMaxRun);
+      bytes_->push_back(static_cast<uint8_t>(flags | (n & 0x3f)));
+      bytes_->push_back(static_cast<uint8_t>(flags | (n >> 6)));
+      pending_ -= n;
+    }
+  }
+
+  std::vector<uint8_t>* bytes_;
+  uint64_t pending_ = 0;
+  bool fill_bit_ = false;
+};
+
+}  // namespace
+
+void SbhTraits::EncodeWords(std::span<const uint32_t> sorted,
+                            std::vector<uint8_t>* bytes) {
+  bytes->clear();
+  Encoder enc(bytes);
+  ForEachGroup(sorted, Decoder::kGroupBits,
+               [&enc](uint64_t zero_gap, uint32_t payload) {
+                 enc.AddFill(false, zero_gap);
+                 enc.AddLiteral(payload);
+               });
+  enc.Finish();
+}
+
+}  // namespace intcomp

@@ -1,0 +1,68 @@
+// SBH (Super Byte-aligned Hybrid) — paper §2.6, [23].
+//
+// 7-bit groups stored in bytes. A literal byte has MSB = 0 and the 7-bit
+// payload. A fill token has MSB = 1, bit 6 = fill value and a 6-bit count;
+// runs of 64..4093 groups use a two-byte token whose second byte repeats the
+// two flag bits and holds the high 6 count bits. Distinguishing the one- and
+// two-byte forms requires peeking at the next byte's two flag bits — the
+// extra work the paper identifies as the reason SBH decodes slower than BBC
+// (§5.1(7)).
+
+#ifndef INTCOMP_BITMAP_SBH_H_
+#define INTCOMP_BITMAP_SBH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitmap/rle_codec.h"
+#include "bitmap/runstream.h"
+
+namespace intcomp {
+
+struct SbhTraits {
+  static constexpr char kName[] = "SBH";
+  using Word = uint8_t;
+
+  static constexpr uint64_t kMaxRun = 4093;
+
+  class Decoder {
+   public:
+    static constexpr int kGroupBits = 7;
+
+    explicit Decoder(std::span<const uint8_t> bytes)
+        : p_(bytes.data()), end_(bytes.data() + bytes.size()) {}
+
+    bool Next(RunSegment* seg) {
+      if (p_ == end_) return false;
+      uint8_t b = *p_++;
+      if ((b & 0x80) == 0) {
+        seg->is_fill = false;
+        seg->literal = b;
+        return true;
+      }
+      uint32_t count = b & 0x3f;
+      // Two-byte form: the following byte repeats both flag bits.
+      if (p_ != end_ && (*p_ & 0xc0) == (b & 0xc0)) {
+        count |= static_cast<uint32_t>(*p_++ & 0x3f) << 6;
+      }
+      seg->is_fill = true;
+      seg->fill_bit = (b & 0x40) != 0;
+      seg->count = count;
+      return true;
+    }
+
+   private:
+    const uint8_t* p_;
+    const uint8_t* end_;
+  };
+
+  static void EncodeWords(std::span<const uint32_t> sorted,
+                          std::vector<uint8_t>* bytes);
+};
+
+using SbhCodec = RleBitmapCodec<SbhTraits>;
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_BITMAP_SBH_H_

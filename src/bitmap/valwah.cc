@@ -1,0 +1,201 @@
+#include "bitmap/valwah.h"
+
+#include <algorithm>
+
+#include "bitmap/group_builder.h"
+#include "common/serialize_util.h"
+
+namespace intcomp {
+namespace {
+
+// WAH-style encoder at a runtime unit size (1/2/4 bytes).
+class Encoder {
+ public:
+  Encoder(std::vector<uint8_t>* out, int unit_bytes)
+      : out_(out),
+        unit_bytes_(unit_bytes),
+        s_(unit_bytes * 8 - 1),
+        ones_((uint64_t{1} << s_) - 1),
+        max_count_((uint32_t{1} << (s_ - 1)) - 1) {}
+
+  int group_bits() const { return s_; }
+
+  void AddFill(bool bit, uint64_t n) {
+    if (n == 0) return;
+    if (pending_ > 0 && fill_bit_ != bit) FlushFill();
+    fill_bit_ = bit;
+    pending_ += n;
+  }
+
+  void AddLiteral(uint32_t payload) {
+    if (payload == 0) {
+      AddFill(false, 1);
+    } else if (payload == ones_) {
+      AddFill(true, 1);
+    } else {
+      FlushFill();
+      WriteUnit(payload);
+    }
+  }
+
+  void Finish() { FlushFill(); }
+
+ private:
+  void FlushFill() {
+    const uint32_t fill_flag = 1u << s_;
+    const uint32_t bit_flag = fill_bit_ ? (1u << (s_ - 1)) : 0;
+    while (pending_ > 0) {
+      uint32_t n =
+          static_cast<uint32_t>(std::min<uint64_t>(pending_, max_count_));
+      WriteUnit(fill_flag | bit_flag | n);
+      pending_ -= n;
+    }
+  }
+
+  void WriteUnit(uint32_t u) {
+    for (int i = 0; i < unit_bytes_; ++i) {
+      out_->push_back(static_cast<uint8_t>(u >> (8 * i)));
+    }
+  }
+
+  std::vector<uint8_t>* out_;
+  int unit_bytes_;
+  int s_;
+  uint32_t ones_;
+  uint32_t max_count_;
+  uint64_t pending_ = 0;
+  bool fill_bit_ = false;
+};
+
+void EncodeWithUnit(std::span<const uint32_t> sorted, int unit_bytes,
+                    std::vector<uint8_t>* out) {
+  out->clear();
+  Encoder enc(out, unit_bytes);
+  ForEachGroup(sorted, enc.group_bits(),
+               [&enc](uint64_t zero_gap, uint32_t payload) {
+                 enc.AddFill(false, zero_gap);
+                 enc.AddLiteral(payload);
+               });
+  enc.Finish();
+}
+
+ChunkedBitStream<ValwahDecoder> MakeStream(const ValwahCodec::Set& s) {
+  ValwahDecoder dec(s.data.data(), s.data.size(), s.unit_bytes);
+  return ChunkedBitStream<ValwahDecoder>(dec, dec.group_bits());
+}
+
+}  // namespace
+
+std::unique_ptr<CompressedSet> ValwahCodec::Encode(
+    std::span<const uint32_t> sorted, uint64_t /*domain*/) const {
+  auto set = std::make_unique<Set>();
+  set->cardinality = sorted.size();
+  // Try each segment length and keep the smallest encoding (VAL's
+  // space-minimizing tuning).
+  EncodeWithUnit(sorted, 4, &set->data);
+  set->unit_bytes = 4;
+  std::vector<uint8_t> candidate;
+  for (int unit : {2, 1}) {
+    EncodeWithUnit(sorted, unit, &candidate);
+    if (candidate.size() < set->data.size()) {
+      set->data.swap(candidate);
+      set->unit_bytes = unit;
+    }
+  }
+  set->data.shrink_to_fit();
+  return set;
+}
+
+void ValwahCodec::Decode(const CompressedSet& set,
+                         std::vector<uint32_t>* out) const {
+  const auto& s = static_cast<const Set&>(set);
+  out->clear();
+  out->reserve(s.cardinality);
+  ValwahDecoder dec(s.data.data(), s.data.size(), s.unit_bytes);
+  const int w = dec.group_bits();
+  uint64_t pos = 0;
+  RunSegment seg;
+  while (dec.Next(&seg)) {
+    if (seg.is_fill) {
+      if (seg.fill_bit) EmitRange(pos * w, seg.count * w, out);
+      pos += seg.count;
+    } else {
+      EmitBits(seg.literal, pos * w, out);
+      ++pos;
+    }
+  }
+}
+
+void ValwahCodec::Intersect(const CompressedSet& a, const CompressedSet& b,
+                            std::vector<uint32_t>* out) const {
+  out->clear();
+  BitStreamIntersect(MakeStream(static_cast<const Set&>(a)),
+                     MakeStream(static_cast<const Set&>(b)), out);
+}
+
+void ValwahCodec::Union(const CompressedSet& a, const CompressedSet& b,
+                        std::vector<uint32_t>* out) const {
+  const auto& sa = static_cast<const Set&>(a);
+  const auto& sb = static_cast<const Set&>(b);
+  out->clear();
+  out->reserve(sa.cardinality + sb.cardinality);
+  BitStreamUnion(MakeStream(sa), MakeStream(sb), out);
+}
+
+void ValwahCodec::IntersectWithList(const CompressedSet& a,
+                                    std::span<const uint32_t> probe,
+                                    std::vector<uint32_t>* out) const {
+  const auto& s = static_cast<const Set&>(a);
+  out->clear();
+  ValwahDecoder dec(s.data.data(), s.data.size(), s.unit_bytes);
+  const int w = dec.group_bits();
+  uint64_t pos = 0;
+  size_t pi = 0;
+  RunSegment seg;
+  while (pi < probe.size() && dec.Next(&seg)) {
+    if (seg.is_fill) {
+      uint64_t end = (pos + seg.count) * w;
+      if (seg.fill_bit) {
+        while (pi < probe.size() && probe[pi] < end) out->push_back(probe[pi++]);
+      } else {
+        while (pi < probe.size() && probe[pi] < end) ++pi;
+      }
+      pos += seg.count;
+    } else {
+      uint64_t base = pos * w;
+      uint64_t end = base + w;
+      while (pi < probe.size() && probe[pi] < end) {
+        uint32_t off = static_cast<uint32_t>(probe[pi] - base);
+        if ((seg.literal >> off) & 1u) out->push_back(probe[pi]);
+        ++pi;
+      }
+      ++pos;
+    }
+  }
+}
+
+void ValwahCodec::Serialize(const CompressedSet& set,
+                            std::vector<uint8_t>* out) const {
+  const auto& s = static_cast<const Set&>(set);
+  ByteWriter writer(out);
+  writer.PutU64(s.cardinality);
+  writer.PutU8(static_cast<uint8_t>(s.unit_bytes));
+  WriteVector(s.data, out);
+}
+
+std::unique_ptr<CompressedSet> ValwahCodec::Deserialize(const uint8_t* data,
+                                                        size_t size) const {
+  ByteReader reader(data, size);
+  if (reader.Remaining() < 9) return nullptr;
+  auto set = std::make_unique<Set>();
+  set->cardinality = reader.GetU64();
+  set->unit_bytes = reader.GetU8();
+  if (set->unit_bytes != 1 && set->unit_bytes != 2 && set->unit_bytes != 4) {
+    return nullptr;
+  }
+  if (!ReadVector(&reader, &set->data)) return nullptr;
+  if (set->data.size() % set->unit_bytes != 0) return nullptr;
+  return set;
+}
+
+}  // namespace intcomp

@@ -1,0 +1,102 @@
+// VALWAH (Variable-Aligned Length WAH) — paper §2.5, [20].
+//
+// The VAL framework encodes each bitmap with a tunable segment length
+// s = 2^i * (b-1) (b = 8, w = 32 => s ∈ {7, 15, 31}), trading space for
+// alignment cost. We realize it as WAH generalized to 8-, 16- or 32-bit
+// units (1 flag bit + s payload bits; fill units carry a fill bit and an
+// (s-1)-bit run count), choosing per bitmap the segment length that
+// minimizes the encoding — the paper's space-minimizing instantiation.
+//
+// Because two operands may use different segment lengths, queries run
+// through the bit-granular ChunkedBitStream engine, paying the segment
+// alignment penalty the paper measures (§5.2(3): 1.3x–6.7x slower than WAH).
+
+#ifndef INTCOMP_BITMAP_VALWAH_H_
+#define INTCOMP_BITMAP_VALWAH_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bitmap/runstream.h"
+#include "core/codec.h"
+
+namespace intcomp {
+
+// Segment decoder over VALWAH units; group width is runtime (7/15/31 bits).
+class ValwahDecoder {
+ public:
+  ValwahDecoder(const uint8_t* data, size_t size, int unit_bytes)
+      : data_(data), size_(size), unit_bytes_(unit_bytes) {}
+
+  int group_bits() const { return unit_bytes_ * 8 - 1; }
+
+  bool Next(RunSegment* seg) {
+    if (pos_ >= size_) return false;
+    uint32_t unit = ReadUnit();
+    const int s = group_bits();
+    const uint32_t fill_flag = 1u << s;
+    if (unit & fill_flag) {
+      seg->is_fill = true;
+      seg->fill_bit = (unit >> (s - 1)) & 1u;
+      seg->count = unit & ((1u << (s - 1)) - 1);
+    } else {
+      seg->is_fill = false;
+      seg->literal = unit;
+    }
+    return true;
+  }
+
+ private:
+  uint32_t ReadUnit() {
+    uint32_t u = 0;
+    for (int i = 0; i < unit_bytes_; ++i) {
+      u |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += unit_bytes_;
+    return u;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  int unit_bytes_;
+};
+
+class ValwahCodec final : public Codec {
+ public:
+  struct Set final : CompressedSet {
+    std::vector<uint8_t> data;
+    int unit_bytes = 4;  // 1, 2, or 4 (segment lengths 7, 15, 31)
+    size_t cardinality = 0;
+
+    size_t SizeInBytes() const override { return data.size(); }
+    size_t Cardinality() const override { return cardinality; }
+  };
+
+  ValwahCodec() = default;
+
+  std::string_view Name() const override { return "VALWAH"; }
+  CodecFamily Family() const override { return CodecFamily::kBitmap; }
+
+  std::unique_ptr<CompressedSet> Encode(std::span<const uint32_t> sorted,
+                                        uint64_t domain) const override;
+  void Decode(const CompressedSet& set,
+              std::vector<uint32_t>* out) const override;
+  void Intersect(const CompressedSet& a, const CompressedSet& b,
+                 std::vector<uint32_t>* out) const override;
+  void Union(const CompressedSet& a, const CompressedSet& b,
+             std::vector<uint32_t>* out) const override;
+  void IntersectWithList(const CompressedSet& a,
+                         std::span<const uint32_t> probe,
+                         std::vector<uint32_t>* out) const override;
+  void Serialize(const CompressedSet& set,
+                 std::vector<uint8_t>* out) const override;
+  std::unique_ptr<CompressedSet> Deserialize(const uint8_t* data,
+                                             size_t size) const override;
+};
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_BITMAP_VALWAH_H_

@@ -1,0 +1,65 @@
+#include "bitmap/wah.h"
+
+#include "bitmap/group_builder.h"
+#include "common/bits.h"
+
+namespace intcomp {
+namespace {
+
+constexpr uint32_t kLiteralOnes = (1u << 31) - 1;  // 31 set payload bits
+
+class Encoder {
+ public:
+  explicit Encoder(std::vector<uint32_t>* words) : words_(words) {}
+
+  void AddFill(bool bit, uint64_t n) {
+    if (n == 0) return;
+    if (pending_ > 0 && fill_bit_ != bit) FlushFill();
+    fill_bit_ = bit;
+    pending_ += n;
+  }
+
+  void AddLiteral(uint32_t payload) {
+    if (payload == 0) {
+      AddFill(false, 1);
+    } else if (payload == kLiteralOnes) {
+      AddFill(true, 1);
+    } else {
+      FlushFill();
+      words_->push_back(payload);
+    }
+  }
+
+  void Finish() { FlushFill(); }
+
+ private:
+  void FlushFill() {
+    while (pending_ > 0) {
+      uint32_t n = static_cast<uint32_t>(
+          std::min<uint64_t>(pending_, WahTraits::kMaxFillCount));
+      words_->push_back(WahTraits::kFillFlag |
+                        (fill_bit_ ? WahTraits::kFillBit : 0) | n);
+      pending_ -= n;
+    }
+  }
+
+  std::vector<uint32_t>* words_;
+  uint64_t pending_ = 0;
+  bool fill_bit_ = false;
+};
+
+}  // namespace
+
+void WahTraits::EncodeWords(std::span<const uint32_t> sorted,
+                            std::vector<uint32_t>* words) {
+  words->clear();
+  Encoder enc(words);
+  ForEachGroup(sorted, Decoder::kGroupBits,
+               [&enc](uint64_t zero_gap, uint32_t payload) {
+                 enc.AddFill(false, zero_gap);
+                 enc.AddLiteral(payload);
+               });
+  enc.Finish();
+}
+
+}  // namespace intcomp

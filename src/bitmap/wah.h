@@ -1,0 +1,61 @@
+// WAH (Word-Aligned Hybrid) bitmap compression — paper §2.1, [22].
+//
+// The bitmap is split into 31-bit groups. A literal word stores one group
+// (MSB = 0, low 31 bits = payload). A fill word (MSB = 1) stores bit 30 =
+// fill value and a 30-bit count of consecutive identical fill groups.
+
+#ifndef INTCOMP_BITMAP_WAH_H_
+#define INTCOMP_BITMAP_WAH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitmap/rle_codec.h"
+#include "bitmap/runstream.h"
+
+namespace intcomp {
+
+struct WahTraits {
+  static constexpr char kName[] = "WAH";
+  using Word = uint32_t;
+
+  static constexpr uint32_t kFillFlag = 0x80000000u;
+  static constexpr uint32_t kFillBit = 0x40000000u;
+  static constexpr uint32_t kMaxFillCount = 0x3fffffffu;
+
+  class Decoder {
+   public:
+    static constexpr int kGroupBits = 31;
+
+    explicit Decoder(std::span<const uint32_t> words)
+        : p_(words.data()), end_(words.data() + words.size()) {}
+
+    bool Next(RunSegment* seg) {
+      if (p_ == end_) return false;
+      uint32_t w = *p_++;
+      if (w & kFillFlag) {
+        seg->is_fill = true;
+        seg->fill_bit = (w & kFillBit) != 0;
+        seg->count = w & kMaxFillCount;
+      } else {
+        seg->is_fill = false;
+        seg->literal = w;
+      }
+      return true;
+    }
+
+   private:
+    const uint32_t* p_;
+    const uint32_t* end_;
+  };
+
+  static void EncodeWords(std::span<const uint32_t> sorted,
+                          std::vector<uint32_t>* words);
+};
+
+using WahCodec = RleBitmapCodec<WahTraits>;
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_BITMAP_WAH_H_

@@ -1,0 +1,52 @@
+#include "common/bitpack.h"
+
+#include "common/bits.h"
+
+namespace intcomp {
+
+void PackBits(const uint32_t* in, size_t n, int b, uint32_t* out) {
+  if (b == 0) return;
+  if (b == 32) {
+    for (size_t i = 0; i < n; ++i) out[i] = in[i];
+    return;
+  }
+  uint64_t acc = 0;
+  int filled = 0;
+  size_t w = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc |= static_cast<uint64_t>(in[i]) << filled;
+    filled += b;
+    if (filled >= 32) {
+      out[w++] = static_cast<uint32_t>(acc);
+      acc >>= 32;
+      filled -= 32;
+    }
+  }
+  if (filled > 0) out[w++] = static_cast<uint32_t>(acc);
+}
+
+void UnpackBits(const uint32_t* in, size_t n, int b, uint32_t* out) {
+  if (b == 0) {
+    for (size_t i = 0; i < n; ++i) out[i] = 0;
+    return;
+  }
+  if (b == 32) {
+    for (size_t i = 0; i < n; ++i) out[i] = in[i];
+    return;
+  }
+  const uint32_t mask = LowMask32(b);
+  uint64_t acc = 0;
+  int avail = 0;
+  size_t w = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (avail < b) {
+      acc |= static_cast<uint64_t>(in[w++]) << avail;
+      avail += 32;
+    }
+    out[i] = static_cast<uint32_t>(acc) & mask;
+    acc >>= b;
+    avail -= b;
+  }
+}
+
+}  // namespace intcomp

@@ -1,0 +1,51 @@
+// Scalar (horizontal) bit packing: n values of b bits each, packed
+// contiguously into 32-bit words. Used by the scalar PforDelta family and
+// PEF's low-bit array.
+
+#ifndef INTCOMP_COMMON_BITPACK_H_
+#define INTCOMP_COMMON_BITPACK_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace intcomp {
+
+// Number of 32-bit words needed to hold n values of b bits.
+inline size_t PackedWords32(size_t n, int b) {
+  return (n * static_cast<size_t>(b) + 31) / 32;
+}
+
+// Packs in[0..n) (each < 2^b) into out[0..PackedWords32(n,b)).
+// b in [0, 32]. out must be zeroed or fully overwritten; this function fully
+// overwrites the words it touches.
+void PackBits(const uint32_t* in, size_t n, int b, uint32_t* out);
+
+// Unpacks n values of b bits from `in` into `out`.
+void UnpackBits(const uint32_t* in, size_t n, int b, uint32_t* out);
+
+// Reads the i-th b-bit slot from a packed array (random access).
+inline uint32_t GetPacked(const uint32_t* in, size_t i, int b) {
+  if (b == 0) return 0;
+  size_t bitpos = i * static_cast<size_t>(b);
+  size_t word = bitpos >> 5;
+  int offset = static_cast<int>(bitpos & 31);
+  uint64_t window = in[word];
+  if (offset + b > 32) window |= static_cast<uint64_t>(in[word + 1]) << 32;
+  return static_cast<uint32_t>(window >> offset) &
+         ((b >= 32) ? ~uint32_t{0} : (uint32_t{1} << b) - 1);
+}
+
+// Writes the i-th b-bit slot of a packed array (random access). The slot's
+// previous contents must be zero (as after zero-initialization).
+inline void SetPacked(uint32_t* out, size_t i, int b, uint32_t value) {
+  if (b == 0) return;
+  size_t bitpos = i * static_cast<size_t>(b);
+  size_t word = bitpos >> 5;
+  int offset = static_cast<int>(bitpos & 31);
+  out[word] |= value << offset;
+  if (offset + b > 32) out[word + 1] |= value >> (32 - offset);
+}
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_COMMON_BITPACK_H_

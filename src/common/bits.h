@@ -1,0 +1,59 @@
+// Bit-manipulation primitives shared by every codec.
+//
+// The paper (§4.3) implements codecs with the CPU's popcnt and ctz
+// instructions; these wrappers are the single place that maps onto them.
+
+#ifndef INTCOMP_COMMON_BITS_H_
+#define INTCOMP_COMMON_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace intcomp {
+
+// Number of set bits in `x` (popcnt).
+inline int PopCount32(uint32_t x) { return std::popcount(x); }
+inline int PopCount64(uint64_t x) { return std::popcount(x); }
+
+// Index of the lowest set bit (ctz). Undefined for x == 0.
+inline int CountTrailingZeros32(uint32_t x) { return std::countr_zero(x); }
+inline int CountTrailingZeros64(uint64_t x) { return std::countr_zero(x); }
+
+// Number of bits needed to represent `x` (0 for x == 0).
+inline int BitWidth32(uint32_t x) { return 32 - std::countl_zero(x); }
+inline int BitWidth64(uint64_t x) { return 64 - std::countl_zero(x); }
+
+// Clears the lowest set bit of `x`.
+inline uint32_t ClearLowestBit32(uint32_t x) { return x & (x - 1); }
+inline uint64_t ClearLowestBit64(uint64_t x) { return x & (x - 1); }
+
+// Mask with the low `n` bits set; n in [0, 32] / [0, 64].
+inline uint32_t LowMask32(int n) {
+  return n >= 32 ? ~uint32_t{0} : (uint32_t{1} << n) - 1;
+}
+inline uint64_t LowMask64(int n) {
+  return n >= 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
+}
+
+// Appends the positions of all set bits of `word`, offset by `base`, to
+// `out` (which must have room for PopCount set bits). Returns the number of
+// positions written. This is the ctz extraction loop the paper describes for
+// turning literal words into uncompressed integers.
+inline uint32_t* EmitSetBits32(uint32_t word, uint32_t base, uint32_t* out) {
+  while (word != 0) {
+    *out++ = base + static_cast<uint32_t>(CountTrailingZeros32(word));
+    word = ClearLowestBit32(word);
+  }
+  return out;
+}
+inline uint32_t* EmitSetBits64(uint64_t word, uint32_t base, uint32_t* out) {
+  while (word != 0) {
+    *out++ = base + static_cast<uint32_t>(CountTrailingZeros64(word));
+    word = ClearLowestBit64(word);
+  }
+  return out;
+}
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_COMMON_BITS_H_

@@ -1,0 +1,89 @@
+// Little-endian byte buffer writer/reader used by the byte-oriented codecs
+// (VB, GroupVB, BBC, SBH) and by variable-length block headers.
+
+#ifndef INTCOMP_COMMON_BUFIO_H_
+#define INTCOMP_COMMON_BUFIO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace intcomp {
+
+// Appends primitive values to a growable byte buffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(v); }
+  void PutU16(uint16_t v) {
+    out_->push_back(static_cast<uint8_t>(v));
+    out_->push_back(static_cast<uint8_t>(v >> 8));
+  }
+  void PutU32(uint32_t v) {
+    size_t pos = out_->size();
+    out_->resize(pos + 4);
+    std::memcpy(out_->data() + pos, &v, 4);
+  }
+  void PutU64(uint64_t v) {
+    size_t pos = out_->size();
+    out_->resize(pos + 8);
+    std::memcpy(out_->data() + pos, &v, 8);
+  }
+  void PutBytes(const uint8_t* data, size_t n) {
+    out_->insert(out_->end(), data, data + n);
+  }
+
+  size_t size() const { return out_->size(); }
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+// Sequential reader over a byte buffer. Callers are responsible for staying
+// within bounds; `Remaining()` supports that check in debug assertions.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size)
+      : data_(data), size_(size), pos_(0) {}
+
+  uint8_t GetU8() { return data_[pos_++]; }
+  uint8_t PeekU8() const { return data_[pos_]; }
+  uint16_t GetU16() {
+    uint16_t v = static_cast<uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+    pos_ += 2;
+    return v;
+  }
+  uint32_t GetU32() {
+    uint32_t v;
+    std::memcpy(&v, data_ + pos_, 4);
+    pos_ += 4;
+    return v;
+  }
+  uint64_t GetU64() {
+    uint64_t v;
+    std::memcpy(&v, data_ + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+
+  void GetBytes(uint8_t* dst, size_t n) {
+    std::memcpy(dst, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  bool AtEnd() const { return pos_ >= size_; }
+  size_t Remaining() const { return size_ - pos_; }
+  size_t Position() const { return pos_; }
+  void Seek(size_t pos) { pos_ = pos; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_;
+};
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_COMMON_BUFIO_H_

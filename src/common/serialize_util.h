@@ -1,0 +1,43 @@
+// Length-prefixed little-endian (de)serialization of trivially copyable
+// vectors — the building block of every codec's Serialize/Deserialize.
+
+#ifndef INTCOMP_COMMON_SERIALIZE_UTIL_H_
+#define INTCOMP_COMMON_SERIALIZE_UTIL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "common/bufio.h"
+
+namespace intcomp {
+
+template <typename T>
+void WriteVector(const std::vector<T>& v, std::vector<uint8_t>* out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  ByteWriter writer(out);
+  writer.PutU64(v.size());
+  if (!v.empty()) {
+    writer.PutBytes(reinterpret_cast<const uint8_t*>(v.data()),
+                    v.size() * sizeof(T));
+  }
+}
+
+// Returns false (leaving *v unspecified) if the buffer is truncated.
+template <typename T>
+bool ReadVector(ByteReader* reader, std::vector<T>* v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (reader->Remaining() < 8) return false;
+  const uint64_t n = reader->GetU64();
+  if (reader->Remaining() < n * sizeof(T)) return false;
+  v->resize(n);
+  if (n > 0) {
+    reader->GetBytes(reinterpret_cast<uint8_t*>(v->data()), n * sizeof(T));
+  }
+  return true;
+}
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_COMMON_SERIALIZE_UTIL_H_

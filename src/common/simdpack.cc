@@ -1,0 +1,127 @@
+#include "common/simdpack.h"
+
+#include <immintrin.h>
+
+#include <array>
+#include <cstring>
+#include <utility>
+
+namespace intcomp {
+namespace {
+
+template <int B>
+void Pack128(const uint32_t* in, uint32_t* out32) {
+  __m128i* out = reinterpret_cast<__m128i*>(out32);
+  if constexpr (B == 0) {
+    return;
+  } else if constexpr (B == 32) {
+    std::memcpy(out32, in, 128 * sizeof(uint32_t));
+    return;
+  } else {
+    __m128i acc = _mm_setzero_si128();
+    int filled = 0;
+    for (int j = 0; j < 32; ++j) {
+      __m128i v =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 4 * j));
+      acc = _mm_or_si128(acc, _mm_slli_epi32(v, filled));
+      filled += B;
+      if (filled >= 32) {
+        _mm_storeu_si128(out++, acc);
+        filled -= 32;
+        acc = filled > 0 ? _mm_srli_epi32(v, B - filled) : _mm_setzero_si128();
+      }
+    }
+  }
+}
+
+template <int B>
+void Unpack128(const uint32_t* in32, uint32_t* out) {
+  const __m128i* in = reinterpret_cast<const __m128i*>(in32);
+  if constexpr (B == 0) {
+    std::memset(out, 0, 128 * sizeof(uint32_t));
+    return;
+  } else if constexpr (B == 32) {
+    std::memcpy(out, in32, 128 * sizeof(uint32_t));
+    return;
+  } else {
+    const __m128i mask = _mm_set1_epi32(static_cast<int>((1u << B) - 1));
+    __m128i cur = _mm_loadu_si128(in++);
+    int consumed = 0;
+    for (int j = 0; j < 32; ++j) {
+      __m128i v = _mm_srli_epi32(cur, consumed);
+      consumed += B;
+      if (consumed >= 32) {
+        consumed -= 32;
+        if (j != 31) {
+          cur = _mm_loadu_si128(in++);
+          if (consumed > 0) {
+            v = _mm_or_si128(v, _mm_slli_epi32(cur, B - consumed));
+          }
+        }
+      }
+      v = _mm_and_si128(v, mask);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 4 * j), v);
+    }
+  }
+}
+
+using PackFn = void (*)(const uint32_t*, uint32_t*);
+using UnpackFn = void (*)(const uint32_t*, uint32_t*);
+
+template <int... Bs>
+constexpr auto MakePackTable(std::integer_sequence<int, Bs...>) {
+  return std::array<PackFn, sizeof...(Bs)>{&Pack128<Bs>...};
+}
+template <int... Bs>
+constexpr auto MakeUnpackTable(std::integer_sequence<int, Bs...>) {
+  return std::array<UnpackFn, sizeof...(Bs)>{&Unpack128<Bs>...};
+}
+
+constexpr auto kPackTable = MakePackTable(std::make_integer_sequence<int, 33>{});
+constexpr auto kUnpackTable =
+    MakeUnpackTable(std::make_integer_sequence<int, 33>{});
+
+}  // namespace
+
+void SimdPack128(const uint32_t* in, int b, uint32_t* out) {
+  kPackTable[b](in, out);
+}
+
+void SimdUnpack128(const uint32_t* in, int b, uint32_t* out) {
+  kUnpackTable[b](in, out);
+}
+
+void SimdPrefixSum128(uint32_t* values, uint32_t base) {
+  __m128i running = _mm_set1_epi32(static_cast<int>(base));
+  for (int j = 0; j < 32; ++j) {
+    __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(values + 4 * j));
+    // In-register inclusive scan of the 4 lanes.
+    v = _mm_add_epi32(v, _mm_slli_si128(v, 4));
+    v = _mm_add_epi32(v, _mm_slli_si128(v, 8));
+    v = _mm_add_epi32(v, _mm_shuffle_epi32(running, _MM_SHUFFLE(3, 3, 3, 3)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(values + 4 * j), v);
+    running = v;
+  }
+}
+
+void SimdDelta128(uint32_t* values, uint32_t base) {
+  // Walk backwards so each value still sees its original predecessor.
+  for (int i = 127; i > 0; --i) values[i] -= values[i - 1];
+  values[0] -= base;
+}
+
+void ScalarPrefixSum(uint32_t* values, size_t n, uint32_t base) {
+  uint32_t acc = base;
+  for (size_t i = 0; i < n; ++i) {
+    acc += values[i];
+    values[i] = acc;
+  }
+}
+
+void ScalarDelta(uint32_t* values, size_t n, uint32_t base) {
+  for (size_t i = n; i > 1; --i) values[i - 1] -= values[i - 2];
+  if (n > 0) values[0] -= base;
+}
+
+}  // namespace intcomp

@@ -1,0 +1,45 @@
+// 128-bit SIMD vertical bit packing and delta kernels (paper §3.10, §3.11).
+//
+// Layout ("interleaving manner" per §3.10): the 128 input integers are viewed
+// as 32 SIMD vectors v_j = in[4j .. 4j+3]. Each 32-bit lane accumulates 32
+// b-bit values, so a packed block occupies exactly b __m128i words. A single
+// SIMD instruction therefore processes four elements at once, which is what
+// gives SIMDPforDelta/SIMDBP128 their speed.
+
+#ifndef INTCOMP_COMMON_SIMDPACK_H_
+#define INTCOMP_COMMON_SIMDPACK_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace intcomp {
+
+inline constexpr int kSimdBlockSize = 128;
+
+// Number of uint32 words a SIMD-packed 128-value block occupies (4 per
+// __m128i times b vectors).
+inline size_t SimdPackedWords(int b) { return static_cast<size_t>(b) * 4; }
+
+// Packs exactly 128 values (each < 2^b) from `in` into `out`
+// (SimdPackedWords(b) words). b in [0, 32]. `in`/`out` need no alignment.
+void SimdPack128(const uint32_t* in, int b, uint32_t* out);
+
+// Unpacks exactly 128 values of b bits from `in` into `out`.
+void SimdUnpack128(const uint32_t* in, int b, uint32_t* out);
+
+// In-place inclusive prefix sum over 128 values starting from `base`:
+// out[i] = base + sum(in[0..i]). Uses SIMD shift-add (the "extra time to
+// compute prefix sums" the paper charges to the delta-based SIMD codecs).
+void SimdPrefixSum128(uint32_t* values, uint32_t base);
+
+// Computes d-gaps in place for exactly 128 values: values[i] -= prev where
+// prev is values[i-1] (values[-1] := base).
+void SimdDelta128(uint32_t* values, uint32_t base);
+
+// Scalar helpers for partial (tail) blocks.
+void ScalarPrefixSum(uint32_t* values, size_t n, uint32_t base);
+void ScalarDelta(uint32_t* values, size_t n, uint32_t base);
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_COMMON_SIMDPACK_H_

@@ -1,0 +1,98 @@
+#include "common/simdpack256.h"
+
+#include <immintrin.h>
+
+#include <array>
+#include <cstring>
+#include <utility>
+
+namespace intcomp {
+namespace {
+
+template <int B>
+void Pack128(const uint32_t* in, uint32_t* out32) {
+  __m256i* out = reinterpret_cast<__m256i*>(out32);
+  if constexpr (B == 0) {
+    return;
+  } else if constexpr (B == 32) {
+    std::memcpy(out32, in, 128 * sizeof(uint32_t));
+    return;
+  } else {
+    __m256i acc = _mm256_setzero_si256();
+    int filled = 0;
+    for (int j = 0; j < 16; ++j) {
+      __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + 8 * j));
+      acc = _mm256_or_si256(acc, _mm256_slli_epi32(v, filled));
+      filled += B;
+      if (filled >= 32) {
+        _mm256_storeu_si256(out++, acc);
+        filled -= 32;
+        acc = filled > 0 ? _mm256_srli_epi32(v, B - filled)
+                         : _mm256_setzero_si256();
+      }
+    }
+    if (filled > 0) _mm256_storeu_si256(out++, acc);
+  }
+}
+
+template <int B>
+void Unpack128(const uint32_t* in32, uint32_t* out) {
+  const __m256i* in = reinterpret_cast<const __m256i*>(in32);
+  if constexpr (B == 0) {
+    std::memset(out, 0, 128 * sizeof(uint32_t));
+    return;
+  } else if constexpr (B == 32) {
+    std::memcpy(out, in32, 128 * sizeof(uint32_t));
+    return;
+  } else {
+    const __m256i mask = _mm256_set1_epi32(static_cast<int>((1u << B) - 1));
+    // For odd B each lane holds 16B bits, which is not a multiple of 32, so
+    // the final vector is half-used; bound reads by the true vector count.
+    const __m256i* const end = in + (16 * B + 31) / 32;
+    __m256i cur = _mm256_loadu_si256(in++);
+    int consumed = 0;
+    for (int j = 0; j < 16; ++j) {
+      __m256i v = _mm256_srli_epi32(cur, consumed);
+      consumed += B;
+      if (consumed >= 32) {
+        consumed -= 32;
+        if (in != end) {
+          cur = _mm256_loadu_si256(in++);
+          if (consumed > 0) {
+            v = _mm256_or_si256(v, _mm256_slli_epi32(cur, B - consumed));
+          }
+        }
+      }
+      v = _mm256_and_si256(v, mask);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 8 * j), v);
+    }
+  }
+}
+
+using Fn = void (*)(const uint32_t*, uint32_t*);
+
+template <int... Bs>
+constexpr auto MakePackTable(std::integer_sequence<int, Bs...>) {
+  return std::array<Fn, sizeof...(Bs)>{&Pack128<Bs>...};
+}
+template <int... Bs>
+constexpr auto MakeUnpackTable(std::integer_sequence<int, Bs...>) {
+  return std::array<Fn, sizeof...(Bs)>{&Unpack128<Bs>...};
+}
+
+constexpr auto kPackTable = MakePackTable(std::make_integer_sequence<int, 33>{});
+constexpr auto kUnpackTable =
+    MakeUnpackTable(std::make_integer_sequence<int, 33>{});
+
+}  // namespace
+
+void Simd256Pack128(const uint32_t* in, int b, uint32_t* out) {
+  kPackTable[b](in, out);
+}
+
+void Simd256Unpack128(const uint32_t* in, int b, uint32_t* out) {
+  kUnpackTable[b](in, out);
+}
+
+}  // namespace intcomp

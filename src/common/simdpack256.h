@@ -1,0 +1,32 @@
+// 256-bit AVX2 vertical bit packing — the "more recent processors also
+// support 256-bit SIMD operation" extension the paper notes in §3.10.
+//
+// Same vertical idea as the 128-bit kernels, with 8 lanes of 16 values: a
+// packed 128-value block occupies b __m256i vectors, and one instruction
+// touches eight elements.
+
+#ifndef INTCOMP_COMMON_SIMDPACK256_H_
+#define INTCOMP_COMMON_SIMDPACK256_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace intcomp {
+
+// Number of uint32 words a 256-bit-packed 128-value block occupies: each of
+// the 8 lanes holds 16 b-bit values = ceil(b/2) words, so odd widths carry
+// half a word of padding per lane (the 256-bit layout's space tax).
+inline size_t Simd256PackedWords(int b) {
+  return static_cast<size_t>((b + 1) / 2) * 8;
+}
+
+// Packs exactly 128 values (each < 2^b) into out (Simd256PackedWords(b)
+// words). b in [0, 32]. No alignment requirements.
+void Simd256Pack128(const uint32_t* in, int b, uint32_t* out);
+
+// Unpacks exactly 128 values of b bits.
+void Simd256Unpack128(const uint32_t* in, int b, uint32_t* out);
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_COMMON_SIMDPACK256_H_

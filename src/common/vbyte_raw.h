@@ -1,0 +1,50 @@
+// Raw VByte (a.k.a. Varint / VB, §3.1 of the paper) primitive.
+//
+// This is the building block used both by the VB inverted-list codec and by
+// BBC's multi-byte fill counters (§2.8: "The counter is compressed using VB
+// compression"). Layout per the paper: 7 data bits per byte, least-significant
+// group first, MSB set when another byte follows. Example from §3.1:
+// 16385 -> 10000001 10000000 00000001.
+
+#ifndef INTCOMP_COMMON_VBYTE_RAW_H_
+#define INTCOMP_COMMON_VBYTE_RAW_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace intcomp {
+
+// Appends the VByte encoding of `value` to `out`.
+inline void VByteEncode(uint32_t value, std::vector<uint8_t>* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+// Decodes one VByte value starting at data[*pos]; advances *pos.
+inline uint32_t VByteDecode(const uint8_t* data, size_t* pos) {
+  uint32_t value = 0;
+  int shift = 0;
+  uint8_t byte;
+  do {
+    byte = data[(*pos)++];
+    value |= static_cast<uint32_t>(byte & 0x7f) << shift;
+    shift += 7;
+  } while (byte & 0x80);
+  return value;
+}
+
+// Number of bytes VByteEncode(value) produces.
+inline int VByteLength(uint32_t value) {
+  if (value < (1u << 7)) return 1;
+  if (value < (1u << 14)) return 2;
+  if (value < (1u << 21)) return 3;
+  if (value < (1u << 28)) return 4;
+  return 5;
+}
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_COMMON_VBYTE_RAW_H_

@@ -1,0 +1,54 @@
+#include "core/codec.h"
+
+namespace intcomp {
+
+void Codec::IntersectWithList(const CompressedSet& a,
+                              std::span<const uint32_t> probe,
+                              std::vector<uint32_t>* out) const {
+  std::vector<uint32_t> decoded;
+  Decode(a, &decoded);
+  IntersectLists(decoded, probe, out);
+}
+
+void IntersectLists(std::span<const uint32_t> a, std::span<const uint32_t> b,
+                    std::vector<uint32_t>* out) {
+  out->clear();
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    uint32_t va = a[i], vb = b[j];
+    if (va < vb) {
+      ++i;
+    } else if (vb < va) {
+      ++j;
+    } else {
+      out->push_back(va);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+void UnionLists(std::span<const uint32_t> a, std::span<const uint32_t> b,
+                std::vector<uint32_t>* out) {
+  out->clear();
+  out->reserve(a.size() + b.size());
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    uint32_t va = a[i], vb = b[j];
+    if (va < vb) {
+      out->push_back(va);
+      ++i;
+    } else if (vb < va) {
+      out->push_back(vb);
+      ++j;
+    } else {
+      out->push_back(va);
+      ++i;
+      ++j;
+    }
+  }
+  out->insert(out->end(), a.begin() + i, a.end());
+  out->insert(out->end(), b.begin() + j, b.end());
+}
+
+}  // namespace intcomp

@@ -1,0 +1,110 @@
+// The uniform interface every compression method in the study implements.
+//
+// A codec turns a sorted, duplicate-free list of uint32 values (equivalently,
+// a bitmap whose set-bit positions are those values — paper §1) into a
+// compressed representation, and supports the four operations the paper
+// measures: space, decompression, intersection, and union (§4.2). Results of
+// intersection/union are uncompressed integer lists (paper App. B.1) so they
+// can be returned to users or fed into further operations.
+
+#ifndef INTCOMP_CORE_CODEC_H_
+#define INTCOMP_CORE_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace intcomp {
+
+// Which research lineage a codec belongs to (paper §2 vs §3).
+enum class CodecFamily {
+  kBitmap,
+  kInvertedList,
+};
+
+// A compressed sorted-integer set. Concrete subtypes are private to their
+// codec; callers interact through the owning Codec.
+class CompressedSet {
+ public:
+  virtual ~CompressedSet() = default;
+
+  // Full compressed footprint in bytes, including per-block metadata and
+  // skip pointers (the paper's space-overhead metric).
+  virtual size_t SizeInBytes() const = 0;
+
+  // Number of values in the set.
+  virtual size_t Cardinality() const = 0;
+};
+
+// A compression method. Implementations are stateless and thread-compatible;
+// one shared instance per method lives in the registry (core/registry.h).
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  Codec(const Codec&) = delete;
+  Codec& operator=(const Codec&) = delete;
+
+  // Display name matching the paper's figure legends (e.g. "WAH",
+  // "SIMDPforDelta*").
+  virtual std::string_view Name() const = 0;
+
+  virtual CodecFamily Family() const = 0;
+
+  // Compresses `sorted` (strictly increasing values, all < domain).
+  // `domain` is the number of rows / documents (paper: "domain size").
+  virtual std::unique_ptr<CompressedSet> Encode(
+      std::span<const uint32_t> sorted, uint64_t domain) const = 0;
+
+  // Decompresses `set` into `out` (cleared first).
+  virtual void Decode(const CompressedSet& set,
+                      std::vector<uint32_t>* out) const = 0;
+
+  // out = a AND b, as an uncompressed sorted list. Operates on the
+  // compressed form directly where the method supports it (all bitmap
+  // codecs; skip-pointer probing for inverted lists).
+  virtual void Intersect(const CompressedSet& a, const CompressedSet& b,
+                         std::vector<uint32_t>* out) const = 0;
+
+  // out = a OR b, as an uncompressed sorted list.
+  virtual void Union(const CompressedSet& a, const CompressedSet& b,
+                     std::vector<uint32_t>* out) const = 0;
+
+  // out = a AND probe, where `probe` is an uncompressed sorted list — the
+  // SvS step that intersects the running (uncompressed) result with the next
+  // compressed list (paper §4.3, App. B.1). The default implementation
+  // decodes `a` and merges; codecs with skip pointers or bucket indexes
+  // override it with sub-linear probing.
+  virtual void IntersectWithList(const CompressedSet& a,
+                                 std::span<const uint32_t> probe,
+                                 std::vector<uint32_t>* out) const;
+
+  // Appends a self-contained, position-independent byte image of `set` to
+  // `out`. The image can be persisted and later restored by the same codec
+  // with Deserialize (byte order: little-endian).
+  virtual void Serialize(const CompressedSet& set,
+                         std::vector<uint8_t>* out) const = 0;
+
+  // Reconstructs a set from a Serialize image. Returns nullptr if the
+  // buffer is malformed (truncated or inconsistent lengths).
+  virtual std::unique_ptr<CompressedSet> Deserialize(const uint8_t* data,
+                                                     size_t size) const = 0;
+
+ protected:
+  Codec() = default;
+};
+
+// Merge-intersects two uncompressed sorted lists.
+void IntersectLists(std::span<const uint32_t> a, std::span<const uint32_t> b,
+                    std::vector<uint32_t>* out);
+
+// Merge-unions two uncompressed sorted lists.
+void UnionLists(std::span<const uint32_t> a, std::span<const uint32_t> b,
+                std::vector<uint32_t>* out);
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_CORE_CODEC_H_

@@ -1,0 +1,99 @@
+#include "core/hybrid.h"
+
+#include <algorithm>
+
+#include "common/bufio.h"
+
+namespace intcomp {
+
+std::unique_ptr<CompressedSet> HybridCodec::Encode(
+    std::span<const uint32_t> sorted, uint64_t domain) const {
+  auto set = std::make_unique<Set>();
+  // Effective universe: the declared domain, or the value range when the
+  // caller passes a loose bound.
+  uint64_t universe = domain;
+  if (!sorted.empty()) {
+    universe = std::min<uint64_t>(
+        std::max<uint64_t>(1, domain),
+        std::max<uint64_t>(1, uint64_t{sorted.back()} + 1));
+  }
+  const double density =
+      universe == 0 ? 0.0
+                    : static_cast<double>(sorted.size()) /
+                          static_cast<double>(universe);
+  set->is_bitmap = density >= threshold_;
+  set->inner = (set->is_bitmap ? bitmap_ : list_)->Encode(sorted, domain);
+  return set;
+}
+
+void HybridCodec::Decode(const CompressedSet& set,
+                         std::vector<uint32_t>* out) const {
+  const auto& s = static_cast<const Set&>(set);
+  InnerOf(s).Decode(*s.inner, out);
+}
+
+void HybridCodec::Intersect(const CompressedSet& a, const CompressedSet& b,
+                            std::vector<uint32_t>* out) const {
+  const auto& sa = static_cast<const Set&>(a);
+  const auto& sb = static_cast<const Set&>(b);
+  if (sa.is_bitmap == sb.is_bitmap) {
+    InnerOf(sa).Intersect(*sa.inner, *sb.inner, out);
+    return;
+  }
+  // Mixed families: decode the smaller side; for skewed sizes probe the
+  // larger through its own skip/bucket structure (SvS step), for similar
+  // sizes merge two decoded lists (paper footnote 8).
+  const Set* small = &sa;
+  const Set* large = &sb;
+  if (small->Cardinality() > large->Cardinality()) std::swap(small, large);
+  std::vector<uint32_t> decoded;
+  InnerOf(*small).Decode(*small->inner, &decoded);
+  if (large->Cardinality() < 8 * std::max<size_t>(1, small->Cardinality())) {
+    std::vector<uint32_t> decoded_large;
+    InnerOf(*large).Decode(*large->inner, &decoded_large);
+    IntersectLists(decoded, decoded_large, out);
+    return;
+  }
+  InnerOf(*large).IntersectWithList(*large->inner, decoded, out);
+}
+
+void HybridCodec::Union(const CompressedSet& a, const CompressedSet& b,
+                        std::vector<uint32_t>* out) const {
+  const auto& sa = static_cast<const Set&>(a);
+  const auto& sb = static_cast<const Set&>(b);
+  if (sa.is_bitmap == sb.is_bitmap) {
+    InnerOf(sa).Union(*sa.inner, *sb.inner, out);
+    return;
+  }
+  std::vector<uint32_t> da, db;
+  InnerOf(sa).Decode(*sa.inner, &da);
+  InnerOf(sb).Decode(*sb.inner, &db);
+  UnionLists(da, db, out);
+}
+
+void HybridCodec::IntersectWithList(const CompressedSet& a,
+                                    std::span<const uint32_t> probe,
+                                    std::vector<uint32_t>* out) const {
+  const auto& s = static_cast<const Set&>(a);
+  InnerOf(s).IntersectWithList(*s.inner, probe, out);
+}
+
+void HybridCodec::Serialize(const CompressedSet& set,
+                            std::vector<uint8_t>* out) const {
+  const auto& s = static_cast<const Set&>(set);
+  ByteWriter(out).PutU8(s.is_bitmap ? 1 : 0);
+  InnerOf(s).Serialize(*s.inner, out);
+}
+
+std::unique_ptr<CompressedSet> HybridCodec::Deserialize(const uint8_t* data,
+                                                        size_t size) const {
+  if (size < 1) return nullptr;
+  auto set = std::make_unique<Set>();
+  set->is_bitmap = data[0] != 0;
+  set->inner = (set->is_bitmap ? bitmap_ : list_)
+                   ->Deserialize(data + 1, size - 1);
+  if (set->inner == nullptr) return nullptr;
+  return set;
+}
+
+}  // namespace intcomp

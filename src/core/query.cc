@@ -1,0 +1,102 @@
+#include "core/query.h"
+
+#include <algorithm>
+
+#include "core/set_ops.h"
+#include "invlist/plain_list.h"
+
+namespace intcomp {
+namespace {
+
+std::vector<uint32_t> Evaluate(const Codec& codec, const QueryPlan& plan,
+                               std::span<const CompressedSet* const> sets) {
+  switch (plan.op) {
+    case QueryPlan::Op::kLeaf: {
+      std::vector<uint32_t> out;
+      codec.Decode(*sets[plan.leaf], &out);
+      return out;
+    }
+    case QueryPlan::Op::kAnd: {
+      // Materialize non-leaf children; keep leaves compressed for SvS.
+      std::vector<const CompressedSet*> leaves;
+      std::vector<std::vector<uint32_t>> materialized;
+      for (const QueryPlan& child : plan.children) {
+        if (child.op == QueryPlan::Op::kLeaf) {
+          leaves.push_back(sets[child.leaf]);
+        } else {
+          materialized.push_back(Evaluate(codec, child, sets));
+        }
+      }
+      std::sort(leaves.begin(), leaves.end(),
+                [](const CompressedSet* a, const CompressedSet* b) {
+                  return a->Cardinality() < b->Cardinality();
+                });
+      std::sort(materialized.begin(), materialized.end(),
+                [](const auto& a, const auto& b) { return a.size() < b.size(); });
+
+      std::vector<uint32_t> result;
+      std::vector<uint32_t> next;
+      size_t li = 0;
+      if (!materialized.empty()) {
+        result = std::move(materialized[0]);
+        // Merge-intersect the other materialized results.
+        for (size_t i = 1; i < materialized.size(); ++i) {
+          IntersectLists(result, materialized[i], &next);
+          result.swap(next);
+        }
+      } else if (leaves.size() == 1) {
+        codec.Decode(*leaves[0], &result);
+        li = 1;
+      } else {
+        codec.Intersect(*leaves[0], *leaves[1], &result);
+        li = 2;
+      }
+      for (; li < leaves.size() && !result.empty(); ++li) {
+        // Probe the smaller side: when the running result is much larger
+        // than the leaf (e.g. a wide union ANDed with a selective
+        // predicate), decode the leaf and gallop it into the result instead
+        // of pushing every result element through the leaf's skip index.
+        if (leaves[li]->Cardinality() * 8 < result.size()) {
+          std::vector<uint32_t> decoded;
+          codec.Decode(*leaves[li], &decoded);
+          GallopIntersect(decoded, result, &next);
+        } else {
+          codec.IntersectWithList(*leaves[li], result, &next);
+        }
+        result.swap(next);
+      }
+      return result;
+    }
+    case QueryPlan::Op::kOr:
+    default: {
+      std::vector<const CompressedSet*> leaves;
+      std::vector<std::vector<uint32_t>> materialized;
+      for (const QueryPlan& child : plan.children) {
+        if (child.op == QueryPlan::Op::kLeaf) {
+          leaves.push_back(sets[child.leaf]);
+        } else {
+          materialized.push_back(Evaluate(codec, child, sets));
+        }
+      }
+      std::vector<uint32_t> result;
+      if (!leaves.empty()) {
+        UnionSets(codec, leaves, &result);
+      }
+      std::vector<uint32_t> merged;
+      for (auto& m : materialized) {
+        UnionLists(result, m, &merged);
+        result.swap(merged);
+      }
+      return result;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<uint32_t> EvaluatePlan(const Codec& codec, const QueryPlan& plan,
+                                   std::span<const CompressedSet* const> sets) {
+  return Evaluate(codec, plan, sets);
+}
+
+}  // namespace intcomp

@@ -1,0 +1,52 @@
+// Query plans combining intersection and union, e.g. SSB Q3.4's
+// (L1 OR L2) AND (L3 OR L4) AND L5 (paper §6.1).
+
+#ifndef INTCOMP_CORE_QUERY_H_
+#define INTCOMP_CORE_QUERY_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/codec.h"
+
+namespace intcomp {
+
+// Expression tree over a query's input lists (referenced by index).
+struct QueryPlan {
+  enum class Op { kLeaf, kAnd, kOr };
+
+  Op op = Op::kLeaf;
+  size_t leaf = 0;                  // input index (op == kLeaf)
+  std::vector<QueryPlan> children;  // op == kAnd / kOr
+
+  static QueryPlan Leaf(size_t index) {
+    QueryPlan p;
+    p.op = Op::kLeaf;
+    p.leaf = index;
+    return p;
+  }
+  static QueryPlan And(std::vector<QueryPlan> children) {
+    QueryPlan p;
+    p.op = Op::kAnd;
+    p.children = std::move(children);
+    return p;
+  }
+  static QueryPlan Or(std::vector<QueryPlan> children) {
+    QueryPlan p;
+    p.op = Op::kOr;
+    p.children = std::move(children);
+    return p;
+  }
+};
+
+// Evaluates `plan` over the compressed inputs. AND nodes use SvS over leaf
+// children (keeping them compressed) and probe already-materialized
+// sub-results; OR nodes union leaves on the compressed form first, then
+// merge in materialized sub-results.
+std::vector<uint32_t> EvaluatePlan(const Codec& codec, const QueryPlan& plan,
+                                   std::span<const CompressedSet* const> sets);
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_CORE_QUERY_H_

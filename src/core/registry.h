@@ -1,0 +1,33 @@
+// Registry of all 24 compression methods evaluated in the paper, in the
+// order of its figure legends.
+
+#ifndef INTCOMP_CORE_REGISTRY_H_
+#define INTCOMP_CORE_REGISTRY_H_
+
+#include <span>
+#include <string_view>
+
+#include "core/codec.h"
+
+namespace intcomp {
+
+// All methods in paper legend order: 9 bitmap codecs (incl. the
+// uncompressed Bitset), then 15 inverted-list codecs (incl. the
+// uncompressed List and the three * variants).
+std::span<const Codec* const> AllCodecs();
+
+// Bitmap-family / list-family subsets, same relative order.
+std::span<const Codec* const> BitmapCodecs();
+std::span<const Codec* const> InvertedListCodecs();
+
+// Extension methods beyond the paper's 24. Currently: "Hybrid", the
+// adaptive bitmap/list codec that the paper's lesson 1 calls for.
+std::span<const Codec* const> ExtensionCodecs();
+
+// Looks a codec up by its legend name (e.g. "Roaring", "SIMDBP128*") or an
+// extension name ("Hybrid"). Returns nullptr if unknown.
+const Codec* FindCodec(std::string_view name);
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_CORE_REGISTRY_H_

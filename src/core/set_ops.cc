@@ -1,0 +1,106 @@
+#include "core/set_ops.h"
+
+#include <algorithm>
+
+namespace intcomp {
+
+void IntersectSets(const Codec& codec,
+                   std::span<const CompressedSet* const> sets,
+                   std::vector<uint32_t>* out) {
+  out->clear();
+  if (sets.empty()) return;
+  if (sets.size() == 1) {
+    codec.Decode(*sets[0], out);
+    return;
+  }
+  std::vector<const CompressedSet*> order(sets.begin(), sets.end());
+  std::sort(order.begin(), order.end(),
+            [](const CompressedSet* a, const CompressedSet* b) {
+              return a->Cardinality() < b->Cardinality();
+            });
+  codec.Intersect(*order[0], *order[1], out);
+  std::vector<uint32_t> next;
+  for (size_t i = 2; i < order.size() && !out->empty(); ++i) {
+    codec.IntersectWithList(*order[i], *out, &next);
+    out->swap(next);
+  }
+}
+
+void UnionSets(const Codec& codec, std::span<const CompressedSet* const> sets,
+               std::vector<uint32_t>* out) {
+  out->clear();
+  if (sets.empty()) return;
+  if (sets.size() == 1) {
+    codec.Decode(*sets[0], out);
+    return;
+  }
+  if (sets.size() == 2) {
+    codec.Union(*sets[0], *sets[1], out);
+    return;
+  }
+  // k-way merge over the decoded lists: one pass instead of k-1 pairwise
+  // passes over the accumulated result.
+  std::vector<std::vector<uint32_t>> decoded(sets.size());
+  size_t total = 0;
+  for (size_t i = 0; i < sets.size(); ++i) {
+    codec.Decode(*sets[i], &decoded[i]);
+    total += decoded[i].size();
+  }
+  out->reserve(total);
+  struct Cursor {
+    const uint32_t* p;
+    const uint32_t* end;
+  };
+  auto later = [](const Cursor& a, const Cursor& b) { return *a.p > *b.p; };
+  std::vector<Cursor> heap;
+  for (const auto& d : decoded) {
+    if (!d.empty()) heap.push_back({d.data(), d.data() + d.size()});
+  }
+  std::make_heap(heap.begin(), heap.end(), later);
+  uint32_t last = 0;
+  bool have_last = false;
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), later);
+    Cursor& c = heap.back();
+    const uint32_t v = *c.p++;
+    if (!have_last || v != last) {
+      out->push_back(v);
+      last = v;
+      have_last = true;
+    }
+    if (c.p == c.end) {
+      heap.pop_back();
+    } else {
+      std::push_heap(heap.begin(), heap.end(), later);
+    }
+  }
+}
+
+void DifferenceSets(const Codec& codec, const CompressedSet& a,
+                    const CompressedSet& b, std::vector<uint32_t>* out) {
+  std::vector<uint32_t> decoded;
+  codec.Decode(a, &decoded);
+  std::vector<uint32_t> common;
+  codec.IntersectWithList(b, decoded, &common);
+  DifferenceLists(decoded, common, out);
+}
+
+void DifferenceLists(std::span<const uint32_t> a, std::span<const uint32_t> b,
+                     std::vector<uint32_t>* out) {
+  out->clear();
+  out->reserve(a.size());
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      out->push_back(a[i++]);
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  out->insert(out->end(), a.begin() + i, a.end());
+}
+
+}  // namespace intcomp

@@ -1,0 +1,41 @@
+// Multi-list set operations over compressed sets.
+//
+// Intersection follows SvS (paper §4.3, [14]): sort the lists by size,
+// intersect the two smallest (the codec switches between merge-based and
+// skip-based internally), then probe each remaining compressed list with the
+// running uncompressed result. Union decompresses and merges linearly
+// (App. B.2).
+
+#ifndef INTCOMP_CORE_SET_OPS_H_
+#define INTCOMP_CORE_SET_OPS_H_
+
+#include <span>
+#include <vector>
+
+#include "core/codec.h"
+
+namespace intcomp {
+
+// out = sets[0] AND ... AND sets[k-1]. k >= 1.
+void IntersectSets(const Codec& codec,
+                   std::span<const CompressedSet* const> sets,
+                   std::vector<uint32_t>* out);
+
+// out = sets[0] OR ... OR sets[k-1]. k >= 1. For k > 2 the decoded lists
+// are merged with a k-way heap rather than repeated pairwise passes.
+void UnionSets(const Codec& codec, std::span<const CompressedSet* const> sets,
+               std::vector<uint32_t>* out);
+
+// out = a AND NOT b, as an uncompressed sorted list. Decodes `a` and
+// subtracts the matches found by probing `b` through its skip/bucket
+// structure.
+void DifferenceSets(const Codec& codec, const CompressedSet& a,
+                    const CompressedSet& b, std::vector<uint32_t>* out);
+
+// Merge-difference of two uncompressed sorted lists (out = a \ b).
+void DifferenceLists(std::span<const uint32_t> a, std::span<const uint32_t> b,
+                     std::vector<uint32_t>* out);
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_CORE_SET_OPS_H_

@@ -1,0 +1,54 @@
+#include "core/topk.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/set_ops.h"
+
+namespace intcomp {
+namespace {
+
+// Min-heap ordering: the worst of the current top-k sits on top.
+struct WorseThan {
+  bool operator()(const ScoredDoc& a, const ScoredDoc& b) const {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  }
+};
+
+}  // namespace
+
+std::vector<ScoredDoc> TopK(const Codec& codec,
+                            std::span<const CompressedSet* const> lists,
+                            size_t k,
+                            const std::function<double(uint32_t)>& scorer) {
+  std::vector<ScoredDoc> result;
+  if (k == 0 || lists.empty()) return result;
+
+  // Step 1: candidates = intersection of all term lists (the
+  // time-dominant part per [33]).
+  std::vector<uint32_t> candidates;
+  IntersectSets(codec, lists, &candidates);
+
+  // Step 2: score candidates, keeping the k best in a bounded min-heap.
+  std::priority_queue<ScoredDoc, std::vector<ScoredDoc>, WorseThan> heap;
+  for (uint32_t doc : candidates) {
+    const double score = scorer(doc);
+    if (heap.size() < k) {
+      heap.push({doc, score});
+    } else if (score > heap.top().score ||
+               (score == heap.top().score && doc < heap.top().doc)) {
+      heap.pop();
+      heap.push({doc, score});
+    }
+  }
+
+  result.resize(heap.size());
+  for (size_t i = result.size(); i > 0; --i) {
+    result[i - 1] = heap.top();
+    heap.pop();
+  }
+  return result;
+}
+
+}  // namespace intcomp

@@ -1,0 +1,36 @@
+// Top-k conjunctive retrieval over compressed lists (paper App. A.1).
+//
+// The paper's two-step IR pipeline [33]: (1) intersect the query terms'
+// compressed lists to get candidate documents — the dominant cost, which is
+// why the paper recommends Roaring for top-k workloads (§7.1) — then
+// (2) score each candidate and keep the k best.
+
+#ifndef INTCOMP_CORE_TOPK_H_
+#define INTCOMP_CORE_TOPK_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/codec.h"
+
+namespace intcomp {
+
+struct ScoredDoc {
+  uint32_t doc = 0;
+  double score = 0;
+};
+
+// Returns the k highest-scoring documents contained in ALL of `lists`,
+// ordered by decreasing score (ties broken by ascending doc id).
+// `scorer(doc)` supplies the relevance score (e.g. BM25 over stored
+// payloads); it is called once per candidate.
+std::vector<ScoredDoc> TopK(const Codec& codec,
+                            std::span<const CompressedSet* const> lists,
+                            size_t k,
+                            const std::function<double(uint32_t)>& scorer);
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_CORE_TOPK_H_

@@ -1,0 +1,57 @@
+#include "index/bitmap_index.h"
+
+#include <algorithm>
+
+#include "core/set_ops.h"
+
+namespace intcomp {
+
+BitmapIndex BitmapIndex::Build(const Codec& codec,
+                               std::span<const uint32_t> column_codes,
+                               uint32_t cardinality) {
+  BitmapIndex index(&codec, column_codes.size());
+  std::vector<std::vector<uint32_t>> rows_per_code(cardinality);
+  for (size_t row = 0; row < column_codes.size(); ++row) {
+    rows_per_code[column_codes[row]].push_back(static_cast<uint32_t>(row));
+  }
+  index.sets_.reserve(cardinality);
+  for (const auto& rows : rows_per_code) {
+    index.sets_.push_back(codec.Encode(rows, column_codes.size()));
+  }
+  return index;
+}
+
+size_t BitmapIndex::SizeInBytes() const {
+  size_t total = 0;
+  for (const auto& set : sets_) total += set->SizeInBytes();
+  return total;
+}
+
+void BitmapIndex::Eq(uint32_t code, std::vector<uint32_t>* rows) const {
+  codec_->Decode(*sets_[code], rows);
+}
+
+void BitmapIndex::In(std::span<const uint32_t> codes,
+                     std::vector<uint32_t>* rows) const {
+  std::vector<const CompressedSet*> sets;
+  sets.reserve(codes.size());
+  for (uint32_t c : codes) sets.push_back(sets_[c].get());
+  UnionSets(*codec_, sets, rows);
+}
+
+void BitmapIndex::Range(uint32_t lo, uint32_t hi,
+                        std::vector<uint32_t>* rows) const {
+  std::vector<const CompressedSet*> sets;
+  for (uint32_t c = lo; c <= hi && c < sets_.size(); ++c) {
+    sets.push_back(sets_[c].get());
+  }
+  UnionSets(*codec_, sets, rows);
+}
+
+void BitmapIndex::EqAndFilter(uint32_t code,
+                              std::span<const uint32_t> candidates,
+                              std::vector<uint32_t>* rows) const {
+  codec_->IntersectWithList(*sets_[code], candidates, rows);
+}
+
+}  // namespace intcomp

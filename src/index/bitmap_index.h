@@ -1,0 +1,70 @@
+// BitmapIndex — a per-value compressed-set index over a low-cardinality
+// column, the database-side application of the paper (§1, App. A.2).
+//
+// One compressed set is kept per distinct value code; the i-th row
+// contributes row id i to the set of its value. Equality predicates read one
+// set; IN-lists and range predicates union several (App. A.2, [38]);
+// conjunctions across columns intersect the per-column results.
+
+#ifndef INTCOMP_INDEX_BITMAP_INDEX_H_
+#define INTCOMP_INDEX_BITMAP_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/codec.h"
+
+namespace intcomp {
+
+class BitmapIndex {
+ public:
+  // Builds the index for a column given as value codes (0 .. cardinality-1)
+  // in row order. `codec` must outlive the index.
+  static BitmapIndex Build(const Codec& codec,
+                           std::span<const uint32_t> column_codes,
+                           uint32_t cardinality);
+
+  // Number of distinct value codes.
+  uint32_t Cardinality() const {
+    return static_cast<uint32_t>(sets_.size());
+  }
+  uint64_t NumRows() const { return num_rows_; }
+
+  // Total compressed footprint.
+  size_t SizeInBytes() const;
+
+  // The compressed row-id set for one value code (never null for codes
+  // < Cardinality()).
+  const CompressedSet* SetFor(uint32_t code) const {
+    return sets_[code].get();
+  }
+
+  // rows = { i : column[i] == code }.
+  void Eq(uint32_t code, std::vector<uint32_t>* rows) const;
+
+  // rows = union of the sets of all `codes` (IN-list predicate).
+  void In(std::span<const uint32_t> codes, std::vector<uint32_t>* rows) const;
+
+  // rows = union over codes in [lo, hi] — a range predicate as a union of
+  // per-value sets (paper App. A.2).
+  void Range(uint32_t lo, uint32_t hi, std::vector<uint32_t>* rows) const;
+
+  // rows = rows matching `code` here AND contained in `candidates`
+  // (conjunction step across columns; probes the compressed set).
+  void EqAndFilter(uint32_t code, std::span<const uint32_t> candidates,
+                   std::vector<uint32_t>* rows) const;
+
+ private:
+  BitmapIndex(const Codec* codec, uint64_t num_rows)
+      : codec_(codec), num_rows_(num_rows) {}
+
+  const Codec* codec_;
+  uint64_t num_rows_;
+  std::vector<std::unique_ptr<CompressedSet>> sets_;
+};
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_INDEX_BITMAP_INDEX_H_

@@ -1,0 +1,80 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+
+#include "core/set_ops.h"
+
+namespace intcomp {
+
+void InvertedIndex::AddDocument(uint32_t doc_id,
+                                std::span<const std::string_view> terms) {
+  num_docs_ = std::max<uint64_t>(num_docs_, uint64_t{doc_id} + 1);
+  for (std::string_view term : terms) {
+    auto it = buffer_.find(term);
+    if (it == buffer_.end()) {
+      it = buffer_.emplace(std::string(term), std::vector<uint32_t>()).first;
+    }
+    if (it->second.empty() || it->second.back() != doc_id) {
+      it->second.push_back(doc_id);
+    }
+  }
+}
+
+void InvertedIndex::Finalize() {
+  for (auto& [term, docs] : buffer_) {
+    postings_.emplace(term, codec_->Encode(docs, num_docs_));
+  }
+  buffer_.clear();
+  finalized_ = true;
+}
+
+size_t InvertedIndex::SizeInBytes() const {
+  size_t total = 0;
+  for (const auto& [term, set] : postings_) {
+    total += set->SizeInBytes() + term.size();
+  }
+  return total;
+}
+
+size_t InvertedIndex::DocumentFrequency(std::string_view term) const {
+  auto it = postings_.find(term);
+  return it == postings_.end() ? 0 : it->second->Cardinality();
+}
+
+bool InvertedIndex::Conjunctive(std::span<const std::string_view> terms,
+                                std::vector<uint32_t>* docs) const {
+  docs->clear();
+  std::vector<const CompressedSet*> sets;
+  for (std::string_view term : terms) {
+    auto it = postings_.find(term);
+    if (it == postings_.end()) return false;
+    sets.push_back(it->second.get());
+  }
+  if (!sets.empty()) IntersectSets(*codec_, sets, docs);
+  return true;
+}
+
+void InvertedIndex::Disjunctive(std::span<const std::string_view> terms,
+                                std::vector<uint32_t>* docs) const {
+  docs->clear();
+  std::vector<const CompressedSet*> sets;
+  for (std::string_view term : terms) {
+    auto it = postings_.find(term);
+    if (it != postings_.end()) sets.push_back(it->second.get());
+  }
+  if (!sets.empty()) UnionSets(*codec_, sets, docs);
+}
+
+std::vector<ScoredDoc> InvertedIndex::TopKQuery(
+    std::span<const std::string_view> terms, size_t k,
+    const std::function<double(uint32_t)>& scorer) const {
+  std::vector<const CompressedSet*> sets;
+  for (std::string_view term : terms) {
+    auto it = postings_.find(term);
+    if (it == postings_.end()) return {};
+    sets.push_back(it->second.get());
+  }
+  return TopK(*codec_, sets, k, scorer);
+}
+
+}  // namespace intcomp

@@ -1,0 +1,67 @@
+// InvertedIndex — term -> compressed posting list, the IR-side application
+// of the paper (App. A.1): conjunctive and disjunctive keyword queries and
+// scored top-k retrieval over compressed postings.
+
+#ifndef INTCOMP_INDEX_INVERTED_INDEX_H_
+#define INTCOMP_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/codec.h"
+#include "core/topk.h"
+
+namespace intcomp {
+
+class InvertedIndex {
+ public:
+  // `codec` must outlive the index.
+  explicit InvertedIndex(const Codec& codec) : codec_(&codec) {}
+
+  // Adds a document's terms. Documents must be added in increasing doc-id
+  // order; duplicate terms within a document are fine.
+  void AddDocument(uint32_t doc_id, std::span<const std::string_view> terms);
+
+  // Compresses all buffered postings. Must be called once, after the last
+  // AddDocument and before any query.
+  void Finalize();
+
+  size_t NumTerms() const { return postings_.size(); }
+  uint64_t NumDocuments() const { return num_docs_; }
+  size_t SizeInBytes() const;
+
+  // Document frequency of a term (0 if absent).
+  size_t DocumentFrequency(std::string_view term) const;
+
+  // docs containing ALL terms (SvS intersection). Unknown terms make the
+  // result empty. Returns false if any term is unknown.
+  bool Conjunctive(std::span<const std::string_view> terms,
+                   std::vector<uint32_t>* docs) const;
+
+  // docs containing AT LEAST ONE of the known terms.
+  void Disjunctive(std::span<const std::string_view> terms,
+                   std::vector<uint32_t>* docs) const;
+
+  // The k best documents containing all terms, under `scorer` (paper
+  // App. A.1's two-step pipeline). Empty if any term is unknown.
+  std::vector<ScoredDoc> TopKQuery(
+      std::span<const std::string_view> terms, size_t k,
+      const std::function<double(uint32_t)>& scorer) const;
+
+ private:
+  const Codec* codec_;
+  uint64_t num_docs_ = 0;
+  bool finalized_ = false;
+  std::map<std::string, std::vector<uint32_t>, std::less<>> buffer_;
+  std::map<std::string, std::unique_ptr<CompressedSet>, std::less<>> postings_;
+};
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_INDEX_INVERTED_INDEX_H_

@@ -1,0 +1,31 @@
+#include "invlist/blocked_list.h"
+
+namespace intcomp {
+
+size_t GallopToBlock(std::span<const uint32_t> firsts, size_t from,
+                     uint32_t target) {
+  // Exponential probe forward from `from`, then binary search the bracket
+  // for the last block whose first value is <= target.
+  size_t lo = from;
+  size_t step = 1;
+  size_t hi = from + 1;
+  while (hi < firsts.size() && firsts[hi] <= target) {
+    lo = hi;
+    hi += step;
+    step *= 2;
+  }
+  hi = std::min(hi, firsts.size());
+  // Invariant: firsts[lo] <= target, and (hi == size or firsts[hi] > target
+  // or hi unexplored). Binary search in (lo, hi).
+  while (lo + 1 < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (firsts[mid] <= target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace intcomp

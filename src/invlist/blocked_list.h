@@ -1,0 +1,308 @@
+// Blocked inverted-list framework shared by all d-gap / frame-of-reference
+// list codecs (paper §3 overview + §5).
+//
+// A list is split into blocks of 128 elements. Each block gets a skip
+// pointer of (32-bit first value, 32-bit byte offset) — exactly the layout
+// the paper uses — so intersection can decompress only the blocks that may
+// contain a probe value (SvS with skipping, App. B). Block payloads are
+// produced by a Traits type:
+//
+//   struct FooTraits {
+//     static constexpr char kName[] = "Foo";
+//     static constexpr bool kDeltaBased = true;   // payload = d-gaps
+//                                                 // (false => values - first)
+//     static constexpr bool kSimdPrefix = false;  // SIMD prefix sum on decode
+//     // Encodes n values (n <= 128) appended to out.
+//     static void EncodeBlock(const uint32_t* in, size_t n,
+//                             std::vector<uint8_t>* out);
+//     // Decodes exactly n values; may write up to 128 entries (SIMD codecs
+//     // always materialize a full block). Returns bytes consumed.
+//     static size_t DecodeBlock(const uint8_t* data, size_t n, uint32_t* out);
+//   };
+//
+// For delta-based codecs the first gap of block b is relative to the last
+// value of block b-1 (block 0: relative to 0), and decoding rebases with the
+// skip pointer so any block can be decoded independently.
+
+#ifndef INTCOMP_INVLIST_BLOCKED_LIST_H_
+#define INTCOMP_INVLIST_BLOCKED_LIST_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/serialize_util.h"
+#include "common/simdpack.h"
+#include "core/codec.h"
+
+namespace intcomp {
+
+inline constexpr size_t kListBlockSize = 128;
+
+// Similar-size threshold below which intersection switches from skip-based
+// SvS to merge-based (paper footnote 8).
+inline constexpr size_t kMergeIntersectRatio = 8;
+
+// Returns the last block index in [from, firsts.size()) whose first value is
+// <= target, assuming firsts[from] <= target. Gallops forward then binary
+// searches — probes arrive in ascending order, so starting at the current
+// block is cheap.
+size_t GallopToBlock(std::span<const uint32_t> firsts, size_t from,
+                     uint32_t target);
+
+template <typename Traits>
+struct BlockedSet final : CompressedSet {
+  std::vector<uint8_t> data;
+  std::vector<uint32_t> skip_first;   // first value of each block
+  std::vector<uint32_t> skip_offset;  // byte offset of each block in data
+  size_t count = 0;
+  bool skips_in_size = true;  // false for the Fig. 7 "no skip pointers" mode
+
+  size_t SizeInBytes() const override {
+    size_t s = data.size();
+    if (skips_in_size) s += (skip_first.size() + skip_offset.size()) * 4;
+    return s;
+  }
+  size_t Cardinality() const override { return count; }
+};
+
+// True when the traits' block decoder always materializes a full 128-value
+// block (the SIMD codecs), which pins the block size to 128.
+template <typename T>
+constexpr bool TraitsRequire128() {
+  if constexpr (requires { T::kFixed128; }) {
+    return T::kFixed128;
+  } else {
+    return false;
+  }
+}
+
+// Streaming cursor supporting NextGEQ over a blocked compressed list.
+// kBlockN is the elements-per-block / skip-pointer granularity; 128 is the
+// standard choice (paper footnote 5), other values exist for the block-size
+// ablation bench.
+template <typename Traits, size_t kBlockN = kListBlockSize>
+class BlockedCursor {
+ public:
+  explicit BlockedCursor(const BlockedSet<Traits>& set) : set_(&set) {}
+
+  // Positions at the smallest value >= target at-or-after the current
+  // position (targets must be non-decreasing across calls). Returns false if
+  // no such value exists.
+  bool NextGEQ(uint32_t target, uint32_t* value) {
+    const auto& firsts = set_->skip_first;
+    if (firsts.empty()) return false;
+    size_t b = (loaded_ == kNone) ? 0 : loaded_;
+    if (b + 1 < firsts.size() && firsts[b + 1] <= target) {
+      b = GallopToBlock(firsts, b, target);
+    }
+    if (b != loaded_) Load(b);
+    while (true) {
+      while (pos_ < n_ && buf_[pos_] < target) ++pos_;
+      if (pos_ < n_) {
+        *value = buf_[pos_];
+        return true;
+      }
+      if (loaded_ + 1 >= firsts.size()) return false;
+      Load(loaded_ + 1);
+    }
+  }
+
+ private:
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+
+  void Load(size_t b) {
+    size_t n = std::min(kBlockN, set_->count - b * kBlockN);
+    Traits::DecodeBlock(set_->data.data() + set_->skip_offset[b], n, buf_);
+    if (Traits::kDeltaBased) {
+      uint32_t base = set_->skip_first[b] - buf_[0];
+      if (Traits::kSimdPrefix && n == kSimdBlockSize) {
+        SimdPrefixSum128(buf_, base);
+      } else {
+        ScalarPrefixSum(buf_, n, base);
+      }
+    } else {
+      uint32_t base = set_->skip_first[b];
+      for (size_t i = 0; i < n; ++i) buf_[i] += base;
+    }
+    loaded_ = b;
+    pos_ = 0;
+    n_ = n;
+  }
+
+  const BlockedSet<Traits>* set_;
+  size_t loaded_ = kNone;
+  size_t pos_ = 0;
+  size_t n_ = 0;
+  uint32_t buf_[kBlockN < kSimdBlockSize ? kSimdBlockSize : kBlockN];
+};
+
+template <typename Traits, size_t kBlockN = kListBlockSize>
+class BlockedListCodec final : public Codec {
+  static_assert(kBlockN >= 8 && kBlockN <= 128,
+                "block codecs size their scratch arrays for <= 128 values");
+  static_assert(!TraitsRequire128<Traits>() || kBlockN == kSimdBlockSize,
+                "SIMD block codecs require 128-element blocks");
+
+ public:
+  using Set = BlockedSet<Traits>;
+
+  // `use_skips = false` builds lists whose intersections cannot skip
+  // (every probe decompresses from the start) — the Fig. 7 ablation.
+  explicit BlockedListCodec(bool use_skips = true) : use_skips_(use_skips) {}
+
+  std::string_view Name() const override { return Traits::kName; }
+  CodecFamily Family() const override { return CodecFamily::kInvertedList; }
+
+  std::unique_ptr<CompressedSet> Encode(std::span<const uint32_t> sorted,
+                                        uint64_t /*domain*/) const override {
+    auto set = std::make_unique<Set>();
+    set->count = sorted.size();
+    set->skips_in_size = use_skips_;
+    uint32_t scratch[kBlockN];
+    uint32_t prev_last = 0;
+    const size_t nblocks = (sorted.size() + kBlockN - 1) / kBlockN;
+    set->skip_first.reserve(nblocks);
+    set->skip_offset.reserve(nblocks);
+    for (size_t i = 0; i < sorted.size(); i += kBlockN) {
+      const size_t n = std::min(kBlockN, sorted.size() - i);
+      set->skip_first.push_back(sorted[i]);
+      set->skip_offset.push_back(static_cast<uint32_t>(set->data.size()));
+      if (Traits::kDeltaBased) {
+        scratch[0] = sorted[i] - prev_last;
+        for (size_t k = 1; k < n; ++k) {
+          scratch[k] = sorted[i + k] - sorted[i + k - 1];
+        }
+      } else {
+        for (size_t k = 0; k < n; ++k) scratch[k] = sorted[i + k] - sorted[i];
+      }
+      Traits::EncodeBlock(scratch, n, &set->data);
+      prev_last = sorted[i + n - 1];
+    }
+    // Trailing slack so block decoders may use word-sized loads that read a
+    // few bytes past the last value (e.g. GroupVB's masked 4-byte loads).
+    set->data.insert(set->data.end(), 4, 0);
+    set->data.shrink_to_fit();
+    return set;
+  }
+
+  void Decode(const CompressedSet& set,
+              std::vector<uint32_t>* out) const override {
+    const auto& s = static_cast<const Set&>(set);
+    // SIMD block decoders always write full 128-value blocks; leave slack.
+    // (No clear(): every slot below s.count is overwritten, and clear()+
+    // resize() would re-zero the whole buffer on every call.)
+    out->resize(s.count + kSimdBlockSize);
+    uint32_t prev_last = 0;
+    for (size_t b = 0; b < s.skip_first.size(); ++b) {
+      const size_t i = b * kBlockN;
+      const size_t n = std::min(kBlockN, s.count - i);
+      uint32_t* dst = out->data() + i;
+      Traits::DecodeBlock(s.data.data() + s.skip_offset[b], n, dst);
+      if (Traits::kDeltaBased) {
+        if (Traits::kSimdPrefix && n == kSimdBlockSize) {
+          SimdPrefixSum128(dst, prev_last);
+        } else {
+          ScalarPrefixSum(dst, n, prev_last);
+        }
+      } else {
+        const uint32_t base = s.skip_first[b];
+        for (size_t k = 0; k < n; ++k) dst[k] += base;
+      }
+      prev_last = dst[n - 1];
+    }
+    out->resize(s.count);
+  }
+
+  void Intersect(const CompressedSet& a, const CompressedSet& b,
+                 std::vector<uint32_t>* out) const override {
+    const Set* small = &static_cast<const Set&>(a);
+    const Set* large = &static_cast<const Set&>(b);
+    if (small->count > large->count) std::swap(small, large);
+    std::vector<uint32_t> decoded;
+    Decode(*small, &decoded);
+    if (!use_skips_ ||
+        large->count < kMergeIntersectRatio * std::max<size_t>(1, small->count)) {
+      // Merge-based path for similar sizes (paper footnote 8) and for the
+      // no-skip ablation, where the longer list must be fully decompressed.
+      std::vector<uint32_t> decoded_large;
+      Decode(*large, &decoded_large);
+      IntersectLists(decoded, decoded_large, out);
+      return;
+    }
+    ProbeIntersect(*large, decoded, out);
+  }
+
+  void Union(const CompressedSet& a, const CompressedSet& b,
+             std::vector<uint32_t>* out) const override {
+    // Decompress both lists and merge linearly (paper §4.3).
+    std::vector<uint32_t> da, db;
+    Decode(a, &da);
+    Decode(b, &db);
+    UnionLists(da, db, out);
+  }
+
+  void IntersectWithList(const CompressedSet& a,
+                         std::span<const uint32_t> probe,
+                         std::vector<uint32_t>* out) const override {
+    const auto& s = static_cast<const Set&>(a);
+    if (!use_skips_) {
+      std::vector<uint32_t> decoded;
+      Decode(s, &decoded);
+      IntersectLists(decoded, probe, out);
+      return;
+    }
+    ProbeIntersect(s, probe, out);
+  }
+
+  void Serialize(const CompressedSet& set,
+                 std::vector<uint8_t>* out) const override {
+    const auto& s = static_cast<const Set&>(set);
+    ByteWriter writer(out);
+    writer.PutU64(s.count);
+    writer.PutU8(s.skips_in_size ? 1 : 0);
+    WriteVector(s.data, out);
+    WriteVector(s.skip_first, out);
+    WriteVector(s.skip_offset, out);
+  }
+
+  std::unique_ptr<CompressedSet> Deserialize(const uint8_t* data,
+                                             size_t size) const override {
+    ByteReader reader(data, size);
+    if (reader.Remaining() < 9) return nullptr;
+    auto set = std::make_unique<Set>();
+    set->count = reader.GetU64();
+    set->skips_in_size = reader.GetU8() != 0;
+    if (!ReadVector(&reader, &set->data) ||
+        !ReadVector(&reader, &set->skip_first) ||
+        !ReadVector(&reader, &set->skip_offset)) {
+      return nullptr;
+    }
+    if (set->skip_first.size() != set->skip_offset.size() ||
+        set->skip_first.size() !=
+            (set->count + kBlockN - 1) / kBlockN) {
+      return nullptr;
+    }
+    return set;
+  }
+
+ private:
+  void ProbeIntersect(const Set& s, std::span<const uint32_t> probe,
+                      std::vector<uint32_t>* out) const {
+    out->clear();
+    BlockedCursor<Traits, kBlockN> cursor(s);
+    uint32_t found;
+    for (uint32_t v : probe) {
+      if (!cursor.NextGEQ(v, &found)) break;
+      if (found == v) out->push_back(v);
+    }
+  }
+
+  const bool use_skips_;
+};
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_INVLIST_BLOCKED_LIST_H_

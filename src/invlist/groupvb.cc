@@ -1,0 +1,54 @@
+#include "invlist/groupvb.h"
+
+#include <cstring>
+
+namespace intcomp {
+namespace {
+
+inline int ByteLength(uint32_t v) {
+  if (v < (1u << 8)) return 1;
+  if (v < (1u << 16)) return 2;
+  if (v < (1u << 24)) return 3;
+  return 4;
+}
+
+}  // namespace
+
+void GroupVbTraits::EncodeBlock(const uint32_t* in, size_t n,
+                                std::vector<uint8_t>* out) {
+  for (size_t i = 0; i < n; i += 4) {
+    const size_t k = std::min<size_t>(4, n - i);
+    uint8_t header = 0;
+    for (size_t j = 0; j < k; ++j) {
+      header |= static_cast<uint8_t>((ByteLength(in[i + j]) - 1) << (2 * j));
+    }
+    out->push_back(header);
+    for (size_t j = 0; j < k; ++j) {
+      uint32_t v = in[i + j];
+      int len = ByteLength(v);
+      for (int byte = 0; byte < len; ++byte) {
+        out->push_back(static_cast<uint8_t>(v >> (8 * byte)));
+      }
+    }
+  }
+}
+
+size_t GroupVbTraits::DecodeBlock(const uint8_t* data, size_t n,
+                                  uint32_t* out) {
+  size_t pos = 0;
+  for (size_t i = 0; i < n; i += 4) {
+    const size_t k = std::min<size_t>(4, n - i);
+    const uint8_t header = data[pos++];
+    for (size_t j = 0; j < k; ++j) {
+      const int len = ((header >> (2 * j)) & 3) + 1;
+      uint32_t v = 0;
+      std::memcpy(&v, data + pos, 4);  // overreads are masked off below
+      v &= len == 4 ? ~uint32_t{0} : ((uint32_t{1} << (8 * len)) - 1);
+      out[i + j] = v;
+      pos += len;
+    }
+  }
+  return pos;
+}
+
+}  // namespace intcomp

@@ -1,0 +1,31 @@
+// GroupVB (Group Varint) — paper §3.2, [16].
+//
+// Four values share one header byte holding four 2-bit length codes
+// (bytes-1), followed by the values' bytes. Factoring the flags out of the
+// data bytes removes VB's per-byte branches (Google's optimization).
+
+#ifndef INTCOMP_INVLIST_GROUPVB_H_
+#define INTCOMP_INVLIST_GROUPVB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "invlist/blocked_list.h"
+
+namespace intcomp {
+
+struct GroupVbTraits {
+  static constexpr char kName[] = "GroupVB";
+  static constexpr bool kDeltaBased = true;
+  static constexpr bool kSimdPrefix = false;
+
+  static void EncodeBlock(const uint32_t* in, size_t n,
+                          std::vector<uint8_t>* out);
+  static size_t DecodeBlock(const uint8_t* data, size_t n, uint32_t* out);
+};
+
+using GroupVbCodec = BlockedListCodec<GroupVbTraits>;
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_INVLIST_GROUPVB_H_

@@ -1,0 +1,120 @@
+#include "invlist/newpfordelta.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bitpack.h"
+#include "common/bits.h"
+#include "invlist/simple16.h"
+
+namespace intcomp {
+namespace newpfor_internal {
+
+int ChooseWidth90(const uint32_t* in, size_t n) {
+  int hist[33] = {};
+  int max_bits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    int w = BitWidth32(in[i]);
+    ++hist[w];
+    max_bits = std::max(max_bits, w);
+  }
+  const size_t needed = (n * 90 + 99) / 100;
+  size_t covered = 0;
+  for (int b = 0; b <= 32; ++b) {
+    covered += hist[b];
+    if (covered >= needed) return b;
+  }
+  return max_bits;
+}
+
+void EncodeBlockWithWidth(const uint32_t* in, size_t n, int b,
+                          std::vector<uint8_t>* out) {
+  uint32_t slots[kListBlockSize];
+  uint32_t positions[kListBlockSize];
+  uint32_t highs[kListBlockSize];
+  size_t n_exc = 0;
+  const uint32_t mask = LowMask32(b);
+  for (size_t i = 0; i < n; ++i) {
+    slots[i] = in[i] & mask;
+    if (BitWidth32(in[i]) > b) {
+      positions[n_exc] = static_cast<uint32_t>(i);
+      highs[n_exc] = b >= 32 ? 0 : in[i] >> b;
+      ++n_exc;
+    }
+  }
+
+  std::vector<uint8_t> pos_enc, high_enc;
+  if (n_exc > 0) {
+    Simple16EncodeArray(positions, n_exc, &pos_enc);
+    Simple16EncodeArray(highs, n_exc, &high_enc);
+  }
+
+  out->push_back(static_cast<uint8_t>(b));
+  out->push_back(static_cast<uint8_t>(n_exc));
+  out->push_back(static_cast<uint8_t>(pos_enc.size()));
+  out->push_back(static_cast<uint8_t>(pos_enc.size() >> 8));
+  out->push_back(static_cast<uint8_t>(high_enc.size()));
+  out->push_back(static_cast<uint8_t>(high_enc.size() >> 8));
+
+  const size_t words = PackedWords32(n, b);
+  const size_t data_pos = out->size();
+  out->resize(data_pos + words * 4);
+  if (words > 0) {
+    uint32_t packed[kListBlockSize];
+    PackBits(slots, n, b, packed);
+    std::memcpy(out->data() + data_pos, packed, words * 4);
+  }
+  out->insert(out->end(), pos_enc.begin(), pos_enc.end());
+  out->insert(out->end(), high_enc.begin(), high_enc.end());
+}
+
+size_t MeasureBlockWithWidth(const uint32_t* in, size_t n, int b) {
+  uint32_t positions[kListBlockSize];
+  uint32_t highs[kListBlockSize];
+  size_t n_exc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (BitWidth32(in[i]) > b) {
+      positions[n_exc] = static_cast<uint32_t>(i);
+      highs[n_exc] = b >= 32 ? 0 : in[i] >> b;
+      ++n_exc;
+    }
+  }
+  size_t size = 6 + PackedWords32(n, b) * 4;
+  if (n_exc > 0) {
+    size += Simple16MeasureArray(positions, n_exc);
+    size += Simple16MeasureArray(highs, n_exc);
+  }
+  return size;
+}
+
+size_t DecodeBlockImpl(const uint8_t* data, size_t n, uint32_t* out) {
+  const int b = data[0];
+  const size_t n_exc = data[1];
+  const size_t pos_bytes = data[2] | (static_cast<size_t>(data[3]) << 8);
+  const size_t high_bytes = data[4] | (static_cast<size_t>(data[5]) << 8);
+  size_t pos = 6;
+
+  const size_t words = PackedWords32(n, b);
+  if (words > 0) {
+    uint32_t packed[kListBlockSize];
+    std::memcpy(packed, data + pos, words * 4);
+    UnpackBits(packed, n, b, out);
+  } else {
+    std::memset(out, 0, n * sizeof(uint32_t));
+  }
+  pos += words * 4;
+
+  if (n_exc > 0) {
+    uint32_t positions[kListBlockSize];
+    uint32_t highs[kListBlockSize];
+    Simple16DecodeArray(data + pos, n_exc, positions);
+    Simple16DecodeArray(data + pos + pos_bytes, n_exc, highs);
+    for (size_t k = 0; k < n_exc; ++k) {
+      out[positions[k]] |= highs[k] << b;
+    }
+  }
+  return pos + pos_bytes + high_bytes;
+}
+
+}  // namespace newpfor_internal
+}  // namespace intcomp

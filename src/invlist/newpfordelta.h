@@ -1,0 +1,50 @@
+// NewPforDelta — paper §3.4, [40].
+//
+// Like PforDelta, but an exception's slot keeps the *lower b bits* of its
+// value, while the overflow (high) bits and the exception positions are
+// stored in two auxiliary arrays compressed with Simple16. This removes
+// PforDelta's forced exceptions and offset linked list.
+//
+// Block layout: [b u8][n_exc u8][pos_bytes u16][high_bytes u16]
+//               [slots: ceil(n*b/32) u32][s16(positions)][s16(high bits)]
+
+#ifndef INTCOMP_INVLIST_NEWPFORDELTA_H_
+#define INTCOMP_INVLIST_NEWPFORDELTA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "invlist/blocked_list.h"
+
+namespace intcomp {
+
+namespace newpfor_internal {
+// Shared by NewPforDelta (fixed 90% width rule) and OptPforDelta (b passed
+// in explicitly). Returns encoded size in bytes.
+void EncodeBlockWithWidth(const uint32_t* in, size_t n, int b,
+                          std::vector<uint8_t>* out);
+size_t MeasureBlockWithWidth(const uint32_t* in, size_t n, int b);
+size_t DecodeBlockImpl(const uint8_t* data, size_t n, uint32_t* out);
+int ChooseWidth90(const uint32_t* in, size_t n);
+}  // namespace newpfor_internal
+
+struct NewPforDeltaTraits {
+  static constexpr char kName[] = "NewPforDelta";
+  static constexpr bool kDeltaBased = true;
+  static constexpr bool kSimdPrefix = false;
+
+  static void EncodeBlock(const uint32_t* in, size_t n,
+                          std::vector<uint8_t>* out) {
+    newpfor_internal::EncodeBlockWithWidth(
+        in, n, newpfor_internal::ChooseWidth90(in, n), out);
+  }
+  static size_t DecodeBlock(const uint8_t* data, size_t n, uint32_t* out) {
+    return newpfor_internal::DecodeBlockImpl(data, n, out);
+  }
+};
+
+using NewPforDeltaCodec = BlockedListCodec<NewPforDeltaTraits>;
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_INVLIST_NEWPFORDELTA_H_

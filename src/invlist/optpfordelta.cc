@@ -1,0 +1,30 @@
+#include "invlist/optpfordelta.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+
+namespace intcomp {
+
+void OptPforDeltaTraits::EncodeBlock(const uint32_t* in, size_t n,
+                                     std::vector<uint8_t>* out) {
+  int max_bits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    max_bits = std::max(max_bits, BitWidth32(in[i]));
+  }
+  // Exact size minimization over all candidate widths. Blocks are at most
+  // 128 values, so measuring every b is cheap and happens only at build
+  // time; queries see the same decoder as NewPforDelta.
+  int best_b = max_bits;
+  size_t best_size = newpfor_internal::MeasureBlockWithWidth(in, n, max_bits);
+  for (int b = 0; b < max_bits; ++b) {
+    size_t size = newpfor_internal::MeasureBlockWithWidth(in, n, b);
+    if (size < best_size) {
+      best_size = size;
+      best_b = b;
+    }
+  }
+  newpfor_internal::EncodeBlockWithWidth(in, n, best_b, out);
+}
+
+}  // namespace intcomp

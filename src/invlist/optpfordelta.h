@@ -1,0 +1,34 @@
+// OptPforDelta — paper §3.5, [40].
+//
+// NewPforDelta's layout, but instead of a fixed 90% rule the bit width b of
+// every block is chosen by exact minimization of the block's encoded size —
+// "models the selection of b for each block as an optimization problem".
+
+#ifndef INTCOMP_INVLIST_OPTPFORDELTA_H_
+#define INTCOMP_INVLIST_OPTPFORDELTA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "invlist/blocked_list.h"
+#include "invlist/newpfordelta.h"
+
+namespace intcomp {
+
+struct OptPforDeltaTraits {
+  static constexpr char kName[] = "OptPforDelta";
+  static constexpr bool kDeltaBased = true;
+  static constexpr bool kSimdPrefix = false;
+
+  static void EncodeBlock(const uint32_t* in, size_t n,
+                          std::vector<uint8_t>* out);
+  static size_t DecodeBlock(const uint8_t* data, size_t n, uint32_t* out) {
+    return newpfor_internal::DecodeBlockImpl(data, n, out);
+  }
+};
+
+using OptPforDeltaCodec = BlockedListCodec<OptPforDeltaTraits>;
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_INVLIST_OPTPFORDELTA_H_

@@ -1,0 +1,288 @@
+#include "invlist/pef.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/bitpack.h"
+#include "common/bits.h"
+#include "common/serialize_util.h"
+
+namespace intcomp {
+namespace {
+
+size_t WordsForBits(uint64_t bits) { return (bits + 31) / 32; }
+
+inline void SetBit(uint32_t* words, uint64_t pos) {
+  words[pos >> 5] |= uint32_t{1} << (pos & 31);
+}
+
+inline bool TestBit(const uint32_t* words, uint64_t pos) {
+  return (words[pos >> 5] >> (pos & 31)) & 1u;
+}
+
+// EF low-part width for n offsets over universe u.
+int EfLowBits(uint64_t u, size_t n) {
+  if (u <= n) return 0;
+  return BitWidth64(u / n) - 1;
+}
+
+size_t EfWords(uint64_t u, size_t n, int l) {
+  const uint64_t high_bits = n + (u >> l) + 1;
+  return WordsForBits(static_cast<uint64_t>(n) * l) + WordsForBits(high_bits);
+}
+
+// Lazily iterates the values of one partition; supports skipping within the
+// high-bit array without materializing the partition.
+class PartitionCursor {
+ public:
+  PartitionCursor(const PefCodec::Set& set, size_t part_index,
+                  size_t partition_span)
+      : part_(set.parts[part_index]) {
+    const size_t i = part_index * partition_span;
+    n_ = std::min(partition_span, set.count - i);
+    words_ = set.data.data() + part_.offset;
+    if (part_.type == PefCodec::PartitionType::kEliasFano) {
+      low_words_ = words_;
+      high_words_ =
+          words_ + WordsForBits(static_cast<uint64_t>(n_) * part_.low_bits);
+    }
+  }
+
+  size_t size() const { return n_; }
+  bool exhausted() const { return i_ >= n_; }
+
+  // Value at the current position (valid unless exhausted).
+  uint32_t Current() {
+    switch (part_.type) {
+      case PefCodec::PartitionType::kRun:
+        return part_.first + static_cast<uint32_t>(i_);
+      case PefCodec::PartitionType::kBitmap: {
+        SkipBitmapZeros();
+        return part_.first + static_cast<uint32_t>(bitpos_);
+      }
+      case PefCodec::PartitionType::kEliasFano:
+      default: {
+        SkipHighZeros();
+        const uint32_t high = static_cast<uint32_t>(bitpos_ - i_);
+        const uint32_t low = static_cast<uint32_t>(
+            GetPacked(low_words_, i_, part_.low_bits));
+        return part_.first + ((high << part_.low_bits) | low);
+      }
+    }
+  }
+
+  void Advance() {
+    ++i_;
+    ++bitpos_;
+  }
+
+ private:
+  void SkipBitmapZeros() {
+    while (!TestBit(words_, bitpos_)) ++bitpos_;
+  }
+  void SkipHighZeros() {
+    while (!TestBit(high_words_, bitpos_)) ++bitpos_;
+  }
+
+  PefCodec::Partition part_;
+  const uint32_t* words_;
+  const uint32_t* low_words_ = nullptr;
+  const uint32_t* high_words_ = nullptr;
+  size_t n_ = 0;
+  size_t i_ = 0;      // elements consumed
+  uint64_t bitpos_ = 0;  // scan position in the bitmap / high-bit array
+};
+
+// Streaming NextGEQ cursor across partitions.
+class PefCursor {
+ public:
+  PefCursor(const PefCodec::Set& set, size_t partition_span)
+      : set_(&set), span_(partition_span) {}
+
+  bool NextGEQ(uint32_t target, uint32_t* value) {
+    const auto& parts = set_->parts;
+    if (parts.empty()) return false;
+    // Find the last partition whose first value is <= target, from the
+    // current one forward.
+    size_t p = part_;
+    if (p + 1 < parts.size() && parts[p + 1].first <= target) {
+      size_t step = 1;
+      size_t lo = p, hi = p + 1;
+      while (hi < parts.size() && parts[hi].first <= target) {
+        lo = hi;
+        hi = (parts.size() - hi > step) ? hi + step : parts.size();
+        step *= 2;
+      }
+      while (lo + 1 < hi) {
+        size_t mid = lo + (hi - lo) / 2;
+        if (parts[mid].first <= target) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      p = lo;
+    }
+    if (p != part_ || !cursor_) {
+      part_ = p;
+      cursor_.emplace(*set_, p, span_);
+    }
+    while (true) {
+      while (!cursor_->exhausted()) {
+        uint32_t v = cursor_->Current();
+        if (v >= target) {
+          *value = v;
+          return true;
+        }
+        cursor_->Advance();
+      }
+      if (part_ + 1 >= parts.size()) return false;
+      ++part_;
+      cursor_.emplace(*set_, part_, span_);
+    }
+  }
+
+ private:
+  const PefCodec::Set* set_;
+  size_t span_;
+  size_t part_ = 0;
+  std::optional<PartitionCursor> cursor_;
+};
+
+}  // namespace
+
+std::unique_ptr<CompressedSet> PefCodec::Encode(
+    std::span<const uint32_t> sorted, uint64_t /*domain*/) const {
+  auto set = std::make_unique<Set>();
+  set->count = sorted.size();
+  const size_t span = PartitionSpan(sorted.size());
+  for (size_t i = 0; i < sorted.size(); i += span) {
+    const size_t n = std::min(span, sorted.size() - i);
+    Partition part;
+    part.first = sorted[i];
+    part.last = sorted[i + n - 1];
+    part.offset = static_cast<uint32_t>(set->data.size());
+    const uint64_t universe = part.last - part.first;  // offsets in [0, universe]
+
+    if (universe == n - 1) {
+      part.type = PartitionType::kRun;
+      part.low_bits = 0;
+      set->parts.push_back(part);
+      continue;
+    }
+
+    const int l = EfLowBits(universe, n);
+    const size_t ef_words = EfWords(universe, n, l);
+    const size_t bm_words = WordsForBits(universe + 1);
+    if (bm_words <= ef_words) {
+      part.type = PartitionType::kBitmap;
+      part.low_bits = 0;
+      set->data.resize(part.offset + bm_words, 0);
+      uint32_t* words = set->data.data() + part.offset;
+      for (size_t k = 0; k < n; ++k) SetBit(words, sorted[i + k] - part.first);
+    } else {
+      part.type = PartitionType::kEliasFano;
+      part.low_bits = static_cast<uint8_t>(l);
+      set->data.resize(part.offset + ef_words, 0);
+      uint32_t* low = set->data.data() + part.offset;
+      uint32_t* high =
+          low + WordsForBits(static_cast<uint64_t>(n) * l);
+      for (size_t k = 0; k < n; ++k) {
+        const uint32_t off = sorted[i + k] - part.first;
+        if (l > 0) SetPacked(low, k, l, off & LowMask32(l));
+        SetBit(high, (static_cast<uint64_t>(off) >> l) + k);
+      }
+    }
+    set->parts.push_back(part);
+  }
+  set->data.shrink_to_fit();
+  return set;
+}
+
+void PefCodec::Decode(const CompressedSet& set,
+                      std::vector<uint32_t>* out) const {
+  const auto& s = static_cast<const Set&>(set);
+  out->clear();
+  out->reserve(s.count);
+  const size_t span = PartitionSpan(s.count);
+  for (size_t p = 0; p < s.parts.size(); ++p) {
+    PartitionCursor cursor(s, p, span);
+    while (!cursor.exhausted()) {
+      out->push_back(cursor.Current());
+      cursor.Advance();
+    }
+  }
+}
+
+void PefCodec::Intersect(const CompressedSet& a, const CompressedSet& b,
+                         std::vector<uint32_t>* out) const {
+  const Set* small = &static_cast<const Set&>(a);
+  const Set* large = &static_cast<const Set&>(b);
+  if (small->count > large->count) std::swap(small, large);
+  std::vector<uint32_t> decoded;
+  Decode(*small, &decoded);
+  IntersectWithList(*large, decoded, out);
+}
+
+void PefCodec::Union(const CompressedSet& a, const CompressedSet& b,
+                     std::vector<uint32_t>* out) const {
+  std::vector<uint32_t> da, db;
+  Decode(a, &da);
+  Decode(b, &db);
+  UnionLists(da, db, out);
+}
+
+void PefCodec::IntersectWithList(const CompressedSet& a,
+                                 std::span<const uint32_t> probe,
+                                 std::vector<uint32_t>* out) const {
+  const auto& s = static_cast<const Set&>(a);
+  out->clear();
+  PefCursor cursor(s, PartitionSpan(s.count));
+  uint32_t found;
+  for (uint32_t v : probe) {
+    if (!cursor.NextGEQ(v, &found)) break;
+    if (found == v) out->push_back(v);
+  }
+}
+
+void PefCodec::Serialize(const CompressedSet& set,
+                         std::vector<uint8_t>* out) const {
+  const auto& s = static_cast<const Set&>(set);
+  ByteWriter writer(out);
+  writer.PutU64(s.count);
+  writer.PutU32(static_cast<uint32_t>(s.parts.size()));
+  for (const Partition& p : s.parts) {
+    writer.PutU32(p.first);
+    writer.PutU32(p.last);
+    writer.PutU32(p.offset);
+    writer.PutU8(static_cast<uint8_t>(p.type));
+    writer.PutU8(p.low_bits);
+  }
+  WriteVector(s.data, out);
+}
+
+std::unique_ptr<CompressedSet> PefCodec::Deserialize(const uint8_t* data,
+                                                     size_t size) const {
+  ByteReader reader(data, size);
+  if (reader.Remaining() < 12) return nullptr;
+  auto set = std::make_unique<Set>();
+  set->count = reader.GetU64();
+  const uint32_t n = reader.GetU32();
+  if (reader.Remaining() < static_cast<size_t>(n) * 14) return nullptr;
+  set->parts.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Partition p;
+    p.first = reader.GetU32();
+    p.last = reader.GetU32();
+    p.offset = reader.GetU32();
+    const uint8_t type = reader.GetU8();
+    if (type > 2) return nullptr;
+    p.type = static_cast<PartitionType>(type);
+    p.low_bits = reader.GetU8();
+    set->parts.push_back(p);
+  }
+  if (!ReadVector(&reader, &set->data)) return nullptr;
+  return set;
+}
+
+}  // namespace intcomp

@@ -1,0 +1,131 @@
+#include "invlist/pfordelta.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bitpack.h"
+#include "common/bits.h"
+
+namespace intcomp {
+namespace pfor_internal {
+namespace {
+
+constexpr uint8_t kNoException = 255;
+
+// Smallest b such that at least `threshold_percent`% of the n values fit in
+// b bits.
+int ChooseWidth(const uint32_t* in, size_t n, int threshold_percent) {
+  int hist[33] = {};
+  int max_bits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    int w = BitWidth32(in[i]);
+    ++hist[w];
+    max_bits = std::max(max_bits, w);
+  }
+  const size_t needed =
+      (n * static_cast<size_t>(threshold_percent) + 99) / 100;
+  size_t covered = 0;
+  for (int b = 0; b <= 32; ++b) {
+    covered += hist[b];
+    if (covered >= needed) return b;
+  }
+  return max_bits;
+}
+
+}  // namespace
+
+void EncodeBlockImpl(const uint32_t* in, size_t n, int threshold_percent,
+                     std::vector<uint8_t>* out) {
+  int b = ChooseWidth(in, n, threshold_percent);
+
+  // Collect exception positions (values that do not fit in b bits), then
+  // insert forced exceptions so consecutive offsets stay encodable: the
+  // slot link stores (distance - 1) < 2^b.
+  uint8_t exc_pos[kListBlockSize];
+  size_t n_exc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (BitWidth32(in[i]) > b) exc_pos[n_exc++] = static_cast<uint8_t>(i);
+  }
+  if (n_exc > 0 && b == 0) b = 1;  // links need at least one bit
+  if (n_exc > 0 && b < 7) {
+    // Rebuild with forced exceptions (distances must be <= 2^b).
+    const size_t max_dist = size_t{1} << b;
+    uint8_t forced[kListBlockSize];
+    size_t m = 0;
+    size_t prev = exc_pos[0];
+    forced[m++] = exc_pos[0];
+    for (size_t k = 1; k < n_exc; ++k) {
+      while (exc_pos[k] - prev > max_dist) {
+        prev += max_dist;
+        forced[m++] = static_cast<uint8_t>(prev);
+      }
+      prev = exc_pos[k];
+      forced[m++] = exc_pos[k];
+    }
+    n_exc = m;
+    std::memcpy(exc_pos, forced, m);
+  }
+
+  // Fill slots: regular values as-is, exception slots hold the link.
+  uint32_t slots[kListBlockSize];
+  for (size_t i = 0; i < n; ++i) slots[i] = in[i];
+  for (size_t k = 0; k < n_exc; ++k) {
+    const size_t next_dist =
+        (k + 1 < n_exc) ? static_cast<size_t>(exc_pos[k + 1] - exc_pos[k]) : 1;
+    slots[exc_pos[k]] = static_cast<uint32_t>(next_dist - 1);
+  }
+
+  out->push_back(static_cast<uint8_t>(b));
+  out->push_back(static_cast<uint8_t>(n_exc));
+  out->push_back(n_exc > 0 ? exc_pos[0] : kNoException);
+  out->push_back(0);
+
+  const size_t words = PackedWords32(n, b);
+  const size_t data_pos = out->size();
+  out->resize(data_pos + words * 4);
+  if (words > 0) {
+    uint32_t packed[kListBlockSize];  // words <= n <= 128
+    PackBits(slots, n, b, packed);
+    std::memcpy(out->data() + data_pos, packed, words * 4);
+  }
+  for (size_t k = 0; k < n_exc; ++k) {
+    const uint32_t v = in[exc_pos[k]];
+    const size_t pos = out->size();
+    out->resize(pos + 4);
+    std::memcpy(out->data() + pos, &v, 4);
+  }
+}
+
+size_t DecodeBlockImpl(const uint8_t* data, size_t n, uint32_t* out) {
+  const int b = data[0];
+  const size_t n_exc = data[1];
+  const uint8_t first_exc = data[2];
+  size_t pos = 4;
+
+  const size_t words = PackedWords32(n, b);
+  if (words > 0) {
+    uint32_t packed[kListBlockSize];
+    std::memcpy(packed, data + pos, words * 4);
+    UnpackBits(packed, n, b, out);
+  } else {
+    std::memset(out, 0, n * sizeof(uint32_t));
+  }
+  pos += words * 4;
+
+  // Patch exceptions by walking the offset linked list threaded through the
+  // slots (the traversal the paper contrasts with PforDelta*'s straight
+  // unpack).
+  size_t p = first_exc;
+  for (size_t k = 0; k < n_exc; ++k) {
+    uint32_t link = out[p];
+    uint32_t v;
+    std::memcpy(&v, data + pos, 4);
+    pos += 4;
+    out[p] = v;
+    p += link + 1;
+  }
+  return pos;
+}
+
+}  // namespace pfor_internal
+}  // namespace intcomp

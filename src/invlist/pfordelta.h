@@ -1,0 +1,64 @@
+// PforDelta and PforDelta* — paper §3.3, [43].
+//
+// A block's d-gaps are packed into b-bit slots where b is the smallest width
+// covering >= 90% of the values (PforDelta) or all of them (PforDelta*).
+// Values that do not fit ("exceptions") are stored as 32-bit values after
+// the slots; their slots are threaded into an offset linked list (the slot
+// of one exception stores the distance to the next), with forced exceptions
+// inserted when two exceptions lie more than 2^b slots apart. PforDelta*
+// has no exceptions, so decompression is a straight unpack ("ultra fast",
+// at the cost of a larger b).
+//
+// Block layout: [b u8][n_exc u8][first_exc u8, 255=none][pad u8]
+//               [slots: ceil(n*b/32) u32][exceptions: n_exc u32]
+
+#ifndef INTCOMP_INVLIST_PFORDELTA_H_
+#define INTCOMP_INVLIST_PFORDELTA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "invlist/blocked_list.h"
+
+namespace intcomp {
+
+namespace pfor_internal {
+void EncodeBlockImpl(const uint32_t* in, size_t n, int threshold_percent,
+                     std::vector<uint8_t>* out);
+size_t DecodeBlockImpl(const uint8_t* data, size_t n, uint32_t* out);
+}  // namespace pfor_internal
+
+struct PforDeltaTraits {
+  static constexpr char kName[] = "PforDelta";
+  static constexpr bool kDeltaBased = true;
+  static constexpr bool kSimdPrefix = false;
+
+  static void EncodeBlock(const uint32_t* in, size_t n,
+                          std::vector<uint8_t>* out) {
+    pfor_internal::EncodeBlockImpl(in, n, 90, out);
+  }
+  static size_t DecodeBlock(const uint8_t* data, size_t n, uint32_t* out) {
+    return pfor_internal::DecodeBlockImpl(data, n, out);
+  }
+};
+
+struct PforDeltaStarTraits {
+  static constexpr char kName[] = "PforDelta*";
+  static constexpr bool kDeltaBased = true;
+  static constexpr bool kSimdPrefix = false;
+
+  static void EncodeBlock(const uint32_t* in, size_t n,
+                          std::vector<uint8_t>* out) {
+    pfor_internal::EncodeBlockImpl(in, n, 100, out);
+  }
+  static size_t DecodeBlock(const uint8_t* data, size_t n, uint32_t* out) {
+    return pfor_internal::DecodeBlockImpl(data, n, out);
+  }
+};
+
+using PforDeltaCodec = BlockedListCodec<PforDeltaTraits>;
+using PforDeltaStarCodec = BlockedListCodec<PforDeltaStarTraits>;
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_INVLIST_PFORDELTA_H_

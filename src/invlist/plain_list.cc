@@ -1,0 +1,89 @@
+#include "invlist/plain_list.h"
+
+#include <algorithm>
+
+#include "common/serialize_util.h"
+
+namespace intcomp {
+
+void GallopIntersect(std::span<const uint32_t> small_list,
+                     std::span<const uint32_t> large_list,
+                     std::vector<uint32_t>* out) {
+  out->clear();
+  const uint32_t* lo = large_list.data();
+  const uint32_t* end = large_list.data() + large_list.size();
+  for (uint32_t v : small_list) {
+    // Gallop forward from the previous match position.
+    size_t step = 1;
+    const uint32_t* hi = lo;
+    while (hi < end && *hi < v) {
+      lo = hi;
+      hi = (static_cast<size_t>(end - hi) > step) ? hi + step : end;
+      step *= 2;
+    }
+    lo = std::lower_bound(lo, hi < end ? hi + 1 : end, v);
+    if (lo == end) return;
+    if (*lo == v) out->push_back(v);
+  }
+}
+
+std::unique_ptr<CompressedSet> PlainListCodec::Encode(
+    std::span<const uint32_t> sorted, uint64_t /*domain*/) const {
+  auto set = std::make_unique<Set>();
+  set->values.assign(sorted.begin(), sorted.end());
+  return set;
+}
+
+void PlainListCodec::Decode(const CompressedSet& set,
+                            std::vector<uint32_t>* out) const {
+  const auto& s = static_cast<const Set&>(set);
+  // "Decompression" of an uncompressed list = allocating a new array and
+  // copying (paper §5).
+  out->assign(s.values.begin(), s.values.end());
+}
+
+void PlainListCodec::Intersect(const CompressedSet& a, const CompressedSet& b,
+                               std::vector<uint32_t>* out) const {
+  const auto& sa = static_cast<const Set&>(a);
+  const auto& sb = static_cast<const Set&>(b);
+  const auto* small = &sa;
+  const auto* large = &sb;
+  if (small->values.size() > large->values.size()) std::swap(small, large);
+  if (large->values.size() >= 8 * std::max<size_t>(1, small->values.size())) {
+    GallopIntersect(small->values, large->values, out);
+  } else {
+    IntersectLists(small->values, large->values, out);
+  }
+}
+
+void PlainListCodec::Union(const CompressedSet& a, const CompressedSet& b,
+                           std::vector<uint32_t>* out) const {
+  UnionLists(static_cast<const Set&>(a).values,
+             static_cast<const Set&>(b).values, out);
+}
+
+void PlainListCodec::IntersectWithList(const CompressedSet& a,
+                                       std::span<const uint32_t> probe,
+                                       std::vector<uint32_t>* out) const {
+  const auto& sa = static_cast<const Set&>(a);
+  if (sa.values.size() >= 8 * std::max<size_t>(1, probe.size())) {
+    GallopIntersect(probe, sa.values, out);
+  } else {
+    IntersectLists(probe, sa.values, out);
+  }
+}
+
+void PlainListCodec::Serialize(const CompressedSet& set,
+                               std::vector<uint8_t>* out) const {
+  WriteVector(static_cast<const Set&>(set).values, out);
+}
+
+std::unique_ptr<CompressedSet> PlainListCodec::Deserialize(
+    const uint8_t* data, size_t size) const {
+  ByteReader reader(data, size);
+  auto set = std::make_unique<Set>();
+  if (!ReadVector(&reader, &set->values)) return nullptr;
+  return set;
+}
+
+}  // namespace intcomp

@@ -1,0 +1,56 @@
+// List — the uncompressed inverted-list baseline ("List" in the paper's
+// legends). Decompression is a memory copy (the paper measures exactly
+// that); intersection gallops via binary search when sizes are skewed.
+
+#ifndef INTCOMP_INVLIST_PLAIN_LIST_H_
+#define INTCOMP_INVLIST_PLAIN_LIST_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/codec.h"
+
+namespace intcomp {
+
+class PlainListCodec final : public Codec {
+ public:
+  struct Set final : CompressedSet {
+    std::vector<uint32_t> values;
+
+    size_t SizeInBytes() const override { return values.size() * 4; }
+    size_t Cardinality() const override { return values.size(); }
+  };
+
+  PlainListCodec() = default;
+
+  std::string_view Name() const override { return "List"; }
+  CodecFamily Family() const override { return CodecFamily::kInvertedList; }
+
+  std::unique_ptr<CompressedSet> Encode(std::span<const uint32_t> sorted,
+                                        uint64_t domain) const override;
+  void Decode(const CompressedSet& set,
+              std::vector<uint32_t>* out) const override;
+  void Intersect(const CompressedSet& a, const CompressedSet& b,
+                 std::vector<uint32_t>* out) const override;
+  void Union(const CompressedSet& a, const CompressedSet& b,
+             std::vector<uint32_t>* out) const override;
+  void IntersectWithList(const CompressedSet& a,
+                         std::span<const uint32_t> probe,
+                         std::vector<uint32_t>* out) const override;
+  void Serialize(const CompressedSet& set,
+                 std::vector<uint8_t>* out) const override;
+  std::unique_ptr<CompressedSet> Deserialize(const uint8_t* data,
+                                             size_t size) const override;
+};
+
+// Galloping (exponential + binary search) intersection of a small sorted
+// list into a large one; also used by the SvS driver.
+void GallopIntersect(std::span<const uint32_t> small_list,
+                     std::span<const uint32_t> large_list,
+                     std::vector<uint32_t>* out);
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_INVLIST_PLAIN_LIST_H_

@@ -1,0 +1,37 @@
+#include "invlist/simdbp128.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bits.h"
+#include "common/simdpack.h"
+
+namespace intcomp {
+namespace simdbp_internal {
+
+void EncodeBlockImpl(const uint32_t* in, size_t n, std::vector<uint8_t>* out) {
+  int b = 0;
+  for (size_t i = 0; i < n; ++i) b = std::max(b, BitWidth32(in[i]));
+
+  uint32_t buf[kSimdBlockSize] = {};  // zero padding for tail blocks
+  std::memcpy(buf, in, n * sizeof(uint32_t));
+
+  out->push_back(static_cast<uint8_t>(b));
+  uint32_t packed[kSimdBlockSize];
+  SimdPack128(buf, b, packed);
+  const size_t packed_bytes = SimdPackedWords(b) * 4;
+  const size_t pos = out->size();
+  out->resize(pos + packed_bytes);
+  std::memcpy(out->data() + pos, packed, packed_bytes);
+}
+
+size_t DecodeBlockImpl(const uint8_t* data, size_t n, uint32_t* out) {
+  const int b = data[0];
+  // The caller guarantees room for a full 128-value block.
+  SimdUnpack128(reinterpret_cast<const uint32_t*>(data + 1), b, out);
+  (void)n;
+  return 1 + SimdPackedWords(b) * 4;
+}
+
+}  // namespace simdbp_internal
+}  // namespace intcomp

@@ -1,0 +1,63 @@
+// SIMDBP128 and SIMDBP128* — paper §3.11, [25].
+//
+// SIMDBP128 packs 128 d-gaps per block with the vertical SIMD layout using
+// the block's maximum bit width (the 1-byte width is the per-block slice of
+// the 16-byte bucket metadata the paper describes for 2048-integer
+// buckets). SIMDBP128* is *not* d-gap based (paper §3 overview): each block
+// stores values rebased to the block's first element (frame of reference),
+// so decoding skips the prefix sum — faster than SIMDPforDelta* at the cost
+// of more space (paper §5.1(3)).
+//
+// Block layout: [b u8][packed: 16*b bytes], tails zero-padded to 128.
+
+#ifndef INTCOMP_INVLIST_SIMDBP128_H_
+#define INTCOMP_INVLIST_SIMDBP128_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "invlist/blocked_list.h"
+
+namespace intcomp {
+
+namespace simdbp_internal {
+void EncodeBlockImpl(const uint32_t* in, size_t n, std::vector<uint8_t>* out);
+size_t DecodeBlockImpl(const uint8_t* data, size_t n, uint32_t* out);
+}  // namespace simdbp_internal
+
+struct SimdBp128Traits {
+  static constexpr char kName[] = "SIMDBP128";
+  static constexpr bool kDeltaBased = true;
+  static constexpr bool kSimdPrefix = true;
+  static constexpr bool kFixed128 = true;  // SIMD blocks are always 128 wide
+
+  static void EncodeBlock(const uint32_t* in, size_t n,
+                          std::vector<uint8_t>* out) {
+    simdbp_internal::EncodeBlockImpl(in, n, out);
+  }
+  static size_t DecodeBlock(const uint8_t* data, size_t n, uint32_t* out) {
+    return simdbp_internal::DecodeBlockImpl(data, n, out);
+  }
+};
+
+struct SimdBp128StarTraits {
+  static constexpr char kName[] = "SIMDBP128*";
+  static constexpr bool kDeltaBased = false;  // frame of reference, no d-gaps
+  static constexpr bool kSimdPrefix = false;
+  static constexpr bool kFixed128 = true;  // SIMD blocks are always 128 wide
+
+  static void EncodeBlock(const uint32_t* in, size_t n,
+                          std::vector<uint8_t>* out) {
+    simdbp_internal::EncodeBlockImpl(in, n, out);
+  }
+  static size_t DecodeBlock(const uint8_t* data, size_t n, uint32_t* out) {
+    return simdbp_internal::DecodeBlockImpl(data, n, out);
+  }
+};
+
+using SimdBp128Codec = BlockedListCodec<SimdBp128Traits>;
+using SimdBp128StarCodec = BlockedListCodec<SimdBp128StarTraits>;
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_INVLIST_SIMDBP128_H_

@@ -1,0 +1,89 @@
+#include "invlist/simdpfordelta.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bits.h"
+#include "common/simdpack.h"
+
+namespace intcomp {
+namespace simdpfor_internal {
+namespace {
+
+int ChooseWidth(const uint32_t* in, size_t n, int threshold_percent) {
+  int hist[33] = {};
+  int max_bits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    int w = BitWidth32(in[i]);
+    ++hist[w];
+    max_bits = std::max(max_bits, w);
+  }
+  const size_t needed =
+      (n * static_cast<size_t>(threshold_percent) + 99) / 100;
+  size_t covered = 0;
+  for (int b = 0; b <= 32; ++b) {
+    covered += hist[b];
+    if (covered >= needed) return b;
+  }
+  return max_bits;
+}
+
+}  // namespace
+
+void EncodeBlockImpl(const uint32_t* in, size_t n, int threshold_percent,
+                     std::vector<uint8_t>* out) {
+  const int b = ChooseWidth(in, n, threshold_percent);
+  const uint32_t mask = LowMask32(b);
+
+  uint32_t low[kSimdBlockSize] = {};  // zero padding for tail blocks
+  uint8_t exc_pos[kSimdBlockSize];
+  uint32_t exc_high[kSimdBlockSize];
+  size_t n_exc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    low[i] = in[i] & mask;
+    if (BitWidth32(in[i]) > b) {
+      exc_pos[n_exc] = static_cast<uint8_t>(i);
+      exc_high[n_exc] = in[i] >> b;
+      ++n_exc;
+    }
+  }
+
+  out->push_back(static_cast<uint8_t>(b));
+  out->push_back(static_cast<uint8_t>(n_exc));
+
+  uint32_t packed[kSimdBlockSize];
+  SimdPack128(low, b, packed);
+  const size_t packed_bytes = SimdPackedWords(b) * 4;
+  const size_t pos = out->size();
+  out->resize(pos + packed_bytes);
+  std::memcpy(out->data() + pos, packed, packed_bytes);
+
+  out->insert(out->end(), exc_pos, exc_pos + n_exc);
+  const size_t hpos = out->size();
+  out->resize(hpos + n_exc * 4);
+  std::memcpy(out->data() + hpos, exc_high, n_exc * 4);
+}
+
+size_t DecodeBlockImpl(const uint8_t* data, size_t n, uint32_t* out) {
+  const int b = data[0];
+  const size_t n_exc = data[1];
+  size_t pos = 2;
+
+  // The caller guarantees room for a full 128-value block.
+  SimdUnpack128(reinterpret_cast<const uint32_t*>(data + pos), b, out);
+  pos += SimdPackedWords(b) * 4;
+
+  const uint8_t* exc_pos = data + pos;
+  pos += n_exc;
+  for (size_t k = 0; k < n_exc; ++k) {
+    uint32_t high;
+    std::memcpy(&high, data + pos + k * 4, 4);
+    out[exc_pos[k]] |= high << b;
+  }
+  pos += n_exc * 4;
+  (void)n;
+  return pos;
+}
+
+}  // namespace simdpfor_internal
+}  // namespace intcomp

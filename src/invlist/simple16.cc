@@ -1,0 +1,154 @@
+#include "invlist/simple16.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bits.h"
+
+namespace intcomp {
+namespace {
+
+struct Run {
+  int bits;
+  int count;
+};
+
+struct Case {
+  int total;    // number of values in this layout
+  Run runs[3];  // up to 3 (bits,count) runs; count 0 terminates
+};
+
+// The standard Simple16 selector table (Zhang, Long & Suel, WWW'08).
+constexpr Case kCases[16] = {
+    {28, {{1, 28}, {0, 0}, {0, 0}}},  //  0
+    {21, {{2, 7}, {1, 14}, {0, 0}}},  //  1
+    {21, {{1, 7}, {2, 7}, {1, 7}}},   //  2
+    {21, {{1, 14}, {2, 7}, {0, 0}}},  //  3
+    {14, {{2, 14}, {0, 0}, {0, 0}}},  //  4
+    {9, {{4, 1}, {3, 8}, {0, 0}}},    //  5
+    {8, {{3, 1}, {4, 4}, {3, 3}}},    //  6
+    {7, {{4, 7}, {0, 0}, {0, 0}}},    //  7
+    {6, {{5, 4}, {4, 2}, {0, 0}}},    //  8
+    {6, {{4, 2}, {5, 4}, {0, 0}}},    //  9
+    {5, {{6, 3}, {5, 2}, {0, 0}}},    // 10
+    {5, {{5, 2}, {6, 3}, {0, 0}}},    // 11
+    {4, {{7, 4}, {0, 0}, {0, 0}}},    // 12
+    {3, {{10, 1}, {9, 2}, {0, 0}}},   // 13
+    {2, {{14, 2}, {0, 0}, {0, 0}}},   // 14
+    {1, {{28, 1}, {0, 0}, {0, 0}}},   // 15
+};
+
+// Escape: selector 15 with all 28 data bits set, followed by a raw word.
+// Any value >= kEscapeThreshold is escaped (including the marker value
+// itself, so decoding is unambiguous).
+constexpr uint32_t kEscapeThreshold = (1u << 28) - 1;
+constexpr uint32_t kEscapeWord = (15u << 28) | kEscapeThreshold;
+
+void PutWord(uint32_t w, std::vector<uint8_t>* out) {
+  size_t pos = out->size();
+  out->resize(pos + 4);
+  std::memcpy(out->data() + pos, &w, 4);
+}
+
+// Returns the number of input values consumed if `sel` can encode the run
+// starting at in[i], or 0 if it cannot.
+size_t TryCase(uint32_t sel, const uint32_t* in, size_t i, size_t n) {
+  const Case& c = kCases[sel];
+  const size_t take = std::min<size_t>(c.total, n - i);
+  size_t j = 0;
+  for (const Run& r : c.runs) {
+    for (int k = 0; k < r.count && j < take; ++k, ++j) {
+      if (BitWidth32(in[i + j]) > r.bits) return 0;
+    }
+  }
+  return take;
+}
+
+uint32_t PackCase(uint32_t sel, const uint32_t* in, size_t i, size_t take) {
+  const Case& c = kCases[sel];
+  uint32_t word = sel << 28;
+  int shift = 0;
+  size_t j = 0;
+  for (const Run& r : c.runs) {
+    for (int k = 0; k < r.count; ++k, shift += r.bits) {
+      if (j < take) word |= in[i + j++] << shift;
+    }
+  }
+  return word;
+}
+
+}  // namespace
+
+void Simple16EncodeArray(const uint32_t* in, size_t n,
+                         std::vector<uint8_t>* out) {
+  size_t i = 0;
+  while (i < n) {
+    if (in[i] >= kEscapeThreshold) {
+      PutWord(kEscapeWord, out);
+      PutWord(in[i], out);
+      ++i;
+      continue;
+    }
+    for (uint32_t sel = 0; sel < 16; ++sel) {
+      size_t take = TryCase(sel, in, i, n);
+      if (take > 0) {
+        PutWord(PackCase(sel, in, i, take), out);
+        i += take;
+        break;
+      }
+    }
+    // Selector 15 (1x28 bits) always fits values < 2^28-1, so the loop
+    // above always emits.
+  }
+}
+
+size_t Simple16DecodeArray(const uint8_t* data, size_t n, uint32_t* out) {
+  size_t pos = 0;
+  size_t i = 0;
+  while (i < n) {
+    uint32_t word;
+    std::memcpy(&word, data + pos, 4);
+    pos += 4;
+    if (word == kEscapeWord) {
+      std::memcpy(&out[i], data + pos, 4);
+      pos += 4;
+      ++i;
+      continue;
+    }
+    const Case& c = kCases[word >> 28];
+    const size_t take = std::min<size_t>(c.total, n - i);
+    int shift = 0;
+    size_t j = 0;
+    for (const Run& r : c.runs) {
+      const uint32_t mask = LowMask32(r.bits);
+      for (int k = 0; k < r.count; ++k, shift += r.bits) {
+        if (j < take) out[i + j++] = (word >> shift) & mask;
+      }
+    }
+    i += take;
+  }
+  return pos;
+}
+
+size_t Simple16MeasureArray(const uint32_t* in, size_t n) {
+  size_t words = 0;
+  size_t i = 0;
+  while (i < n) {
+    if (in[i] >= kEscapeThreshold) {
+      words += 2;
+      ++i;
+      continue;
+    }
+    for (uint32_t sel = 0; sel < 16; ++sel) {
+      size_t take = TryCase(sel, in, i, n);
+      if (take > 0) {
+        ++words;
+        i += take;
+        break;
+      }
+    }
+  }
+  return words * 4;
+}
+
+}  // namespace intcomp

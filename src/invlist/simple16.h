@@ -1,0 +1,52 @@
+// Simple16 — paper §3.7, [42].
+//
+// Like Simple9 but all 16 selector values are used, with mixed-width layouts
+// that waste no data bits (e.g. the 5x5-bit Simple9 case becomes 3x6+2x5 and
+// 2x5+3x6). Values >= 2^28-1 use an escape: a selector-15 codeword whose
+// data bits are all ones, followed by one raw 32-bit value (the only format
+// deviation; see DESIGN.md).
+//
+// The array encoder/decoder is also exported for NewPforDelta and
+// OptPforDelta, which compress their exception arrays with Simple16
+// (paper §3.4).
+
+#ifndef INTCOMP_INVLIST_SIMPLE16_H_
+#define INTCOMP_INVLIST_SIMPLE16_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "invlist/blocked_list.h"
+
+namespace intcomp {
+
+// Appends the Simple16 encoding of in[0..n) to out.
+void Simple16EncodeArray(const uint32_t* in, size_t n,
+                         std::vector<uint8_t>* out);
+
+// Decodes exactly n values; returns bytes consumed.
+size_t Simple16DecodeArray(const uint8_t* data, size_t n, uint32_t* out);
+
+// Returns the number of bytes Simple16EncodeArray would produce.
+size_t Simple16MeasureArray(const uint32_t* in, size_t n);
+
+struct Simple16Traits {
+  static constexpr char kName[] = "Simple16";
+  static constexpr bool kDeltaBased = true;
+  static constexpr bool kSimdPrefix = false;
+
+  static void EncodeBlock(const uint32_t* in, size_t n,
+                          std::vector<uint8_t>* out) {
+    Simple16EncodeArray(in, n, out);
+  }
+  static size_t DecodeBlock(const uint8_t* data, size_t n, uint32_t* out) {
+    return Simple16DecodeArray(data, n, out);
+  }
+};
+
+using Simple16Codec = BlockedListCodec<Simple16Traits>;
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_INVLIST_SIMPLE16_H_

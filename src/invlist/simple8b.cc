@@ -1,0 +1,90 @@
+#include "invlist/simple8b.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bits.h"
+
+namespace intcomp {
+namespace {
+
+// Values per codeword and bits per value for selectors 2..15.
+struct Case {
+  int count;
+  int bits;
+};
+constexpr Case kCases[16] = {
+    {240, 0}, {120, 0},          // runs of 1s
+    {60, 1},  {30, 2},  {20, 3}, {15, 4}, {12, 5}, {10, 6},
+    {8, 7},   {7, 8},   {6, 10}, {5, 12}, {4, 15}, {3, 20},
+    {2, 30},  {1, 60},
+};
+
+void PutWord64(uint64_t w, std::vector<uint8_t>* out) {
+  size_t pos = out->size();
+  out->resize(pos + 8);
+  std::memcpy(out->data() + pos, &w, 8);
+}
+
+}  // namespace
+
+void Simple8bTraits::EncodeBlock(const uint32_t* in, size_t n,
+                                 std::vector<uint8_t>* out) {
+  size_t i = 0;
+  while (i < n) {
+    for (uint64_t sel = 0; sel < 16; ++sel) {
+      const Case c = kCases[sel];
+      const size_t take = std::min<size_t>(c.count, n - i);
+      bool fits = true;
+      if (sel <= 1) {
+        // Run cases require a full run of 1s.
+        if (take < static_cast<size_t>(c.count)) {
+          fits = false;
+        } else {
+          for (size_t j = 0; j < take && fits; ++j) fits = in[i + j] == 1;
+        }
+      } else {
+        for (size_t j = 0; j < take && fits; ++j) {
+          fits = BitWidth32(in[i + j]) <= c.bits;
+        }
+      }
+      if (!fits) continue;
+      uint64_t word = sel << 60;
+      if (sel > 1) {
+        for (size_t j = 0; j < take; ++j) {
+          word |= static_cast<uint64_t>(in[i + j]) << (j * c.bits);
+        }
+      }
+      PutWord64(word, out);
+      i += take;
+      break;
+      // Selector 15 (1x60 bits) always fits, so this loop always emits.
+    }
+  }
+}
+
+size_t Simple8bTraits::DecodeBlock(const uint8_t* data, size_t n,
+                                   uint32_t* out) {
+  size_t pos = 0;
+  size_t i = 0;
+  while (i < n) {
+    uint64_t word;
+    std::memcpy(&word, data + pos, 8);
+    pos += 8;
+    const uint64_t sel = word >> 60;
+    const Case c = kCases[sel];
+    const size_t take = std::min<size_t>(c.count, n - i);
+    if (sel <= 1) {
+      for (size_t j = 0; j < take; ++j) out[i + j] = 1;
+    } else {
+      const uint64_t mask = LowMask64(c.bits);
+      for (size_t j = 0; j < take; ++j) {
+        out[i + j] = static_cast<uint32_t>((word >> (j * c.bits)) & mask);
+      }
+    }
+    i += take;
+  }
+  return pos;
+}
+
+}  // namespace intcomp

@@ -1,0 +1,33 @@
+// Simple8b — paper §3.8, [3].
+//
+// 64-bit codewords: a 4-bit selector plus 60 data bits (fewer selector bits
+// per encoded bit than Simple9/16). Selectors 0 and 1 are the Anh–Moffat
+// run cases (a run of values all equal to 1 — the common gap in dense
+// lists); selectors 2..15 pack 60..1 values of 1..60 bits. 60-bit slots
+// cover any uint32, so no escape is needed.
+
+#ifndef INTCOMP_INVLIST_SIMPLE8B_H_
+#define INTCOMP_INVLIST_SIMPLE8B_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "invlist/blocked_list.h"
+
+namespace intcomp {
+
+struct Simple8bTraits {
+  static constexpr char kName[] = "Simple8b";
+  static constexpr bool kDeltaBased = true;
+  static constexpr bool kSimdPrefix = false;
+
+  static void EncodeBlock(const uint32_t* in, size_t n,
+                          std::vector<uint8_t>* out);
+  static size_t DecodeBlock(const uint8_t* data, size_t n, uint32_t* out);
+};
+
+using Simple8bCodec = BlockedListCodec<Simple8bTraits>;
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_INVLIST_SIMPLE8B_H_

@@ -1,0 +1,89 @@
+#include "invlist/simple9.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bits.h"
+
+namespace intcomp {
+namespace {
+
+struct Case {
+  int count;
+  int bits;
+};
+
+// Selector 0..8; selector 9 is the 32-bit escape.
+constexpr Case kCases[9] = {{28, 1}, {14, 2}, {9, 3},  {7, 4}, {5, 5},
+                            {4, 7},  {3, 9},  {2, 14}, {1, 28}};
+constexpr uint32_t kEscapeSelector = 9;
+
+void PutWord(uint32_t w, std::vector<uint8_t>* out) {
+  size_t pos = out->size();
+  out->resize(pos + 4);
+  std::memcpy(out->data() + pos, &w, 4);
+}
+
+}  // namespace
+
+void Simple9Traits::EncodeBlock(const uint32_t* in, size_t n,
+                                std::vector<uint8_t>* out) {
+  size_t i = 0;
+  while (i < n) {
+    bool emitted = false;
+    for (uint32_t sel = 0; sel < 9; ++sel) {
+      const Case c = kCases[sel];
+      const size_t take = std::min<size_t>(c.count, n - i);
+      bool fits = true;
+      for (size_t j = 0; j < take; ++j) {
+        if (BitWidth32(in[i + j]) > c.bits) {
+          fits = false;
+          break;
+        }
+      }
+      if (!fits) continue;
+      uint32_t word = sel << 28;
+      for (size_t j = 0; j < take; ++j) {
+        word |= in[i + j] << (j * c.bits);
+      }
+      PutWord(word, out);
+      i += take;
+      emitted = true;
+      break;
+    }
+    if (!emitted) {
+      // Value >= 2^28: escape codeword + raw value.
+      PutWord(kEscapeSelector << 28, out);
+      PutWord(in[i], out);
+      ++i;
+    }
+  }
+}
+
+size_t Simple9Traits::DecodeBlock(const uint8_t* data, size_t n,
+                                  uint32_t* out) {
+  size_t pos = 0;
+  size_t i = 0;
+  while (i < n) {
+    uint32_t word;
+    std::memcpy(&word, data + pos, 4);
+    pos += 4;
+    const uint32_t sel = word >> 28;
+    if (sel == kEscapeSelector) {
+      std::memcpy(&out[i], data + pos, 4);
+      pos += 4;
+      ++i;
+      continue;
+    }
+    const Case c = kCases[sel];
+    const uint32_t mask = LowMask32(c.bits);
+    const size_t take = std::min<size_t>(c.count, n - i);
+    for (size_t j = 0; j < take; ++j) {
+      out[i + j] = (word >> (j * c.bits)) & mask;
+    }
+    i += take;
+  }
+  return pos;
+}
+
+}  // namespace intcomp

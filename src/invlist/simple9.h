@@ -1,0 +1,33 @@
+// Simple9 — paper §3.6, [2].
+//
+// Each 32-bit codeword has 4 status bits selecting one of 9 layouts of its
+// 28 data bits (28x1b .. 1x28b); the densest layout that fits the next run
+// of gaps is chosen greedily. Values >= 2^28 cannot be represented by the
+// original format; we add an escape selector (9) whose codeword is followed
+// by one raw 32-bit value (see DESIGN.md substitutions).
+
+#ifndef INTCOMP_INVLIST_SIMPLE9_H_
+#define INTCOMP_INVLIST_SIMPLE9_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "invlist/blocked_list.h"
+
+namespace intcomp {
+
+struct Simple9Traits {
+  static constexpr char kName[] = "Simple9";
+  static constexpr bool kDeltaBased = true;
+  static constexpr bool kSimdPrefix = false;
+
+  static void EncodeBlock(const uint32_t* in, size_t n,
+                          std::vector<uint8_t>* out);
+  static size_t DecodeBlock(const uint8_t* data, size_t n, uint32_t* out);
+};
+
+using Simple9Codec = BlockedListCodec<Simple9Traits>;
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_INVLIST_SIMPLE9_H_

@@ -1,0 +1,18 @@
+#include "invlist/vb.h"
+
+#include "common/vbyte_raw.h"
+
+namespace intcomp {
+
+void VbTraits::EncodeBlock(const uint32_t* in, size_t n,
+                           std::vector<uint8_t>* out) {
+  for (size_t i = 0; i < n; ++i) VByteEncode(in[i], out);
+}
+
+size_t VbTraits::DecodeBlock(const uint8_t* data, size_t n, uint32_t* out) {
+  size_t pos = 0;
+  for (size_t i = 0; i < n; ++i) out[i] = VByteDecode(data, &pos);
+  return pos;
+}
+
+}  // namespace intcomp

@@ -1,0 +1,31 @@
+// VB (Variable Byte) inverted-list codec — paper §3.1, [15].
+//
+// Each d-gap is stored in 1..5 bytes: 7 data bits per byte, LSB group first,
+// MSB flags a continuation. The paper's "lesson 6" codec: the simplest to
+// implement, byte- rather than bit-oriented.
+
+#ifndef INTCOMP_INVLIST_VB_H_
+#define INTCOMP_INVLIST_VB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "invlist/blocked_list.h"
+
+namespace intcomp {
+
+struct VbTraits {
+  static constexpr char kName[] = "VB";
+  static constexpr bool kDeltaBased = true;
+  static constexpr bool kSimdPrefix = false;
+
+  static void EncodeBlock(const uint32_t* in, size_t n,
+                          std::vector<uint8_t>* out);
+  static size_t DecodeBlock(const uint8_t* data, size_t n, uint32_t* out);
+};
+
+using VbCodec = BlockedListCodec<VbTraits>;
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_INVLIST_VB_H_

@@ -1,0 +1,224 @@
+#include "workload/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/prng.h"
+#include "workload/synthetic.h"
+
+namespace intcomp {
+namespace {
+
+// Builds an AND-of-all-leaves plan for `n` lists.
+QueryPlan AndAll(size_t n) {
+  std::vector<QueryPlan> leaves;
+  for (size_t i = 0; i < n; ++i) leaves.push_back(QueryPlan::Leaf(i));
+  return QueryPlan::And(std::move(leaves));
+}
+
+// Uniform list of round(domain * selectivity) values.
+std::vector<uint32_t> SelList(uint64_t domain, double selectivity,
+                              uint64_t seed) {
+  const size_t n = static_cast<size_t>(
+      std::llround(static_cast<double>(domain) * selectivity));
+  return GenerateUniform(n, domain, seed);
+}
+
+DatasetQuery TwoListQuery(const std::string& name, uint64_t domain, size_t n1,
+                          size_t n2, uint64_t seed, bool clustered = false) {
+  DatasetQuery q;
+  q.name = name;
+  q.domain = domain;
+  if (clustered) {
+    q.lists.push_back(GenerateMarkov(n1, domain, kPaperMarkovClustering, seed));
+    q.lists.push_back(
+        GenerateMarkov(n2, domain, kPaperMarkovClustering, seed + 1));
+  } else {
+    q.lists.push_back(GenerateUniform(n1, domain, seed));
+    q.lists.push_back(GenerateUniform(n2, domain, seed + 1));
+  }
+  q.plan = AndAll(2);
+  return q;
+}
+
+}  // namespace
+
+std::vector<DatasetQuery> MakeSsbQueries(int scale_factor, uint64_t seed) {
+  const uint64_t domain = 6000000ull * scale_factor;
+  std::vector<DatasetQuery> queries;
+
+  {
+    DatasetQuery q;  // Q1.1: AND of selectivities 1/7, 1/2, 3/11
+    q.name = "Q1.1";
+    q.domain = domain;
+    q.lists.push_back(SelList(domain, 1.0 / 7, seed + 11));
+    q.lists.push_back(SelList(domain, 1.0 / 2, seed + 12));
+    q.lists.push_back(SelList(domain, 3.0 / 11, seed + 13));
+    q.plan = AndAll(3);
+    queries.push_back(std::move(q));
+  }
+  {
+    DatasetQuery q;  // Q2.1: AND of 1/25, 1/5
+    q.name = "Q2.1";
+    q.domain = domain;
+    q.lists.push_back(SelList(domain, 1.0 / 25, seed + 21));
+    q.lists.push_back(SelList(domain, 1.0 / 5, seed + 22));
+    q.plan = AndAll(2);
+    queries.push_back(std::move(q));
+  }
+  {
+    DatasetQuery q;  // Q3.4: (L1 u L2) n (L3 u L4) n L5
+    q.name = "Q3.4";
+    q.domain = domain;
+    for (int i = 0; i < 4; ++i) {
+      q.lists.push_back(SelList(domain, 1.0 / 250, seed + 31 + i));
+    }
+    q.lists.push_back(SelList(domain, 1.0 / 364, seed + 35));
+    q.plan = QueryPlan::And(
+        {QueryPlan::Or({QueryPlan::Leaf(0), QueryPlan::Leaf(1)}),
+         QueryPlan::Or({QueryPlan::Leaf(2), QueryPlan::Leaf(3)}),
+         QueryPlan::Leaf(4)});
+    queries.push_back(std::move(q));
+  }
+  {
+    DatasetQuery q;  // Q4.1: L1 n L2 n (L3 u L4)
+    q.name = "Q4.1";
+    q.domain = domain;
+    for (int i = 0; i < 4; ++i) {
+      q.lists.push_back(SelList(domain, 1.0 / 5, seed + 41 + i));
+    }
+    q.plan = QueryPlan::And(
+        {QueryPlan::Leaf(0), QueryPlan::Leaf(1),
+         QueryPlan::Or({QueryPlan::Leaf(2), QueryPlan::Leaf(3)})});
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+std::vector<DatasetQuery> MakeTpchQueries(int scale_factor, uint64_t seed) {
+  const uint64_t domain = 6000000ull * scale_factor;
+  std::vector<DatasetQuery> queries;
+  {
+    DatasetQuery q;  // Q6: L1 n L2 n L3
+    q.name = "Q6";
+    q.domain = domain;
+    q.lists.push_back(SelList(domain, 1.0 / 7, seed + 61));
+    q.lists.push_back(SelList(domain, 3.0 / 11, seed + 62));
+    q.lists.push_back(SelList(domain, 1.0 / 50, seed + 63));
+    q.plan = AndAll(3);
+    queries.push_back(std::move(q));
+  }
+  {
+    DatasetQuery q;  // Q12: (L1 u L2) n L3
+    q.name = "Q12";
+    q.domain = domain;
+    q.lists.push_back(SelList(domain, 1.0 / 10, seed + 71));
+    q.lists.push_back(SelList(domain, 1.0 / 10, seed + 72));
+    q.lists.push_back(SelList(domain, 1.0 / 364, seed + 73));
+    q.plan = QueryPlan::And(
+        {QueryPlan::Or({QueryPlan::Leaf(0), QueryPlan::Leaf(1)}),
+         QueryPlan::Leaf(2)});
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+WebWorkload MakeWebWorkload(uint64_t num_docs, size_t num_queries,
+                            uint64_t seed) {
+  WebWorkload w;
+  w.num_docs = num_docs;
+  Prng rng(seed);
+  // Term document-frequencies follow df(rank) = 0.2 * num_docs / rank
+  // (Zipf), the skew that makes web queries mix short and long postings.
+  constexpr double kTopDf = 0.2;
+  constexpr uint64_t kMaxRank = 100000;
+  const double log_max_rank = std::log(static_cast<double>(kMaxRank));
+
+  std::vector<std::pair<uint64_t, size_t>> rank_to_list;  // sorted by rank
+  auto list_for_rank = [&](uint64_t rank) -> size_t {
+    auto it = std::lower_bound(
+        rank_to_list.begin(), rank_to_list.end(), rank,
+        [](const auto& a, uint64_t r) { return a.first < r; });
+    if (it != rank_to_list.end() && it->first == rank) return it->second;
+    const double df = kTopDf * static_cast<double>(num_docs) /
+                      static_cast<double>(rank);
+    const size_t n = std::max<size_t>(16, static_cast<size_t>(df));
+    w.lists.push_back(
+        GenerateUniform(std::min<size_t>(n, num_docs / 2), num_docs,
+                        seed ^ (rank * 0x9e3779b97f4a7c15ull)));
+    rank_to_list.insert(it, {rank, w.lists.size() - 1});
+    return w.lists.size() - 1;
+  };
+
+  for (size_t qi = 0; qi < num_queries; ++qi) {
+    const size_t nterms = 2 + rng.NextBounded(3);  // 2..4 terms
+    std::vector<size_t> terms;
+    while (terms.size() < nterms) {
+      // Log-uniform rank: frequent terms appear in queries far more often.
+      const uint64_t rank = std::max<uint64_t>(
+          1, static_cast<uint64_t>(std::exp(rng.NextDouble() * log_max_rank)));
+      const size_t li = list_for_rank(rank);
+      if (std::find(terms.begin(), terms.end(), li) == terms.end()) {
+        terms.push_back(li);
+      }
+    }
+    w.queries.push_back(std::move(terms));
+  }
+  return w;
+}
+
+std::vector<DatasetQuery> MakeGraphQueries(uint64_t seed) {
+  // Twitter subset: 52,579,682 vertices; adjacency lists are clustered, so
+  // we generate them with the markov model. Sizes from App. C.3.
+  const uint64_t domain = 52579682ull;
+  std::vector<DatasetQuery> queries;
+  {
+    DatasetQuery q;
+    q.name = "Q1";
+    q.domain = domain;
+    for (size_t n : {size_t{960}, size_t{50913}, size_t{507777}}) {
+      q.lists.push_back(
+          GenerateMarkov(n, domain, kPaperMarkovClustering, seed + n));
+    }
+    q.plan = AndAll(3);
+    queries.push_back(std::move(q));
+  }
+  {
+    DatasetQuery q;
+    q.name = "Q2";
+    q.domain = domain;
+    for (size_t n : {size_t{507777}, size_t{526292}, size_t{779957}}) {
+      q.lists.push_back(
+          GenerateMarkov(n, domain, kPaperMarkovClustering, seed + n));
+    }
+    q.plan = AndAll(3);
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+std::vector<DatasetQuery> MakeKddcupQueries(uint64_t seed) {
+  const uint64_t domain = 4898431ull;  // App. C.4
+  return {TwoListQuery("Q1", domain, 2833545, 4195364, seed + 1),
+          TwoListQuery("Q2", domain, 1051, 3744328, seed + 3)};
+}
+
+std::vector<DatasetQuery> MakeBerkeleyearthQueries(uint64_t seed) {
+  const uint64_t domain = 61174591ull;  // App. C.5
+  return {TwoListQuery("Q1", domain, 7730307, 9254744, seed + 1),
+          TwoListQuery("Q2", domain, 5395, 8174163, seed + 3)};
+}
+
+std::vector<DatasetQuery> MakeHiggsQueries(uint64_t seed) {
+  const uint64_t domain = 11000000ull;  // App. C.6
+  return {TwoListQuery("Q1", domain, 172380, 4446476, seed + 1),
+          TwoListQuery("Q2", domain, 49170, 102607, seed + 3)};
+}
+
+std::vector<DatasetQuery> MakeKeggQueries(uint64_t seed) {
+  const uint64_t domain = 53414ull;  // App. C.7
+  return {TwoListQuery("Q1", domain, 16965, 47783, seed + 1),
+          TwoListQuery("Q2", domain, 1082, 1438, seed + 3)};
+}
+
+}  // namespace intcomp

@@ -1,0 +1,68 @@
+// Synthetic stand-ins for the paper's 8 real datasets (§6, App. C.3-C.7).
+//
+// We do not have the originals (SSB/TPCH dbgen output, the 300GB ClueWeb12
+// crawl, the Twitter graph, the UCI datasets), so each is simulated with the
+// properties the paper's experiments exercise: the exact domain sizes,
+// per-list selectivities/cardinalities and query plans the paper specifies.
+// See DESIGN.md §1.4 for the substitution rationale.
+
+#ifndef INTCOMP_WORKLOAD_DATASETS_H_
+#define INTCOMP_WORKLOAD_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+
+namespace intcomp {
+
+// One benchmark query: input lists plus the AND/OR plan over them.
+struct DatasetQuery {
+  std::string name;
+  uint64_t domain = 0;
+  std::vector<std::vector<uint32_t>> lists;
+  QueryPlan plan;
+};
+
+// SSB (Fig. 4): fact table of 6M * SF rows; queries Q1.1, Q2.1, Q3.4, Q4.1
+// with the selectivities/plans of §6.1.
+std::vector<DatasetQuery> MakeSsbQueries(int scale_factor, uint64_t seed);
+
+// TPCH (Fig. 5): 6M * SF rows; Q6 = AND(1/7, 3/11, 1/50),
+// Q12 = (1/10 OR 1/10) AND 1/364 (§6.2, following [5]).
+std::vector<DatasetQuery> MakeTpchQueries(int scale_factor, uint64_t seed);
+
+// Web (Fig. 6): Zipf-skewed postings over `num_docs` documents (paper: 41M
+// ClueWeb12 docs) and `num_queries` conjunctive queries of 2-4 terms drawn
+// by popularity (paper: 1000 TREC queries).
+struct WebWorkload {
+  uint64_t num_docs = 0;
+  std::vector<std::vector<uint32_t>> lists;   // postings of referenced terms
+  std::vector<std::vector<size_t>> queries;   // term-list indexes per query
+};
+WebWorkload MakeWebWorkload(uint64_t num_docs, size_t num_queries,
+                            uint64_t seed);
+
+// Graph (Fig. 8): Twitter-like adjacency lists (clustered) over 52,579,682
+// vertices with the paper's exact list sizes.
+std::vector<DatasetQuery> MakeGraphQueries(uint64_t seed);
+
+// KDDCup (Fig. 9): 4,898,431 rows; Q1 = {2833545, 4195364},
+// Q2 = {1051, 3744328}.
+std::vector<DatasetQuery> MakeKddcupQueries(uint64_t seed);
+
+// Berkeleyearth (Fig. 10): 61,174,591 rows; Q1 = {7730307, 9254744},
+// Q2 = {5395, 8174163}.
+std::vector<DatasetQuery> MakeBerkeleyearthQueries(uint64_t seed);
+
+// Higgs (Fig. 11): 11,000,000 rows; Q1 = {172380, 4446476},
+// Q2 = {49170, 102607}.
+std::vector<DatasetQuery> MakeHiggsQueries(uint64_t seed);
+
+// Kegg (Fig. 12): 53,414 rows; Q1 = {16965, 47783}, Q2 = {1082, 1438}.
+std::vector<DatasetQuery> MakeKeggQueries(uint64_t seed);
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_WORKLOAD_DATASETS_H_

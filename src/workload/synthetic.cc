@@ -1,0 +1,149 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/prng.h"
+
+namespace intcomp {
+namespace {
+
+// Integral approximation of sum_{k=a..b} k^-f (the generalized-harmonic
+// tail); good to a fraction of a percent for a >= 1, which is all the
+// normalization below needs.
+double HarmonicRange(double a, double b, double f) {
+  if (b <= a) return 0;
+  if (std::abs(f - 1.0) < 1e-9) return std::log(b / a);
+  return (std::pow(b, 1 - f) - std::pow(a, 1 - f)) / (1 - f);
+}
+
+// Expected list size when rank k is included with probability
+// min(1, lambda / k^f): the first K = lambda^(1/f) ranks are certain, the
+// tail contributes lambda * sum_{k>K} k^-f.
+double ExpectedZipfSize(double lambda, double domain, double f) {
+  const double certain = std::min(domain, std::pow(lambda, 1.0 / f));
+  return certain +
+         lambda * HarmonicRange(std::max(1.0, certain), domain, f);
+}
+
+// Solves ExpectedZipfSize(lambda) == target for lambda (monotone increasing)
+// by bisection.
+double SolveZipfLambda(double target, double domain, double f) {
+  double lo = 0, hi = 1;
+  while (ExpectedZipfSize(hi, domain, f) < target && hi < domain * domain) {
+    hi *= 2;
+  }
+  for (int i = 0; i < 80; ++i) {
+    const double mid = (lo + hi) / 2;
+    if (ExpectedZipfSize(mid, domain, f) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return (lo + hi) / 2;
+}
+
+// Geometric run length >= 0 with success probability p in (0, 1].
+uint64_t GeometricSkip(Prng& rng, double p) {
+  if (p >= 1.0) return 0;
+  double u = rng.NextDouble();
+  if (u <= 0) u = 1e-18;
+  return static_cast<uint64_t>(std::log(u) / std::log1p(-p));
+}
+
+}  // namespace
+
+std::vector<uint32_t> GenerateUniform(size_t n, uint64_t domain,
+                                      uint64_t seed) {
+  Prng rng(seed);
+  std::vector<uint32_t> v;
+  v.reserve(n + n / 16 + 16);
+  for (size_t i = 0; i < n; ++i) {
+    v.push_back(static_cast<uint32_t>(rng.NextBounded(domain)));
+  }
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  while (v.size() < n) {
+    const size_t missing = n - v.size();
+    for (size_t i = 0; i < missing; ++i) {
+      v.push_back(static_cast<uint32_t>(rng.NextBounded(domain)));
+    }
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+  return v;
+}
+
+std::vector<uint32_t> GenerateZipf(size_t n, uint64_t domain, double skew,
+                                   uint64_t seed) {
+  Prng rng(seed);
+  // Choose lambda so the *expected* list size (with probabilities clamped
+  // at 1) slightly overshoots n, then subsample to exactly n.
+  const double target = static_cast<double>(n) * 1.03 + 64;
+  const double lambda =
+      SolveZipfLambda(target, static_cast<double>(domain), skew);
+  std::vector<uint32_t> v;
+  v.reserve(static_cast<size_t>(target * 1.05));
+  uint64_t k = 1;
+  while (k <= domain) {
+    const double p = lambda * std::pow(static_cast<double>(k), -skew);
+    if (p >= 1.0) {
+      v.push_back(static_cast<uint32_t>(k - 1));
+      ++k;
+      continue;
+    }
+    // Skip sampling: treat p as locally constant and jump to the next
+    // included rank.
+    const uint64_t gap = GeometricSkip(rng, p);
+    if (gap > domain - k) break;
+    k += gap;
+    v.push_back(static_cast<uint32_t>(k - 1));
+    ++k;
+  }
+  if (v.size() > n) {
+    // Random subsample preserving relative inclusion probabilities.
+    for (size_t i = 0; i < n; ++i) {
+      const size_t j = i + rng.NextBounded(v.size() - i);
+      std::swap(v[i], v[j]);
+    }
+    v.resize(n);
+    std::sort(v.begin(), v.end());
+  } else {
+    // Statistical shortfall: top up in bulk with uniform values.
+    while (v.size() < n) {
+      const size_t missing = n - v.size();
+      for (size_t i = 0; i < missing; ++i) {
+        v.push_back(static_cast<uint32_t>(rng.NextBounded(domain)));
+      }
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+    }
+  }
+  return v;
+}
+
+std::vector<uint32_t> GenerateMarkov(size_t n, uint64_t domain,
+                                     double clustering, uint64_t seed) {
+  Prng rng(seed);
+  const double w =
+      std::min(0.999, static_cast<double>(n) / static_cast<double>(domain));
+  // Runs of 1s have mean length f (the clustering factor), runs of 0s mean
+  // (1-w)*f/w, giving stationary density w.
+  const double p = w / ((1.0 - w) * clustering);  // 0 -> 1
+  const double q = 1.0 / clustering;              // 1 -> 0
+  std::vector<uint32_t> v;
+  v.reserve(n);
+  uint64_t pos = 0;
+  constexpr uint64_t kHardCap = 0xffffffffull;
+  while (v.size() < n && pos < kHardCap) {
+    pos += GeometricSkip(rng, p);  // run of 0s (mean 1/p - 1 given restart)
+    uint64_t run1 = 1 + GeometricSkip(rng, std::min(1.0, q));
+    while (run1-- > 0 && v.size() < n && pos < kHardCap) {
+      v.push_back(static_cast<uint32_t>(pos++));
+    }
+  }
+  return v;
+}
+
+}  // namespace intcomp

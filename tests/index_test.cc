@@ -1,0 +1,171 @@
+// Tests for the index layer: BitmapIndex (database scenario, App. A.2) and
+// InvertedIndex (IR scenario, App. A.1).
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "core/registry.h"
+#include "index/bitmap_index.h"
+#include "index/inverted_index.h"
+#include "test_util.h"
+
+namespace intcomp {
+namespace {
+
+class BitmapIndexTest : public ::testing::TestWithParam<const Codec*> {};
+
+TEST_P(BitmapIndexTest, EqInRangeMatchReference) {
+  const Codec& codec = *GetParam();
+  const uint32_t cardinality = 7;
+  const size_t rows = 20000;
+  Prng rng(5);
+  std::vector<uint32_t> column(rows);
+  std::vector<std::vector<uint32_t>> expected(cardinality);
+  for (size_t r = 0; r < rows; ++r) {
+    column[r] = static_cast<uint32_t>(rng.NextBounded(cardinality));
+    expected[column[r]].push_back(static_cast<uint32_t>(r));
+  }
+  auto index = BitmapIndex::Build(codec, column, cardinality);
+  EXPECT_EQ(index.Cardinality(), cardinality);
+  EXPECT_EQ(index.NumRows(), rows);
+  EXPECT_GT(index.SizeInBytes(), 0u);
+
+  std::vector<uint32_t> got;
+  for (uint32_t c = 0; c < cardinality; ++c) {
+    index.Eq(c, &got);
+    EXPECT_EQ(got, expected[c]) << "code " << c;
+    EXPECT_EQ(index.SetFor(c)->Cardinality(), expected[c].size());
+  }
+
+  // IN (2, 5) == union.
+  const uint32_t in_codes[] = {2, 5};
+  index.In(in_codes, &got);
+  EXPECT_EQ(got, RefUnion(expected[2], expected[5]));
+
+  // Range [1, 3] == union of 1,2,3.
+  index.Range(1, 3, &got);
+  auto want = RefUnion(RefUnion(expected[1], expected[2]), expected[3]);
+  EXPECT_EQ(got, want);
+
+  // Range clamped at the top code.
+  index.Range(cardinality - 1, cardinality + 10, &got);
+  EXPECT_EQ(got, expected[cardinality - 1]);
+
+  // Conjunction: rows with code 1 among the rows with code-in-{1,2}.
+  index.In(std::vector<uint32_t>{1, 2}, &got);
+  std::vector<uint32_t> conj;
+  index.EqAndFilter(1, got, &conj);
+  EXPECT_EQ(conj, expected[1]);
+}
+
+TEST_P(BitmapIndexTest, EmptyValueCode) {
+  const Codec& codec = *GetParam();
+  // Code 1 never occurs.
+  std::vector<uint32_t> column = {0, 2, 0, 2, 2};
+  auto index = BitmapIndex::Build(codec, column, 3);
+  std::vector<uint32_t> got;
+  index.Eq(1, &got);
+  EXPECT_TRUE(got.empty());
+  index.Eq(2, &got);
+  EXPECT_EQ(got, (std::vector<uint32_t>{1, 3, 4}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Codecs, BitmapIndexTest,
+                         ::testing::Values(FindCodec("Roaring"),
+                                           FindCodec("WAH"),
+                                           FindCodec("SIMDPforDelta*"),
+                                           FindCodec("Hybrid")),
+                         [](const auto& info) {
+                           std::string n(info.param->Name());
+                           for (char& c : n) {
+                             if (c == '*') c = 'S';
+                           }
+                           return n;
+                         });
+
+TEST(InvertedIndexTest, BuildAndQuery) {
+  InvertedIndex index(*FindCodec("Roaring"));
+  using sv = std::string_view;
+  const std::vector<std::vector<sv>> docs = {
+      {"bitmap", "compression", "wah"},
+      {"inverted", "list", "compression"},
+      {"bitmap", "inverted", "compression", "roaring"},
+      {"roaring", "bitmap"},
+      {"compression"},
+  };
+  for (uint32_t d = 0; d < docs.size(); ++d) {
+    index.AddDocument(d, docs[d]);
+  }
+  index.Finalize();
+  EXPECT_EQ(index.NumDocuments(), docs.size());
+  EXPECT_EQ(index.NumTerms(), 6u);
+  EXPECT_EQ(index.DocumentFrequency("compression"), 4u);
+  EXPECT_EQ(index.DocumentFrequency("nosuchterm"), 0u);
+  EXPECT_GT(index.SizeInBytes(), 0u);
+
+  std::vector<uint32_t> result;
+  const sv q1[] = {sv("bitmap"), sv("compression")};
+  EXPECT_TRUE(index.Conjunctive(q1, &result));
+  EXPECT_EQ(result, (std::vector<uint32_t>{0, 2}));
+
+  const sv q2[] = {sv("bitmap"), sv("nosuchterm")};
+  EXPECT_FALSE(index.Conjunctive(q2, &result));
+  EXPECT_TRUE(result.empty());
+
+  const sv q3[] = {sv("wah"), sv("roaring")};
+  index.Disjunctive(q3, &result);
+  EXPECT_EQ(result, (std::vector<uint32_t>{0, 2, 3}));
+
+  // Unknown terms are ignored in disjunction.
+  const sv q4[] = {sv("wah"), sv("nosuchterm")};
+  index.Disjunctive(q4, &result);
+  EXPECT_EQ(result, (std::vector<uint32_t>{0}));
+}
+
+TEST(InvertedIndexTest, DuplicateTermsInDocument) {
+  InvertedIndex index(*FindCodec("VB"));
+  using sv = std::string_view;
+  const sv terms[] = {sv("a"), sv("a"), sv("b"), sv("a")};
+  index.AddDocument(0, terms);
+  index.AddDocument(3, terms);
+  index.Finalize();
+  EXPECT_EQ(index.DocumentFrequency("a"), 2u);
+  std::vector<uint32_t> result;
+  const sv q[] = {sv("a"), sv("b")};
+  EXPECT_TRUE(index.Conjunctive(q, &result));
+  EXPECT_EQ(result, (std::vector<uint32_t>{0, 3}));
+}
+
+TEST(InvertedIndexTest, TopKQuery) {
+  InvertedIndex index(*FindCodec("SIMDBP128*"));
+  using sv = std::string_view;
+  Prng rng(9);
+  const sv both[] = {sv("x"), sv("y")};
+  const sv only_x[] = {sv("x")};
+  std::vector<uint32_t> both_docs;
+  for (uint32_t d = 0; d < 5000; ++d) {
+    if (rng.NextBounded(3) == 0) {
+      index.AddDocument(d, both);
+      both_docs.push_back(d);
+    } else {
+      index.AddDocument(d, only_x);
+    }
+  }
+  index.Finalize();
+  // Score = doc id: top-5 must be the 5 largest docs containing both terms.
+  auto top = index.TopKQuery(both, 5, [](uint32_t d) { return double(d); });
+  ASSERT_EQ(top.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(top[i].doc, both_docs[both_docs.size() - 1 - i]);
+  }
+  // Unknown term: empty result.
+  const sv unknown[] = {sv("x"), sv("zzz")};
+  EXPECT_TRUE(index.TopKQuery(unknown, 3, [](uint32_t) { return 0.0; }).empty());
+}
+
+}  // namespace
+}  // namespace intcomp

@@ -1,0 +1,377 @@
+// Structural tests for the inverted-list codecs: block formats, selector
+// tables, exception machinery, escapes, and PEF container choice.
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "invlist/blocked_list.h"
+#include "invlist/groupvb.h"
+#include "invlist/newpfordelta.h"
+#include "invlist/optpfordelta.h"
+#include "invlist/pef.h"
+#include "invlist/pfordelta.h"
+#include "invlist/plain_list.h"
+#include "invlist/simdbp128.h"
+#include "invlist/simdpfordelta.h"
+#include "invlist/simple16.h"
+#include "invlist/simple8b.h"
+#include "invlist/simple9.h"
+#include "invlist/vb.h"
+#include "test_util.h"
+
+namespace intcomp {
+namespace {
+
+template <typename Traits>
+std::vector<uint32_t> BlockRoundTrip(const std::vector<uint32_t>& gaps) {
+  std::vector<uint8_t> data;
+  Traits::EncodeBlock(gaps.data(), gaps.size(), &data);
+  data.resize(data.size() + 16);  // slack, as the framework guarantees
+  std::vector<uint32_t> out(std::max<size_t>(gaps.size(), 128));
+  Traits::DecodeBlock(data.data(), gaps.size(), out.data());
+  out.resize(gaps.size());
+  return out;
+}
+
+std::vector<uint32_t> RandomGaps(size_t n, uint32_t max_gap, uint64_t seed) {
+  Prng rng(seed);
+  std::vector<uint32_t> gaps(n);
+  for (auto& g : gaps) g = 1 + static_cast<uint32_t>(rng.NextBounded(max_gap));
+  return gaps;
+}
+
+// --- VB / GroupVB -----------------------------------------------------------
+
+TEST(VbBlockTest, MultiByteBoundaries) {
+  std::vector<uint32_t> gaps = {1, 127, 128, 16383, 16384, 2097152, ~0u};
+  EXPECT_EQ(BlockRoundTrip<VbTraits>(gaps), gaps);
+}
+
+TEST(GroupVbBlockTest, HeaderPacksFourLengths) {
+  std::vector<uint32_t> gaps = {5, 300, 70000, 16777216};  // 1,2,3,4 bytes
+  std::vector<uint8_t> data;
+  GroupVbTraits::EncodeBlock(gaps.data(), gaps.size(), &data);
+  ASSERT_EQ(data.size(), 1u + 1 + 2 + 3 + 4);
+  EXPECT_EQ(data[0], 0b11100100);  // lengths-1 = 0,1,2,3 in 2-bit fields
+}
+
+TEST(GroupVbBlockTest, PartialTailGroup) {
+  std::vector<uint32_t> gaps = {1, 2, 3, 4, 5, 6};  // 4 + 2 tail
+  EXPECT_EQ(BlockRoundTrip<GroupVbTraits>(gaps), gaps);
+}
+
+// --- Simple family ----------------------------------------------------------
+
+TEST(Simple9BlockTest, DensePacking) {
+  // 28 one-bit values must fit one word (selector 0).
+  std::vector<uint32_t> gaps(28, 1);
+  std::vector<uint8_t> data;
+  Simple9Traits::EncodeBlock(gaps.data(), gaps.size(), &data);
+  EXPECT_EQ(data.size(), 4u);
+  uint32_t word;
+  std::memcpy(&word, data.data(), 4);
+  EXPECT_EQ(word >> 28, 0u);
+}
+
+TEST(Simple9BlockTest, EscapeForHugeValues) {
+  std::vector<uint32_t> gaps = {1u << 28, ~0u, 3};
+  EXPECT_EQ(BlockRoundTrip<Simple9Traits>(gaps), gaps);
+}
+
+TEST(Simple16BlockTest, MixedWidthCases) {
+  // 7 two-bit values then 14 one-bit values: selector 1 packs all 21.
+  std::vector<uint32_t> gaps;
+  for (int i = 0; i < 7; ++i) gaps.push_back(3);
+  for (int i = 0; i < 14; ++i) gaps.push_back(1);
+  std::vector<uint8_t> data;
+  Simple16Traits::EncodeBlock(gaps.data(), gaps.size(), &data);
+  EXPECT_EQ(data.size(), 4u);
+  uint32_t word;
+  std::memcpy(&word, data.data(), 4);
+  EXPECT_EQ(word >> 28, 1u);
+}
+
+TEST(Simple16BlockTest, EscapeIncludesMarkerValueItself) {
+  // The escape threshold value must itself be escaped and round-trip.
+  std::vector<uint32_t> gaps = {(1u << 28) - 1, (1u << 28), ~0u, 7};
+  EXPECT_EQ(BlockRoundTrip<Simple16Traits>(gaps), gaps);
+}
+
+TEST(Simple16ArrayTest, MeasureMatchesEncode) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    auto vals = RandomGaps(100, seed == 1 ? 3 : (seed == 2 ? 1000 : ~0u), seed);
+    std::vector<uint8_t> enc;
+    Simple16EncodeArray(vals.data(), vals.size(), &enc);
+    EXPECT_EQ(Simple16MeasureArray(vals.data(), vals.size()), enc.size());
+    std::vector<uint32_t> dec(vals.size());
+    size_t consumed = Simple16DecodeArray(enc.data(), vals.size(), dec.data());
+    EXPECT_EQ(consumed, enc.size());
+    EXPECT_EQ(dec, vals);
+  }
+}
+
+TEST(Simple8bBlockTest, RunOf120OnesUsesRleSelector) {
+  std::vector<uint32_t> gaps(120, 1);
+  std::vector<uint8_t> data;
+  Simple8bTraits::EncodeBlock(gaps.data(), gaps.size(), &data);
+  EXPECT_EQ(data.size(), 8u);  // one 64-bit codeword
+  uint64_t word;
+  std::memcpy(&word, data.data(), 8);
+  EXPECT_EQ(word >> 60, 1u);
+}
+
+TEST(Simple8bBlockTest, SixtyBitValues) {
+  std::vector<uint32_t> gaps = {~0u, 1, ~0u};
+  EXPECT_EQ(BlockRoundTrip<Simple8bTraits>(gaps), gaps);
+}
+
+// --- PforDelta family --------------------------------------------------------
+
+TEST(PforDeltaBlockTest, NinetyPercentRuleProducesExceptions) {
+  // 116 small values (exactly 90%) and 12 large ones: b stays small, the
+  // large values become exceptions.
+  std::vector<uint32_t> gaps(128, 3);
+  for (int i = 0; i < 12; ++i) gaps[i] = 1u << 20;  // adjacent: no forced exc
+  std::vector<uint8_t> data;
+  PforDeltaTraits::EncodeBlock(gaps.data(), gaps.size(), &data);
+  EXPECT_EQ(data[0], 2u);   // b = 2 bits covers the 3s
+  EXPECT_EQ(data[1], 12u);  // 12 exceptions
+  EXPECT_EQ(BlockRoundTrip<PforDeltaTraits>(gaps), gaps);
+}
+
+TEST(PforDeltaBlockTest, ForcedExceptionsWhenLinksOverflow) {
+  // Two exceptions 100 slots apart with b = 1: links hold distances up to
+  // 2^1, so forced exceptions are inserted between them.
+  std::vector<uint32_t> gaps(128, 1);
+  gaps[5] = 1u << 25;
+  gaps[105] = 1u << 25;
+  std::vector<uint8_t> data;
+  PforDeltaTraits::EncodeBlock(gaps.data(), gaps.size(), &data);
+  EXPECT_EQ(data[0], 1u);
+  EXPECT_GT(data[1], 2u);  // forced exceptions added
+  EXPECT_EQ(BlockRoundTrip<PforDeltaTraits>(gaps), gaps);
+}
+
+TEST(PforDeltaStarBlockTest, NeverHasExceptions) {
+  for (uint64_t seed : {10u, 11u, 12u}) {
+    auto gaps = RandomGaps(128, ~0u - 1, seed);
+    std::vector<uint8_t> data;
+    PforDeltaStarTraits::EncodeBlock(gaps.data(), gaps.size(), &data);
+    EXPECT_EQ(data[1], 0u) << "PforDelta* must not emit exceptions";
+    EXPECT_EQ(BlockRoundTrip<PforDeltaStarTraits>(gaps), gaps);
+  }
+}
+
+TEST(NewPforDeltaBlockTest, ExceptionArraysRoundTrip) {
+  std::vector<uint32_t> gaps(128, 7);
+  gaps[0] = ~0u;
+  gaps[64] = 1u << 30;
+  gaps[127] = 1u << 29;
+  EXPECT_EQ(BlockRoundTrip<NewPforDeltaTraits>(gaps), gaps);
+}
+
+TEST(OptPforDeltaBlockTest, NeverLargerThanNewPforDelta) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Prng rng(seed);
+    std::vector<uint32_t> gaps(128);
+    for (auto& g : gaps) {
+      // Heavy-tailed gaps to make the width choice interesting.
+      g = 1 + static_cast<uint32_t>(
+                  rng.NextBounded(uint64_t{1} << (3 + rng.NextBounded(27))));
+    }
+    std::vector<uint8_t> np, op;
+    NewPforDeltaTraits::EncodeBlock(gaps.data(), gaps.size(), &np);
+    OptPforDeltaTraits::EncodeBlock(gaps.data(), gaps.size(), &op);
+    EXPECT_LE(op.size(), np.size()) << "seed " << seed;
+    EXPECT_EQ(BlockRoundTrip<OptPforDeltaTraits>(gaps), gaps);
+  }
+}
+
+// --- SIMD codecs --------------------------------------------------------------
+
+TEST(SimdPforDeltaBlockTest, ExceptionsPatchCorrectly) {
+  std::vector<uint32_t> gaps(128, 9);
+  gaps[3] = 1u << 27;
+  gaps[77] = ~0u;
+  EXPECT_EQ(BlockRoundTrip<SimdPforDeltaTraits>(gaps), gaps);
+}
+
+TEST(SimdPforDeltaStarBlockTest, FullWidthNoExceptions) {
+  auto gaps = RandomGaps(128, 1u << 30, 5);
+  std::vector<uint8_t> data;
+  SimdPforDeltaStarTraits::EncodeBlock(gaps.data(), gaps.size(), &data);
+  EXPECT_EQ(data[1], 0u);
+  EXPECT_EQ(BlockRoundTrip<SimdPforDeltaStarTraits>(gaps), gaps);
+}
+
+TEST(SimdBp128BlockTest, WidthIsBlockMax) {
+  std::vector<uint32_t> gaps(128, 1);
+  gaps[100] = 255;  // forces b = 8
+  std::vector<uint8_t> data;
+  SimdBp128Traits::EncodeBlock(gaps.data(), gaps.size(), &data);
+  EXPECT_EQ(data[0], 8u);
+  EXPECT_EQ(data.size(), 1u + 8u * 16u);
+  EXPECT_EQ(BlockRoundTrip<SimdBp128Traits>(gaps), gaps);
+}
+
+TEST(SimdBp128StarTest, FrameOfReferenceNeedsNoPrefixSum) {
+  // The * variant stores values - first; verify the compressed block for a
+  // dense run uses tiny widths even though absolute values are large.
+  SimdBp128StarCodec codec;
+  std::vector<uint32_t> values(256);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = 1000000000u + static_cast<uint32_t>(i);
+  }
+  auto set = codec.Encode(values, uint64_t{1} << 32);
+  // Two blocks, each [b=8][16*8 bytes] at most (offsets 0..127 need 7 bits).
+  const auto& s = static_cast<const BlockedSet<SimdBp128StarTraits>&>(*set);
+  EXPECT_EQ(s.data[s.skip_offset[0]], 7u);
+  std::vector<uint32_t> decoded;
+  codec.Decode(*set, &decoded);
+  EXPECT_EQ(decoded, values);
+}
+
+// --- Blocked framework ---------------------------------------------------------
+
+TEST(BlockedListTest, SkipPointersPerBlock) {
+  VbCodec codec;
+  auto values = RandomSortedList(1000, 1 << 22, 77);
+  auto set = codec.Encode(values, 1 << 22);
+  const auto& s = static_cast<const BlockedSet<VbTraits>&>(*set);
+  ASSERT_EQ(s.skip_first.size(), (1000 + 127) / 128);
+  for (size_t b = 0; b < s.skip_first.size(); ++b) {
+    EXPECT_EQ(s.skip_first[b], values[b * 128]);
+  }
+  // Size accounting includes 8 bytes per skip pointer.
+  EXPECT_EQ(set->SizeInBytes(), s.data.size() + s.skip_first.size() * 8);
+}
+
+TEST(BlockedListTest, CursorNextGeq) {
+  VbCodec codec;
+  auto values = RandomSortedList(5000, 1 << 20, 88);
+  auto set = codec.Encode(values, 1 << 20);
+  const auto& s = static_cast<const BlockedSet<VbTraits>&>(*set);
+  BlockedCursor<VbTraits> cursor(s);
+  uint32_t v;
+  // Before the first element.
+  ASSERT_TRUE(cursor.NextGEQ(0, &v));
+  EXPECT_EQ(v, values[0]);
+  // Exact hits and between-value targets, ascending.
+  for (size_t i = 100; i < values.size(); i += 500) {
+    ASSERT_TRUE(cursor.NextGEQ(values[i], &v));
+    EXPECT_EQ(v, values[i]);
+    if (values[i] + 1 < values[i + 1]) {
+      ASSERT_TRUE(cursor.NextGEQ(values[i] + 1, &v));
+      EXPECT_EQ(v, values[i + 1]);
+    }
+  }
+  // Past the end.
+  EXPECT_FALSE(cursor.NextGEQ(values.back() + 1, &v));
+}
+
+TEST(BlockedListTest, NoSkipVariantMatchesResults) {
+  VbCodec with_skips(true);
+  VbCodec no_skips(false);
+  auto a = RandomSortedList(300, 1 << 20, 1);
+  auto b = RandomSortedList(40000, 1 << 20, 2);
+  auto sa1 = with_skips.Encode(a, 1 << 20);
+  auto sb1 = with_skips.Encode(b, 1 << 20);
+  auto sa2 = no_skips.Encode(a, 1 << 20);
+  auto sb2 = no_skips.Encode(b, 1 << 20);
+  std::vector<uint32_t> r1, r2;
+  with_skips.Intersect(*sa1, *sb1, &r1);
+  no_skips.Intersect(*sa2, *sb2, &r2);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(r1, RefIntersect(a, b));
+  // The no-skip encoding is smaller (skip pointers excluded from size).
+  EXPECT_LT(sb2->SizeInBytes(), sb1->SizeInBytes());
+}
+
+TEST(BlockedListTest, GallopToBlockFindsLastLeq) {
+  std::vector<uint32_t> firsts = {0, 100, 200, 300, 1000, 5000};
+  EXPECT_EQ(GallopToBlock(firsts, 0, 0), 0u);
+  EXPECT_EQ(GallopToBlock(firsts, 0, 99), 0u);
+  EXPECT_EQ(GallopToBlock(firsts, 0, 100), 1u);
+  EXPECT_EQ(GallopToBlock(firsts, 0, 999), 3u);
+  EXPECT_EQ(GallopToBlock(firsts, 2, 1 << 30), 5u);
+  EXPECT_EQ(GallopToBlock(firsts, 3, 300), 3u);
+}
+
+TEST(BlockedListTest, AlternateBlockSizes) {
+  // The block-size ablation instantiations must satisfy the same
+  // invariants as the default 128.
+  auto values = RandomSortedList(5000, 1 << 22, 91);
+  auto probe = RandomSortedList(700, 1 << 22, 92);
+  auto RunAt = [&](auto codec) {
+    auto set = codec.Encode(values, 1 << 22);
+    std::vector<uint32_t> decoded;
+    codec.Decode(*set, &decoded);
+    EXPECT_EQ(decoded, values);
+    std::vector<uint32_t> out;
+    codec.IntersectWithList(*set, probe, &out);
+    EXPECT_EQ(out, RefIntersect(values, probe));
+    return set->SizeInBytes();
+  };
+  const size_t s16 = RunAt(BlockedListCodec<VbTraits, 16>());
+  const size_t s64 = RunAt(BlockedListCodec<VbTraits, 64>());
+  const size_t s128 = RunAt(BlockedListCodec<VbTraits, 128>());
+  RunAt(BlockedListCodec<PforDeltaTraits, 32>());
+  // Smaller blocks carry more skip pointers.
+  EXPECT_GT(s16, s64);
+  EXPECT_GT(s64, s128);
+}
+
+// --- PEF -----------------------------------------------------------------------
+
+TEST(PefTest, ChoosesContainersByShape) {
+  PefCodec codec;
+  // A dense run partitions into implicit-run containers.
+  std::vector<uint32_t> run(256);
+  for (size_t i = 0; i < run.size(); ++i) run[i] = 5000 + i;
+  auto sr = codec.Encode(run, 1 << 20);
+  const auto& pr = static_cast<const PefCodec::Set&>(*sr);
+  ASSERT_EQ(pr.parts.size(), 2u);
+  EXPECT_EQ(pr.parts[0].type, PefCodec::PartitionType::kRun);
+  EXPECT_EQ(pr.data.size(), 0u);  // implicit containers store nothing
+
+  // A moderately dense partition prefers the bitmap container.
+  auto dense = RandomSortedList(128, 300, 9);
+  auto sd = codec.Encode(dense, 1 << 20);
+  const auto& pd = static_cast<const PefCodec::Set&>(*sd);
+  EXPECT_EQ(pd.parts[0].type, PefCodec::PartitionType::kBitmap);
+
+  // A sparse partition uses Elias-Fano.
+  auto sparse = RandomSortedList(128, 1 << 20, 10);
+  auto ss = codec.Encode(sparse, 1 << 20);
+  const auto& ps = static_cast<const PefCodec::Set&>(*ss);
+  EXPECT_EQ(ps.parts[0].type, PefCodec::PartitionType::kEliasFano);
+}
+
+TEST(PefTest, SpaceNearInformationTheoreticBound) {
+  // EF uses ~2 + log2(u/n) bits per element; for 1M over 2^31 that is
+  // ~13 bits/element. Allow generous slack for partition metadata.
+  PefCodec codec;
+  auto values = RandomSortedList(100000, uint64_t{1} << 31, 13);
+  auto set = codec.Encode(values, uint64_t{1} << 31);
+  const double bits_per_elem = 8.0 * set->SizeInBytes() / values.size();
+  EXPECT_LT(bits_per_elem, 20.0);
+  EXPECT_GT(bits_per_elem, 10.0);
+}
+
+// --- List (uncompressed) ---------------------------------------------------------
+
+TEST(PlainListTest, GallopIntersectMatchesMerge) {
+  auto small = RandomSortedList(100, 1 << 20, 31);
+  auto large = RandomSortedList(50000, 1 << 20, 32);
+  std::vector<uint32_t> out;
+  GallopIntersect(small, large, &out);
+  EXPECT_EQ(out, RefIntersect(small, large));
+  GallopIntersect(large, small, &out);  // also correct when "misused"
+  EXPECT_EQ(out, RefIntersect(small, large));
+}
+
+}  // namespace
+}  // namespace intcomp

@@ -1,0 +1,167 @@
+// Edge-case and stress tests that target specific machinery: deep query
+// plans, cursor reuse patterns, Roaring's fully-dense chunks, structural
+// validation of Deserialize, and the Hybrid decision boundary.
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bitmap/roaring.h"
+#include "core/hybrid.h"
+#include "core/query.h"
+#include "core/registry.h"
+#include "invlist/blocked_list.h"
+#include "invlist/groupvb.h"
+#include "invlist/vb.h"
+#include "test_util.h"
+
+namespace intcomp {
+namespace {
+
+TEST(QueryPlanTest, DeepNesting) {
+  // ((A u B) n (C u D)) u (E n F) — evaluated against reference algebra,
+  // for one bitmap and one list codec.
+  std::vector<std::vector<uint32_t>> lists;
+  for (uint64_t s = 0; s < 6; ++s) {
+    lists.push_back(RandomSortedList(2000 + 531 * s, 1 << 16, 70 + s));
+  }
+  auto expected = RefUnion(
+      RefIntersect(RefUnion(lists[0], lists[1]), RefUnion(lists[2], lists[3])),
+      RefIntersect(lists[4], lists[5]));
+  auto plan = QueryPlan::Or(
+      {QueryPlan::And(
+           {QueryPlan::Or({QueryPlan::Leaf(0), QueryPlan::Leaf(1)}),
+            QueryPlan::Or({QueryPlan::Leaf(2), QueryPlan::Leaf(3)})}),
+       QueryPlan::And({QueryPlan::Leaf(4), QueryPlan::Leaf(5)})});
+  for (const char* name : {"Roaring", "SIMDBP128*", "WAH", "Hybrid"}) {
+    const Codec& codec = *FindCodec(name);
+    std::vector<std::unique_ptr<CompressedSet>> sets;
+    std::vector<const CompressedSet*> ptrs;
+    for (const auto& l : lists) {
+      sets.push_back(codec.Encode(l, 1 << 16));
+      ptrs.push_back(sets.back().get());
+    }
+    EXPECT_EQ(EvaluatePlan(codec, plan, ptrs), expected) << name;
+  }
+}
+
+TEST(QueryPlanTest, SingleLeafUnderEachOperator) {
+  const Codec& codec = *FindCodec("VB");
+  auto list = RandomSortedList(500, 1 << 14, 80);
+  auto set = codec.Encode(list, 1 << 14);
+  const CompressedSet* ptr = set.get();
+  EXPECT_EQ(EvaluatePlan(codec, QueryPlan::Leaf(0), {&ptr, 1}), list);
+  EXPECT_EQ(EvaluatePlan(codec, QueryPlan::And({QueryPlan::Leaf(0)}),
+                         {&ptr, 1}),
+            list);
+  EXPECT_EQ(EvaluatePlan(codec, QueryPlan::Or({QueryPlan::Leaf(0)}),
+                         {&ptr, 1}),
+            list);
+}
+
+TEST(BlockedCursorTest, RepeatedAndDenseTargets) {
+  auto values = RandomSortedList(10000, 1 << 18, 81);
+  VbCodec codec;
+  auto set = codec.Encode(values, 1 << 18);
+  const auto& s = static_cast<const BlockedSet<VbTraits>&>(*set);
+  BlockedCursor<VbTraits> cursor(s);
+  uint32_t v;
+  // Same target repeatedly must keep returning the same answer.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(cursor.NextGEQ(values[5000], &v));
+    EXPECT_EQ(v, values[5000]);
+  }
+  // Every single value in ascending order (dense probing).
+  BlockedCursor<VbTraits> c2(s);
+  for (uint32_t x : values) {
+    ASSERT_TRUE(c2.NextGEQ(x, &v));
+    EXPECT_EQ(v, x);
+  }
+}
+
+TEST(RoaringDenseTest, FullChunk) {
+  // A completely full 2^16 chunk plus neighbors.
+  std::vector<uint32_t> values;
+  for (uint32_t i = 0; i < 65536; ++i) values.push_back(65536 + i);
+  values.push_back(5);
+  values.push_back(3 * 65536 + 9);
+  std::sort(values.begin(), values.end());
+  RoaringCodec codec;
+  auto set = codec.Encode(values, uint64_t{1} << 32);
+  std::vector<uint32_t> decoded;
+  codec.Decode(*set, &decoded);
+  EXPECT_EQ(decoded, values);
+  // Intersect the full chunk with a sparse probe inside it.
+  std::vector<uint32_t> probe = {65536 + 17, 2 * 65536 - 1, 3 * 65536 + 9};
+  std::vector<uint32_t> out;
+  codec.IntersectWithList(*set, probe, &out);
+  EXPECT_EQ(out, probe);
+}
+
+TEST(DeserializeValidationTest, RejectsStructuralGarbage) {
+  const auto list = RandomSortedList(1000, 1 << 20, 90);
+  for (const Codec* codec : AllCodecs()) {
+    SCOPED_TRACE(std::string(codec->Name()));
+    auto set = codec->Encode(list, 1 << 20);
+    std::vector<uint8_t> image;
+    codec->Serialize(*set, &image);
+    // Empty buffer.
+    EXPECT_EQ(codec->Deserialize(image.data(), 0), nullptr);
+    // Cut in the middle of the header.
+    EXPECT_EQ(codec->Deserialize(image.data(), 3), nullptr);
+    // Length field claiming more data than present: truncate payload.
+    if (image.size() > 16) {
+      EXPECT_EQ(codec->Deserialize(image.data(), image.size() / 2), nullptr);
+    }
+  }
+}
+
+TEST(HybridBoundaryTest, ThresholdSidesAndCustomThreshold) {
+  const Codec* roaring = FindCodec("Roaring");
+  const Codec* list = FindCodec("SIMDPforDelta*");
+  HybridCodec strict(roaring, list, /*density_threshold=*/0.5);
+  HybridCodec loose(roaring, list, /*density_threshold=*/0.001);
+  auto values = RandomSortedList(10000, 1 << 20, 91);  // density ~0.01
+  auto s1 = strict.Encode(values, 1 << 20);
+  auto s2 = loose.Encode(values, 1 << 20);
+  EXPECT_FALSE(static_cast<const HybridCodec::Set&>(*s1).is_bitmap);
+  EXPECT_TRUE(static_cast<const HybridCodec::Set&>(*s2).is_bitmap);
+  // Both decode identically regardless of the inner representation.
+  std::vector<uint32_t> d1, d2;
+  strict.Decode(*s1, &d1);
+  loose.Decode(*s2, &d2);
+  EXPECT_EQ(d1, values);
+  EXPECT_EQ(d2, values);
+}
+
+TEST(GroupVbTailTest, BlockBoundaryTails) {
+  // Lists whose sizes hit every (block, group-of-4) remainder combination.
+  GroupVbCodec codec;
+  for (size_t n : {127u, 128u, 129u, 255u, 256u, 257u, 130u, 131u}) {
+    auto values = RandomSortedList(n, 1 << 26, 200 + n);
+    auto set = codec.Encode(values, 1 << 26);
+    std::vector<uint32_t> decoded;
+    codec.Decode(*set, &decoded);
+    EXPECT_EQ(decoded, values) << n;
+  }
+}
+
+TEST(EncodeDomainTest, LooseAndTightDomains) {
+  // The domain hint must not change correctness, only (possibly) layout.
+  auto values = RandomSortedList(3000, 1 << 16, 93);
+  for (const Codec* codec : AllCodecs()) {
+    auto tight = codec->Encode(values, 1 << 16);
+    auto loose = codec->Encode(values, uint64_t{1} << 32);
+    std::vector<uint32_t> d1, d2;
+    codec->Decode(*tight, &d1);
+    codec->Decode(*loose, &d2);
+    EXPECT_EQ(d1, values) << codec->Name();
+    EXPECT_EQ(d2, values) << codec->Name();
+  }
+}
+
+}  // namespace
+}  // namespace intcomp

@@ -1,0 +1,160 @@
+// Tests for the SvS multi-list drivers and the query-plan evaluator, run
+// against every codec in the registry.
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/query.h"
+#include "core/registry.h"
+#include "core/set_ops.h"
+#include "test_util.h"
+
+namespace intcomp {
+namespace {
+
+class SetOpsTest : public ::testing::TestWithParam<const Codec*> {
+ protected:
+  const Codec& codec() const { return *GetParam(); }
+
+  std::vector<std::unique_ptr<CompressedSet>> EncodeAll(
+      const std::vector<std::vector<uint32_t>>& lists) const {
+    std::vector<std::unique_ptr<CompressedSet>> sets;
+    for (const auto& l : lists) sets.push_back(codec().Encode(l, 1 << 22));
+    return sets;
+  }
+
+  static std::vector<const CompressedSet*> Ptrs(
+      const std::vector<std::unique_ptr<CompressedSet>>& sets) {
+    std::vector<const CompressedSet*> p;
+    for (const auto& s : sets) p.push_back(s.get());
+    return p;
+  }
+};
+
+TEST_P(SetOpsTest, ThreeWayIntersection) {
+  std::vector<std::vector<uint32_t>> lists = {
+      RandomSortedList(500, 1 << 20, 1),
+      RandomSortedList(20000, 1 << 20, 2),
+      RandomSortedList(100000, 1 << 20, 3),
+  };
+  auto expected = RefIntersect(RefIntersect(lists[0], lists[1]), lists[2]);
+  auto sets = EncodeAll(lists);
+  std::vector<uint32_t> got;
+  IntersectSets(codec(), Ptrs(sets), &got);
+  EXPECT_EQ(got, expected);
+}
+
+TEST_P(SetOpsTest, FiveWayIntersectionWithSharedCore) {
+  // Plant a common subset so the result is non-empty.
+  auto core = RandomSortedList(50, 1 << 20, 9);
+  std::vector<std::vector<uint32_t>> lists;
+  for (uint64_t s = 0; s < 5; ++s) {
+    auto l = RandomSortedList(3000 << s, 1 << 20, 10 + s);
+    l.insert(l.end(), core.begin(), core.end());
+    std::sort(l.begin(), l.end());
+    l.erase(std::unique(l.begin(), l.end()), l.end());
+    lists.push_back(std::move(l));
+  }
+  std::vector<uint32_t> expected = lists[0];
+  for (size_t i = 1; i < lists.size(); ++i) {
+    expected = RefIntersect(expected, lists[i]);
+  }
+  ASSERT_GE(expected.size(), core.size());
+  auto sets = EncodeAll(lists);
+  std::vector<uint32_t> got;
+  IntersectSets(codec(), Ptrs(sets), &got);
+  EXPECT_EQ(got, expected);
+}
+
+TEST_P(SetOpsTest, KWayUnion) {
+  std::vector<std::vector<uint32_t>> lists = {
+      RandomSortedList(100, 1 << 20, 21),
+      RandomSortedList(5000, 1 << 20, 22),
+      RandomSortedList(30000, 1 << 20, 23),
+      RandomSortedList(7, 1 << 20, 24),
+  };
+  std::vector<uint32_t> expected;
+  for (const auto& l : lists) expected = RefUnion(expected, l);
+  auto sets = EncodeAll(lists);
+  std::vector<uint32_t> got;
+  UnionSets(codec(), Ptrs(sets), &got);
+  EXPECT_EQ(got, expected);
+}
+
+TEST_P(SetOpsTest, SingleListOpsDecode) {
+  auto list = RandomSortedList(1000, 1 << 20, 31);
+  auto set = codec().Encode(list, 1 << 22);
+  const CompressedSet* ptr = set.get();
+  std::vector<uint32_t> got;
+  IntersectSets(codec(), std::span(&ptr, 1), &got);
+  EXPECT_EQ(got, list);
+  UnionSets(codec(), std::span(&ptr, 1), &got);
+  EXPECT_EQ(got, list);
+}
+
+TEST_P(SetOpsTest, EmptyIntersectionShortCircuits) {
+  std::vector<std::vector<uint32_t>> lists = {
+      {1, 3, 5},
+      {2, 4, 6},
+      RandomSortedList(1000, 1 << 20, 41),
+  };
+  auto sets = EncodeAll(lists);
+  std::vector<uint32_t> got = {99};
+  IntersectSets(codec(), Ptrs(sets), &got);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST_P(SetOpsTest, Ssb34StylePlan) {
+  // (L0 u L1) n (L2 u L3) n L4 — the paper's Q3.4 shape.
+  std::vector<std::vector<uint32_t>> lists;
+  for (uint64_t s = 0; s < 4; ++s) {
+    lists.push_back(RandomSortedList(4000, 1 << 18, 50 + s));
+  }
+  lists.push_back(RandomSortedList(3000, 1 << 18, 54));
+  auto expected = RefIntersect(
+      RefIntersect(RefUnion(lists[0], lists[1]), RefUnion(lists[2], lists[3])),
+      lists[4]);
+  auto plan = QueryPlan::And(
+      {QueryPlan::Or({QueryPlan::Leaf(0), QueryPlan::Leaf(1)}),
+       QueryPlan::Or({QueryPlan::Leaf(2), QueryPlan::Leaf(3)}),
+       QueryPlan::Leaf(4)});
+  auto sets = EncodeAll(lists);
+  auto got = EvaluatePlan(codec(), plan, Ptrs(sets));
+  EXPECT_EQ(got, expected);
+}
+
+TEST_P(SetOpsTest, Ssb41StylePlan) {
+  // L0 n L1 n (L2 u L3) — the paper's Q4.1 shape.
+  std::vector<std::vector<uint32_t>> lists;
+  for (uint64_t s = 0; s < 4; ++s) {
+    lists.push_back(RandomSortedList(30000, 1 << 18, 60 + s));
+  }
+  auto expected = RefIntersect(RefIntersect(lists[0], lists[1]),
+                               RefUnion(lists[2], lists[3]));
+  auto plan = QueryPlan::And(
+      {QueryPlan::Leaf(0), QueryPlan::Leaf(1),
+       QueryPlan::Or({QueryPlan::Leaf(2), QueryPlan::Leaf(3)})});
+  auto sets = EncodeAll(lists);
+  auto got = EvaluatePlan(codec(), plan, Ptrs(sets));
+  EXPECT_EQ(got, expected);
+}
+
+std::string CodecName(const ::testing::TestParamInfo<const Codec*>& info) {
+  std::string name(info.param->Name());
+  for (char& c : name) {
+    if (c == '*') c = 'S';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, SetOpsTest,
+                         ::testing::ValuesIn(AllCodecs().begin(),
+                                             AllCodecs().end()),
+                         CodecName);
+
+}  // namespace
+}  // namespace intcomp

@@ -1,0 +1,50 @@
+// Shared helpers for the intcomp test suite.
+
+#ifndef INTCOMP_TESTS_TEST_UTIL_H_
+#define INTCOMP_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
+#include "common/prng.h"
+
+namespace intcomp {
+
+// Sorted duplicate-free list of n values < domain (reference generator,
+// independent of workload/synthetic.h).
+inline std::vector<uint32_t> RandomSortedList(size_t n, uint64_t domain,
+                                              uint64_t seed) {
+  Prng rng(seed);
+  std::vector<uint32_t> v;
+  v.reserve(n + 8);
+  while (v.size() < n) {
+    for (size_t i = v.size(); i < n; ++i) {
+      v.push_back(static_cast<uint32_t>(rng.NextBounded(domain)));
+    }
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+  return v;
+}
+
+inline std::vector<uint32_t> RefIntersect(const std::vector<uint32_t>& a,
+                                          const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+inline std::vector<uint32_t> RefUnion(const std::vector<uint32_t>& a,
+                                      const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_TESTS_TEST_UTIL_H_

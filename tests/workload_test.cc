@@ -1,0 +1,124 @@
+// Tests for the synthetic generators and the real-dataset stand-ins.
+
+#include <algorithm>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "workload/datasets.h"
+#include "workload/synthetic.h"
+
+namespace intcomp {
+namespace {
+
+bool IsSortedUnique(const std::vector<uint32_t>& v) {
+  for (size_t i = 1; i < v.size(); ++i) {
+    if (v[i] <= v[i - 1]) return false;
+  }
+  return true;
+}
+
+TEST(UniformTest, SizeSortednessRangeDeterminism) {
+  auto a = GenerateUniform(10000, kPaperDomain, 7);
+  EXPECT_EQ(a.size(), 10000u);
+  EXPECT_TRUE(IsSortedUnique(a));
+  EXPECT_LT(a.back(), kPaperDomain);
+  EXPECT_EQ(a, GenerateUniform(10000, kPaperDomain, 7));
+  EXPECT_NE(a, GenerateUniform(10000, kPaperDomain, 8));
+}
+
+TEST(UniformTest, SpreadsAcrossDomain) {
+  auto a = GenerateUniform(10000, 1u << 30, 9);
+  // Mean of uniform values should be near domain/2.
+  double mean = 0;
+  for (uint32_t v : a) mean += v;
+  mean /= a.size();
+  EXPECT_NEAR(mean, (1u << 29), (1u << 29) * 0.05);
+}
+
+TEST(UniformTest, DenseSampling) {
+  auto a = GenerateUniform(5000, 10000, 3);  // density 0.5
+  EXPECT_EQ(a.size(), 5000u);
+  EXPECT_TRUE(IsSortedUnique(a));
+  EXPECT_LT(a.back(), 10000u);
+}
+
+TEST(ZipfTest, ConcentratesAtDomainStart) {
+  auto a = GenerateZipf(100000, kPaperDomain, 1.0, 11);
+  EXPECT_EQ(a.size(), 100000u);
+  EXPECT_TRUE(IsSortedUnique(a));
+  // The head of the domain is near-fully populated: with n/H ~ 4600, the
+  // first few thousand ranks have inclusion probability ~1.
+  EXPECT_EQ(a[0], 0u);
+  EXPECT_LT(a[1000], 1300u);
+  // The median element is far below the uniform median (~domain/2).
+  EXPECT_LT(a[a.size() / 2], kPaperDomain / 8);
+}
+
+TEST(ZipfTest, Deterministic) {
+  EXPECT_EQ(GenerateZipf(5000, kPaperDomain, 1.0, 3),
+            GenerateZipf(5000, kPaperDomain, 1.0, 3));
+}
+
+TEST(MarkovTest, DensityAndClustering) {
+  const size_t n = 50000;
+  const uint64_t domain = 1u << 22;  // density ~1.2%
+  auto a = GenerateMarkov(n, domain, 8.0, 13);
+  EXPECT_EQ(a.size(), n);
+  EXPECT_TRUE(IsSortedUnique(a));
+  // Clustering: many adjacent pairs (runs of 1s) compared to uniform.
+  size_t adjacent = 0;
+  for (size_t i = 1; i < a.size(); ++i) {
+    if (a[i] == a[i - 1] + 1) ++adjacent;
+  }
+  EXPECT_GT(adjacent, a.size() / 4);
+  // Density near target: the last element should be within ~3x of domain.
+  EXPECT_GT(a.back(), domain / 4);
+}
+
+TEST(DatasetsTest, SsbQueryShapes) {
+  auto queries = MakeSsbQueries(1, 42);
+  ASSERT_EQ(queries.size(), 4u);
+  EXPECT_EQ(queries[0].name, "Q1.1");
+  EXPECT_EQ(queries[0].lists.size(), 3u);
+  EXPECT_NEAR(static_cast<double>(queries[0].lists[0].size()), 6000000.0 / 7,
+              6000000.0 / 7 * 0.01);
+  EXPECT_EQ(queries[2].name, "Q3.4");
+  EXPECT_EQ(queries[2].lists.size(), 5u);
+  EXPECT_EQ(queries[2].plan.op, QueryPlan::Op::kAnd);
+  ASSERT_EQ(queries[2].plan.children.size(), 3u);
+  EXPECT_EQ(queries[2].plan.children[0].op, QueryPlan::Op::kOr);
+}
+
+TEST(DatasetsTest, ExactPaperCardinalities) {
+  auto kdd = MakeKddcupQueries(1);
+  EXPECT_EQ(kdd[0].lists[0].size(), 2833545u);
+  EXPECT_EQ(kdd[0].lists[1].size(), 4195364u);
+  EXPECT_EQ(kdd[1].lists[0].size(), 1051u);
+  auto kegg = MakeKeggQueries(1);
+  EXPECT_EQ(kegg[0].lists[0].size(), 16965u);
+  EXPECT_EQ(kegg[1].lists[1].size(), 1438u);
+  for (const auto& q : kegg) {
+    for (const auto& l : q.lists) {
+      EXPECT_TRUE(IsSortedUnique(l));
+      EXPECT_LT(l.back(), q.domain);
+    }
+  }
+}
+
+TEST(DatasetsTest, WebWorkloadShape) {
+  auto web = MakeWebWorkload(100000, 50, 77);
+  EXPECT_EQ(web.queries.size(), 50u);
+  EXPECT_GE(web.lists.size(), 2u);
+  for (const auto& q : web.queries) {
+    EXPECT_GE(q.size(), 2u);
+    EXPECT_LE(q.size(), 4u);
+    for (size_t li : q) {
+      ASSERT_LT(li, web.lists.size());
+      EXPECT_TRUE(IsSortedUnique(web.lists[li]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace intcomp
