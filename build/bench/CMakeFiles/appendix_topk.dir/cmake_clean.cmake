@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_topk.dir/appendix_topk.cc.o"
+  "CMakeFiles/appendix_topk.dir/appendix_topk.cc.o.d"
+  "appendix_topk"
+  "appendix_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

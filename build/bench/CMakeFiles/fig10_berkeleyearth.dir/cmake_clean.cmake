@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_berkeleyearth.dir/fig10_berkeleyearth.cc.o"
+  "CMakeFiles/fig10_berkeleyearth.dir/fig10_berkeleyearth.cc.o.d"
+  "fig10_berkeleyearth"
+  "fig10_berkeleyearth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_berkeleyearth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_higgs.dir/fig11_higgs.cc.o"
+  "CMakeFiles/fig11_higgs.dir/fig11_higgs.cc.o.d"
+  "fig11_higgs"
+  "fig11_higgs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_higgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_kegg.dir/fig12_kegg.cc.o"
+  "CMakeFiles/fig12_kegg.dir/fig12_kegg.cc.o.d"
+  "fig12_kegg"
+  "fig12_kegg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_kegg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_decompression.dir/fig3_decompression.cc.o"
+  "CMakeFiles/fig3_decompression.dir/fig3_decompression.cc.o.d"
+  "fig3_decompression"
+  "fig3_decompression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_decompression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ssb.dir/fig4_ssb.cc.o"
+  "CMakeFiles/fig4_ssb.dir/fig4_ssb.cc.o.d"
+  "fig4_ssb"
+  "fig4_ssb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ssb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

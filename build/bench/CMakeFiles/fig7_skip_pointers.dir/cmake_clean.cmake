@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_skip_pointers.dir/fig7_skip_pointers.cc.o"
+  "CMakeFiles/fig7_skip_pointers.dir/fig7_skip_pointers.cc.o.d"
+  "fig7_skip_pointers"
+  "fig7_skip_pointers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_skip_pointers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_graph.dir/fig8_graph.cc.o"
+  "CMakeFiles/fig8_graph.dir/fig8_graph.cc.o.d"
+  "fig8_graph"
+  "fig8_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

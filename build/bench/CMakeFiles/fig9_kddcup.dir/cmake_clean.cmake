@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_kddcup.dir/fig9_kddcup.cc.o"
+  "CMakeFiles/fig9_kddcup.dir/fig9_kddcup.cc.o.d"
+  "fig9_kddcup"
+  "fig9_kddcup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_kddcup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_intersection.dir/tab1_intersection.cc.o"
+  "CMakeFiles/tab1_intersection.dir/tab1_intersection.cc.o.d"
+  "tab1_intersection"
+  "tab1_intersection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_intersection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_union.dir/tab2_union.cc.o"
+  "CMakeFiles/tab2_union.dir/tab2_union.cc.o.d"
+  "tab2_union"
+  "tab2_union.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_union.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_ratio.dir/tab3_ratio.cc.o"
+  "CMakeFiles/tab3_ratio.dir/tab3_ratio.cc.o.d"
+  "tab3_ratio"
+  "tab3_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_db.dir/analytics_db.cpp.o"
+  "CMakeFiles/analytics_db.dir/analytics_db.cpp.o.d"
+  "analytics_db"
+  "analytics_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

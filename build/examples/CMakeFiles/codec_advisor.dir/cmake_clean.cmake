@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_advisor.dir/codec_advisor.cpp.o"
+  "CMakeFiles/codec_advisor.dir/codec_advisor.cpp.o.d"
+  "codec_advisor"
+  "codec_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intcomp_cli.dir/intcomp_cli.cpp.o"
+  "CMakeFiles/intcomp_cli.dir/intcomp_cli.cpp.o.d"
+  "intcomp_cli"
+  "intcomp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intcomp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchutil/flags.cc" "src/CMakeFiles/intcomp.dir/benchutil/flags.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/benchutil/flags.cc.o.d"
+  "/root/repo/src/benchutil/report.cc" "src/CMakeFiles/intcomp.dir/benchutil/report.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/benchutil/report.cc.o.d"
+  "/root/repo/src/benchutil/timer.cc" "src/CMakeFiles/intcomp.dir/benchutil/timer.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/benchutil/timer.cc.o.d"
+  "/root/repo/src/bitmap/bbc.cc" "src/CMakeFiles/intcomp.dir/bitmap/bbc.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/bitmap/bbc.cc.o.d"
+  "/root/repo/src/bitmap/bitset.cc" "src/CMakeFiles/intcomp.dir/bitmap/bitset.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/bitmap/bitset.cc.o.d"
+  "/root/repo/src/bitmap/concise.cc" "src/CMakeFiles/intcomp.dir/bitmap/concise.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/bitmap/concise.cc.o.d"
+  "/root/repo/src/bitmap/ewah.cc" "src/CMakeFiles/intcomp.dir/bitmap/ewah.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/bitmap/ewah.cc.o.d"
+  "/root/repo/src/bitmap/plwah.cc" "src/CMakeFiles/intcomp.dir/bitmap/plwah.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/bitmap/plwah.cc.o.d"
+  "/root/repo/src/bitmap/roaring.cc" "src/CMakeFiles/intcomp.dir/bitmap/roaring.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/bitmap/roaring.cc.o.d"
+  "/root/repo/src/bitmap/runstream.cc" "src/CMakeFiles/intcomp.dir/bitmap/runstream.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/bitmap/runstream.cc.o.d"
+  "/root/repo/src/bitmap/sbh.cc" "src/CMakeFiles/intcomp.dir/bitmap/sbh.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/bitmap/sbh.cc.o.d"
+  "/root/repo/src/bitmap/valwah.cc" "src/CMakeFiles/intcomp.dir/bitmap/valwah.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/bitmap/valwah.cc.o.d"
+  "/root/repo/src/bitmap/wah.cc" "src/CMakeFiles/intcomp.dir/bitmap/wah.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/bitmap/wah.cc.o.d"
+  "/root/repo/src/common/bitpack.cc" "src/CMakeFiles/intcomp.dir/common/bitpack.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/common/bitpack.cc.o.d"
+  "/root/repo/src/common/simdpack.cc" "src/CMakeFiles/intcomp.dir/common/simdpack.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/common/simdpack.cc.o.d"
+  "/root/repo/src/common/simdpack256.cc" "src/CMakeFiles/intcomp.dir/common/simdpack256.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/common/simdpack256.cc.o.d"
+  "/root/repo/src/core/codec.cc" "src/CMakeFiles/intcomp.dir/core/codec.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/core/codec.cc.o.d"
+  "/root/repo/src/core/hybrid.cc" "src/CMakeFiles/intcomp.dir/core/hybrid.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/core/hybrid.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/CMakeFiles/intcomp.dir/core/query.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/core/query.cc.o.d"
+  "/root/repo/src/core/registry.cc" "src/CMakeFiles/intcomp.dir/core/registry.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/core/registry.cc.o.d"
+  "/root/repo/src/core/set_ops.cc" "src/CMakeFiles/intcomp.dir/core/set_ops.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/core/set_ops.cc.o.d"
+  "/root/repo/src/core/topk.cc" "src/CMakeFiles/intcomp.dir/core/topk.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/core/topk.cc.o.d"
+  "/root/repo/src/index/bitmap_index.cc" "src/CMakeFiles/intcomp.dir/index/bitmap_index.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/index/bitmap_index.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "src/CMakeFiles/intcomp.dir/index/inverted_index.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/index/inverted_index.cc.o.d"
+  "/root/repo/src/invlist/blocked_list.cc" "src/CMakeFiles/intcomp.dir/invlist/blocked_list.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/invlist/blocked_list.cc.o.d"
+  "/root/repo/src/invlist/groupvb.cc" "src/CMakeFiles/intcomp.dir/invlist/groupvb.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/invlist/groupvb.cc.o.d"
+  "/root/repo/src/invlist/newpfordelta.cc" "src/CMakeFiles/intcomp.dir/invlist/newpfordelta.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/invlist/newpfordelta.cc.o.d"
+  "/root/repo/src/invlist/optpfordelta.cc" "src/CMakeFiles/intcomp.dir/invlist/optpfordelta.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/invlist/optpfordelta.cc.o.d"
+  "/root/repo/src/invlist/pef.cc" "src/CMakeFiles/intcomp.dir/invlist/pef.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/invlist/pef.cc.o.d"
+  "/root/repo/src/invlist/pfordelta.cc" "src/CMakeFiles/intcomp.dir/invlist/pfordelta.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/invlist/pfordelta.cc.o.d"
+  "/root/repo/src/invlist/plain_list.cc" "src/CMakeFiles/intcomp.dir/invlist/plain_list.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/invlist/plain_list.cc.o.d"
+  "/root/repo/src/invlist/simdbp128.cc" "src/CMakeFiles/intcomp.dir/invlist/simdbp128.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/invlist/simdbp128.cc.o.d"
+  "/root/repo/src/invlist/simdpfordelta.cc" "src/CMakeFiles/intcomp.dir/invlist/simdpfordelta.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/invlist/simdpfordelta.cc.o.d"
+  "/root/repo/src/invlist/simple16.cc" "src/CMakeFiles/intcomp.dir/invlist/simple16.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/invlist/simple16.cc.o.d"
+  "/root/repo/src/invlist/simple8b.cc" "src/CMakeFiles/intcomp.dir/invlist/simple8b.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/invlist/simple8b.cc.o.d"
+  "/root/repo/src/invlist/simple9.cc" "src/CMakeFiles/intcomp.dir/invlist/simple9.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/invlist/simple9.cc.o.d"
+  "/root/repo/src/invlist/vb.cc" "src/CMakeFiles/intcomp.dir/invlist/vb.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/invlist/vb.cc.o.d"
+  "/root/repo/src/workload/datasets.cc" "src/CMakeFiles/intcomp.dir/workload/datasets.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/workload/datasets.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/CMakeFiles/intcomp.dir/workload/synthetic.cc.o" "gcc" "src/CMakeFiles/intcomp.dir/workload/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

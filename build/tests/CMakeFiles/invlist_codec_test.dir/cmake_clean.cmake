@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invlist_codec_test.dir/invlist_codec_test.cc.o"
+  "CMakeFiles/invlist_codec_test.dir/invlist_codec_test.cc.o.d"
+  "invlist_codec_test"
+  "invlist_codec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invlist_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

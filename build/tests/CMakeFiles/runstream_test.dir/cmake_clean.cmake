@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runstream_test.dir/runstream_test.cc.o"
+  "CMakeFiles/runstream_test.dir/runstream_test.cc.o.d"
+  "runstream_test"
+  "runstream_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runstream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

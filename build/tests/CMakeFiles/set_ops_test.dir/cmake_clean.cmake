@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_ops_test.dir/set_ops_test.cc.o"
+  "CMakeFiles/set_ops_test.dir/set_ops_test.cc.o.d"
+  "set_ops_test"
+  "set_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

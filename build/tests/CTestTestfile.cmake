@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;7;intcomp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(runstream_test "/root/repo/build/tests/runstream_test")
+set_tests_properties(runstream_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;8;intcomp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(bitmap_codec_test "/root/repo/build/tests/bitmap_codec_test")
+set_tests_properties(bitmap_codec_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;9;intcomp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(invlist_codec_test "/root/repo/build/tests/invlist_codec_test")
+set_tests_properties(invlist_codec_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;10;intcomp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(codec_property_test "/root/repo/build/tests/codec_property_test")
+set_tests_properties(codec_property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;11;intcomp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(set_ops_test "/root/repo/build/tests/set_ops_test")
+set_tests_properties(set_ops_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;12;intcomp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(workload_test "/root/repo/build/tests/workload_test")
+set_tests_properties(workload_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;13;intcomp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(features_test "/root/repo/build/tests/features_test")
+set_tests_properties(features_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;14;intcomp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(index_test "/root/repo/build/tests/index_test")
+set_tests_properties(index_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;15;intcomp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(fuzz_differential_test "/root/repo/build/tests/fuzz_differential_test")
+set_tests_properties(fuzz_differential_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;16;intcomp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(robustness_test "/root/repo/build/tests/robustness_test")
+set_tests_properties(robustness_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;17;intcomp_add_test;/root/repo/tests/CMakeLists.txt;0;")
