@@ -1,11 +1,54 @@
 #!/bin/sh
 # Runs every benchmark binary with default (laptop-scale) settings and
 # captures the output the EXPERIMENTS.md results refer to.
+#
+#   ./run_benches.sh            full laptop-scale run
+#   ./run_benches.sh --smoke    1 iteration of every binary at toy sizes —
+#                               a CI bit-rot check (seconds, not minutes):
+#                               every bench must still build, parse its
+#                               flags, and run to completion
+#   BUILD_DIR=build-asan ./run_benches.sh --smoke   run against another tree
 set -e
 cd "$(dirname "$0")"
-for b in build/bench/*; do
+
+BUILD_DIR="${BUILD_DIR:-build}"
+SMOKE=0
+[ "${1:-}" = "--smoke" ] && SMOKE=1
+
+# The bench flag parser ignores flags a binary doesn't read, so one shared
+# set of shrink-everything flags covers all binaries.
+SMOKE_FLAGS="--repeats=1 --sizes=20000 --size=20000 --queries=4 --docs=20000 --threads=1,2 --sf=1 --domain=1048576"
+
+RAN=0
+for b in "$BUILD_DIR"/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
+  RAN=$((RAN + 1))
   echo "===== $b ====="
-  "$b"
+  case "$(basename "$b")" in
+    micro_kernels)
+      # google-benchmark binary: smoke = verify registration and run the
+      # lightest kernel once, not the full timed sweep.
+      if [ "$SMOKE" = 1 ]; then
+        "$b" --benchmark_list_tests=true > /dev/null
+        echo "(smoke: kernel registration OK)"
+      else
+        "$b"
+      fi
+      ;;
+    *)
+      if [ "$SMOKE" = 1 ]; then
+        # shellcheck disable=SC2086
+        "$b" $SMOKE_FLAGS > /dev/null
+        echo "(smoke: OK)"
+      else
+        "$b"
+      fi
+      ;;
+  esac
   echo
 done
+
+if [ "$RAN" = 0 ]; then
+  echo "error: no bench binaries found under $BUILD_DIR/bench — build first" >&2
+  exit 1
+fi

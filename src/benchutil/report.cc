@@ -31,6 +31,19 @@ void PrintMatrix(const std::string& title,
   std::fflush(stdout);
 }
 
+void PrintScalingBlock(const std::string& title,
+                       const std::vector<ScalingRow>& rows) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%-8s %12s %9s %12s %8s %6s\n", "threads", "time(ms)", "speedup",
+              "qps", "steals", "busy");
+  for (const ScalingRow& r : rows) {
+    std::printf("%-8zu %12.3f %8.2fx %12.0f %8llu %6.2f\n", r.threads,
+                r.time_ms, r.speedup, r.qps,
+                static_cast<unsigned long long>(r.steals), r.busy_fraction);
+  }
+  std::fflush(stdout);
+}
+
 void PrintPaperShape(const std::string& claim) {
   std::printf("# paper-shape: %s\n", claim.c_str());
   std::fflush(stdout);

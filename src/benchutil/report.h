@@ -33,6 +33,23 @@ void PrintMatrix(const std::string& title,
 // panel is expected to reproduce.
 void PrintPaperShape(const std::string& claim);
 
+// One thread-count sample of a parallel scaling sweep (tab1_parallel).
+struct ScalingRow {
+  size_t threads = 0;
+  double time_ms = 0;
+  double speedup = 0;        // vs the 1-thread row of the same sweep
+  double qps = 0;            // queries per second
+  uint64_t steals = 0;       // work-stealing events during the batch
+  double busy_fraction = 0;  // worker time inside tasks, in [0, 1]
+};
+
+// Prints a per-codec scaling block: one row per thread count with speedup
+// relative to single-threaded, e.g.
+//   == tab1_parallel: Roaring, uniform/1000000 ==
+//   threads     time(ms)   speedup         qps   steals  busy
+void PrintScalingBlock(const std::string& title,
+                       const std::vector<ScalingRow>& rows);
+
 }  // namespace intcomp
 
 #endif  // INTCOMP_BENCHUTIL_REPORT_H_

@@ -8,23 +8,29 @@
 namespace intcomp {
 namespace {
 
-std::vector<uint32_t> Evaluate(const Codec& codec, const QueryPlan& plan,
-                               std::span<const CompressedSet* const> sets) {
+// Writes the plan's result into *out (cleared first). Temporaries are
+// leased from `arena`; `out` itself is caller storage so results can
+// outlive the evaluation.
+void Evaluate(const Codec& codec, const QueryPlan& plan,
+              std::span<const CompressedSet* const> sets, ScratchArena& arena,
+              std::vector<uint32_t>* out) {
+  out->clear();
   switch (plan.op) {
     case QueryPlan::Op::kLeaf: {
-      std::vector<uint32_t> out;
-      codec.Decode(*sets[plan.leaf], &out);
-      return out;
+      codec.Decode(*sets[plan.leaf], out);
+      return;
     }
     case QueryPlan::Op::kAnd: {
       // Materialize non-leaf children; keep leaves compressed for SvS.
       std::vector<const CompressedSet*> leaves;
-      std::vector<std::vector<uint32_t>> materialized;
+      std::vector<ScratchArena::Lease> materialized;
       for (const QueryPlan& child : plan.children) {
         if (child.op == QueryPlan::Op::kLeaf) {
           leaves.push_back(sets[child.leaf]);
         } else {
-          materialized.push_back(Evaluate(codec, child, sets));
+          ScratchArena::Lease sub = arena.Acquire();
+          Evaluate(codec, child, sets, arena, sub.get());
+          materialized.push_back(std::move(sub));
         }
       }
       std::sort(leaves.begin(), leaves.end(),
@@ -32,71 +38,80 @@ std::vector<uint32_t> Evaluate(const Codec& codec, const QueryPlan& plan,
                   return a->Cardinality() < b->Cardinality();
                 });
       std::sort(materialized.begin(), materialized.end(),
-                [](const auto& a, const auto& b) { return a.size() < b.size(); });
+                [](const auto& a, const auto& b) { return a->size() < b->size(); });
 
-      std::vector<uint32_t> result;
-      std::vector<uint32_t> next;
+      ScratchArena::Lease next = arena.Acquire();
       size_t li = 0;
       if (!materialized.empty()) {
-        result = std::move(materialized[0]);
+        out->swap(*materialized[0]);
         // Merge-intersect the other materialized results.
         for (size_t i = 1; i < materialized.size(); ++i) {
-          IntersectLists(result, materialized[i], &next);
-          result.swap(next);
+          IntersectLists(*out, *materialized[i], next.get());
+          out->swap(*next);
         }
       } else if (leaves.size() == 1) {
-        codec.Decode(*leaves[0], &result);
+        codec.Decode(*leaves[0], out);
         li = 1;
       } else {
-        codec.Intersect(*leaves[0], *leaves[1], &result);
+        codec.Intersect(*leaves[0], *leaves[1], out);
         li = 2;
       }
-      for (; li < leaves.size() && !result.empty(); ++li) {
+      for (; li < leaves.size() && !out->empty(); ++li) {
         // Probe the smaller side: when the running result is much larger
         // than the leaf (e.g. a wide union ANDed with a selective
         // predicate), decode the leaf and gallop it into the result instead
         // of pushing every result element through the leaf's skip index.
-        if (leaves[li]->Cardinality() * 8 < result.size()) {
-          std::vector<uint32_t> decoded;
-          codec.Decode(*leaves[li], &decoded);
-          GallopIntersect(decoded, result, &next);
+        if (leaves[li]->Cardinality() * 8 < out->size()) {
+          ScratchArena::Lease decoded = arena.Acquire();
+          codec.Decode(*leaves[li], decoded.get());
+          GallopIntersect(*decoded, *out, next.get());
         } else {
-          codec.IntersectWithList(*leaves[li], result, &next);
+          codec.IntersectWithList(*leaves[li], *out, next.get());
         }
-        result.swap(next);
+        out->swap(*next);
       }
-      return result;
+      return;
     }
     case QueryPlan::Op::kOr:
     default: {
       std::vector<const CompressedSet*> leaves;
-      std::vector<std::vector<uint32_t>> materialized;
+      std::vector<ScratchArena::Lease> materialized;
       for (const QueryPlan& child : plan.children) {
         if (child.op == QueryPlan::Op::kLeaf) {
           leaves.push_back(sets[child.leaf]);
         } else {
-          materialized.push_back(Evaluate(codec, child, sets));
+          ScratchArena::Lease sub = arena.Acquire();
+          Evaluate(codec, child, sets, arena, sub.get());
+          materialized.push_back(std::move(sub));
         }
       }
-      std::vector<uint32_t> result;
       if (!leaves.empty()) {
-        UnionSets(codec, leaves, &result);
+        UnionSets(codec, leaves, &arena, out);
       }
-      std::vector<uint32_t> merged;
-      for (auto& m : materialized) {
-        UnionLists(result, m, &merged);
-        result.swap(merged);
+      ScratchArena::Lease merged = arena.Acquire();
+      for (const auto& m : materialized) {
+        UnionLists(*out, *m, merged.get());
+        out->swap(*merged);
       }
-      return result;
+      return;
     }
   }
 }
 
 }  // namespace
 
+void EvaluatePlan(const Codec& codec, const QueryPlan& plan,
+                  std::span<const CompressedSet* const> sets,
+                  ScratchArena* arena, std::vector<uint32_t>* out) {
+  Evaluate(codec, plan, sets, *arena, out);
+}
+
 std::vector<uint32_t> EvaluatePlan(const Codec& codec, const QueryPlan& plan,
                                    std::span<const CompressedSet* const> sets) {
-  return Evaluate(codec, plan, sets);
+  ScratchArena arena;
+  std::vector<uint32_t> out;
+  Evaluate(codec, plan, sets, arena, &out);
+  return out;
 }
 
 }  // namespace intcomp

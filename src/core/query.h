@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/codec.h"
+#include "core/scratch.h"
 
 namespace intcomp {
 
@@ -40,10 +41,19 @@ struct QueryPlan {
   }
 };
 
-// Evaluates `plan` over the compressed inputs. AND nodes use SvS over leaf
-// children (keeping them compressed) and probe already-materialized
+// Evaluates `plan` over the compressed inputs into `out`. AND nodes use SvS
+// over leaf children (keeping them compressed) and probe already-materialized
 // sub-results; OR nodes union leaves on the compressed form first, then
-// merge in materialized sub-results.
+// merge in materialized sub-results. All intermediate lists are leased from
+// `arena`; only `out`'s own growth allocates, so a caller that keeps one
+// arena across a query stream (e.g. the batch engine's per-worker arenas)
+// pays no per-query temporary allocation. The result is a pure function of
+// (codec, plan, sets) — the arena never changes what is computed.
+void EvaluatePlan(const Codec& codec, const QueryPlan& plan,
+                  std::span<const CompressedSet* const> sets,
+                  ScratchArena* arena, std::vector<uint32_t>* out);
+
+// Convenience form with a throwaway arena per call.
 std::vector<uint32_t> EvaluatePlan(const Codec& codec, const QueryPlan& plan,
                                    std::span<const CompressedSet* const> sets);
 

@@ -6,7 +6,7 @@ namespace intcomp {
 
 void IntersectSets(const Codec& codec,
                    std::span<const CompressedSet* const> sets,
-                   std::vector<uint32_t>* out) {
+                   ScratchArena* arena, std::vector<uint32_t>* out) {
   out->clear();
   if (sets.empty()) return;
   if (sets.size() == 1) {
@@ -19,15 +19,15 @@ void IntersectSets(const Codec& codec,
               return a->Cardinality() < b->Cardinality();
             });
   codec.Intersect(*order[0], *order[1], out);
-  std::vector<uint32_t> next;
+  ScratchArena::Lease next = arena->Acquire();
   for (size_t i = 2; i < order.size() && !out->empty(); ++i) {
-    codec.IntersectWithList(*order[i], *out, &next);
-    out->swap(next);
+    codec.IntersectWithList(*order[i], *out, next.get());
+    out->swap(*next);
   }
 }
 
 void UnionSets(const Codec& codec, std::span<const CompressedSet* const> sets,
-               std::vector<uint32_t>* out) {
+               ScratchArena* arena, std::vector<uint32_t>* out) {
   out->clear();
   if (sets.empty()) return;
   if (sets.size() == 1) {
@@ -40,11 +40,13 @@ void UnionSets(const Codec& codec, std::span<const CompressedSet* const> sets,
   }
   // k-way merge over the decoded lists: one pass instead of k-1 pairwise
   // passes over the accumulated result.
-  std::vector<std::vector<uint32_t>> decoded(sets.size());
+  std::vector<ScratchArena::Lease> decoded;
+  decoded.reserve(sets.size());
   size_t total = 0;
   for (size_t i = 0; i < sets.size(); ++i) {
-    codec.Decode(*sets[i], &decoded[i]);
-    total += decoded[i].size();
+    decoded.push_back(arena->Acquire());
+    codec.Decode(*sets[i], decoded.back().get());
+    total += decoded.back()->size();
   }
   out->reserve(total);
   struct Cursor {
@@ -54,7 +56,7 @@ void UnionSets(const Codec& codec, std::span<const CompressedSet* const> sets,
   auto later = [](const Cursor& a, const Cursor& b) { return *a.p > *b.p; };
   std::vector<Cursor> heap;
   for (const auto& d : decoded) {
-    if (!d.empty()) heap.push_back({d.data(), d.data() + d.size()});
+    if (!d->empty()) heap.push_back({d->data(), d->data() + d->size()});
   }
   std::make_heap(heap.begin(), heap.end(), later);
   uint32_t last = 0;
@@ -74,6 +76,19 @@ void UnionSets(const Codec& codec, std::span<const CompressedSet* const> sets,
       std::push_heap(heap.begin(), heap.end(), later);
     }
   }
+}
+
+void IntersectSets(const Codec& codec,
+                   std::span<const CompressedSet* const> sets,
+                   std::vector<uint32_t>* out) {
+  ScratchArena arena;
+  IntersectSets(codec, sets, &arena, out);
+}
+
+void UnionSets(const Codec& codec, std::span<const CompressedSet* const> sets,
+               std::vector<uint32_t>* out) {
+  ScratchArena arena;
+  UnionSets(codec, sets, &arena, out);
 }
 
 void DifferenceSets(const Codec& codec, const CompressedSet& a,

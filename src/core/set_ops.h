@@ -13,16 +13,27 @@
 #include <vector>
 
 #include "core/codec.h"
+#include "core/scratch.h"
 
 namespace intcomp {
 
-// out = sets[0] AND ... AND sets[k-1]. k >= 1.
+// out = sets[0] AND ... AND sets[k-1]. k >= 1 (k == 1 decodes; k == 0
+// clears `out`). Intermediate lists come from `arena`, so a caller that
+// keeps one arena across queries pays no per-query allocation for them.
+void IntersectSets(const Codec& codec,
+                   std::span<const CompressedSet* const> sets,
+                   ScratchArena* arena, std::vector<uint32_t>* out);
+
+// out = sets[0] OR ... OR sets[k-1]. k >= 1 (k == 0 clears `out`). For
+// k > 2 the decoded lists are merged with a k-way heap rather than repeated
+// pairwise passes. Decode buffers come from `arena`.
+void UnionSets(const Codec& codec, std::span<const CompressedSet* const> sets,
+               ScratchArena* arena, std::vector<uint32_t>* out);
+
+// Convenience forms with a throwaway arena per call.
 void IntersectSets(const Codec& codec,
                    std::span<const CompressedSet* const> sets,
                    std::vector<uint32_t>* out);
-
-// out = sets[0] OR ... OR sets[k-1]. k >= 1. For k > 2 the decoded lists
-// are merged with a k-way heap rather than repeated pairwise passes.
 void UnionSets(const Codec& codec, std::span<const CompressedSet* const> sets,
                std::vector<uint32_t>* out);
 

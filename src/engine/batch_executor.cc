@@ -1,0 +1,73 @@
+#include "engine/batch_executor.h"
+
+#include "benchutil/timer.h"
+
+namespace intcomp {
+
+BatchExecutor::BatchExecutor(ThreadPool* pool) : pool_(pool) {
+  arenas_.reserve(pool_->NumWorkers());
+  for (size_t w = 0; w < pool_->NumWorkers(); ++w) {
+    arenas_.push_back(std::make_unique<ScratchArena>());
+  }
+}
+
+std::vector<std::vector<uint32_t>> BatchExecutor::Execute(
+    const QueryBatch& batch, BatchReport* report) {
+  const size_t nworkers = pool_->NumWorkers();
+  const size_t nplans = batch.plans.size();
+  std::vector<std::vector<uint32_t>> results(nplans);
+
+  // Snapshot the pool's monotonic counters so the report holds per-batch
+  // deltas even when the pool is re-used across batches.
+  std::vector<uint64_t> steals0(nworkers), busy0(nworkers), idle0(nworkers);
+  for (size_t w = 0; w < nworkers; ++w) {
+    steals0[w] = pool_->Steals(w);
+    busy0[w] = pool_->BusyNs(w);
+    idle0[w] = pool_->IdleNs(w);
+  }
+
+  // Per-worker tallies, padded so workers never write the same cache line.
+  struct alignas(64) Tally {
+    uint64_t queries = 0;
+    uint64_t result_ints = 0;
+  };
+  std::vector<Tally> tallies(nworkers);
+
+  WallTimer timer;
+  const Codec* codec = batch.codec;
+  const std::span<const QueryPlan> plans = batch.plans;
+  const std::span<const CompressedSet* const> sets = batch.sets;
+  for (size_t q = 0; q < nplans; ++q) {
+    pool_->Submit([this, codec, plans, sets, &results, &tallies,
+                   q](size_t worker) {
+      std::vector<uint32_t>& out = results[q];
+      EvaluatePlan(*codec, plans[q], sets, arenas_[worker].get(), &out);
+      tallies[worker].queries += 1;
+      tallies[worker].result_ints += out.size();
+    });
+  }
+  pool_->Wait();
+  const double wall_ms = timer.ElapsedMs();
+
+  if (report != nullptr) {
+    report->per_worker.assign(nworkers, WorkerCounters{});
+    report->wall_ms = wall_ms;
+    for (size_t w = 0; w < nworkers; ++w) {
+      WorkerCounters& c = report->per_worker[w];
+      c.queries = tallies[w].queries;
+      c.result_ints = tallies[w].result_ints;
+      c.steals = pool_->Steals(w) - steals0[w];
+      c.busy_ns = pool_->BusyNs(w) - busy0[w];
+      c.idle_ns = pool_->IdleNs(w) - idle0[w];
+    }
+  }
+  return results;
+}
+
+size_t BatchExecutor::ScratchBuffers() const {
+  size_t total = 0;
+  for (const auto& a : arenas_) total += a->BuffersAllocated();
+  return total;
+}
+
+}  // namespace intcomp

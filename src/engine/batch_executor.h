@@ -1,0 +1,66 @@
+// Parallel batch evaluation of query plans over a shared immutable index.
+//
+// One task per query is scheduled onto the work-stealing pool; each task
+// runs the exact same serial algorithm as EvaluatePlan, writing into its
+// own result slot and drawing temporaries from the executing worker's
+// ScratchArena. Because queries never share mutable state and the per-query
+// algorithm is untouched, results are bit-identical to the serial path
+// regardless of thread count or schedule — the determinism guarantee the
+// differential tests pin down.
+//
+// Arena ownership: the executor owns NumWorkers() arenas, created lazily on
+// first Execute and kept across batches, so decode-buffer capacity warms up
+// once and steady-state batches allocate only their result storage. An
+// arena is only ever touched by the worker whose index it carries, which is
+// what makes the unlocked arena safe.
+//
+// The CompressedSets and the codec must stay alive and unmodified for the
+// duration of Execute; codecs are stateless (core/codec.h) so one codec
+// instance may serve all workers concurrently.
+
+#ifndef INTCOMP_ENGINE_BATCH_EXECUTOR_H_
+#define INTCOMP_ENGINE_BATCH_EXECUTOR_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/codec.h"
+#include "core/query.h"
+#include "core/scratch.h"
+#include "engine/engine_stats.h"
+#include "engine/thread_pool.h"
+
+namespace intcomp {
+
+// A batch: every plan is evaluated with `codec` against the shared `sets`
+// slice (plans reference sets by index, as in EvaluatePlan).
+struct QueryBatch {
+  const Codec* codec = nullptr;
+  std::span<const QueryPlan> plans;
+  std::span<const CompressedSet* const> sets;
+};
+
+class BatchExecutor {
+ public:
+  // The pool is borrowed and may be shared by several executors over its
+  // lifetime (not concurrently — Execute assumes the pool quiesces for it).
+  explicit BatchExecutor(ThreadPool* pool);
+
+  // Evaluates all plans; element i of the result corresponds to plans[i].
+  // When `report` is non-null it is overwritten with this batch's counters
+  // (deltas only — consecutive batches on a re-used pool don't accumulate).
+  std::vector<std::vector<uint32_t>> Execute(const QueryBatch& batch,
+                                             BatchReport* report = nullptr);
+
+  // Total scratch buffers currently retained across all worker arenas.
+  size_t ScratchBuffers() const;
+
+ private:
+  ThreadPool* pool_;
+  std::vector<std::unique_ptr<ScratchArena>> arenas_;  // one per worker
+};
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_ENGINE_BATCH_EXECUTOR_H_

@@ -1,0 +1,47 @@
+// Per-worker execution counters for the batch query engine.
+//
+// The executor fills one WorkerCounters per pool worker for each batch
+// (steal / busy / idle numbers are deltas against the pool's monotonic
+// counters, so re-using a pool across batches never double-counts), then
+// merges them into a BatchReport that benches print as a per-core scaling
+// table.
+
+#ifndef INTCOMP_ENGINE_ENGINE_STATS_H_
+#define INTCOMP_ENGINE_ENGINE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace intcomp {
+
+struct WorkerCounters {
+  uint64_t queries = 0;      // plans this worker evaluated
+  uint64_t result_ints = 0;  // integers materialized into result lists
+  uint64_t steals = 0;       // tasks taken from another worker's deque
+  uint64_t busy_ns = 0;      // wall time inside tasks
+  uint64_t idle_ns = 0;      // wall time asleep waiting for work
+
+  WorkerCounters& operator+=(const WorkerCounters& o);
+};
+
+struct BatchReport {
+  std::vector<WorkerCounters> per_worker;
+  double wall_ms = 0;  // batch wall time as seen by the submitting thread
+
+  size_t NumWorkers() const { return per_worker.size(); }
+
+  // Sum of all workers' counters.
+  WorkerCounters Totals() const;
+
+  // Fraction of worker wall time spent inside tasks, in [0, 1];
+  // the per-core scaling headroom indicator benches print.
+  double BusyFraction() const;
+
+  // Multi-line human-readable table: one row per worker plus a totals row.
+  std::string ToString() const;
+};
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_ENGINE_ENGINE_STATS_H_

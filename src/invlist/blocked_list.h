@@ -183,7 +183,11 @@ class BlockedListCodec final : public Codec {
     }
     // Trailing slack so block decoders may use word-sized loads that read a
     // few bytes past the last value (e.g. GroupVB's masked 4-byte loads).
-    set->data.insert(set->data.end(), 4, 0);
+    // An empty list has no blocks to decode, so it carries no slack either —
+    // SizeInBytes() == 0, matching the bitmap codecs' empty footprint.
+    if (!sorted.empty()) {
+      set->data.insert(set->data.end(), 4, 0);
+    }
     set->data.shrink_to_fit();
     return set;
   }

@@ -1,0 +1,304 @@
+// Tests for the batch query engine: the work-stealing pool, the batch
+// executor's determinism guarantee (1 thread == N threads == serial
+// EvaluatePlan, for every codec), stats accounting across re-used pools,
+// and a small-query stress run to shake out races. This binary is the one
+// the INTCOMP_SANITIZE=thread CI job exercises.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "core/registry.h"
+#include "engine/batch_executor.h"
+#include "engine/thread_pool.h"
+#include "test_util.h"
+#include "workload/synthetic.h"
+
+namespace intcomp {
+namespace {
+
+constexpr size_t kStressThreads = 8;  // the sanitizer job's thread count
+
+struct Workload {
+  std::vector<std::vector<uint32_t>> lists;
+  std::vector<QueryPlan> plans;
+  uint64_t domain = 0;
+};
+
+// A mixed AND/OR plan load over one distribution's lists: pairwise ANDs
+// with the Table-1 size skew, plus SSB-style (a OR b) AND c shapes.
+Workload MakeWorkload(const char* dist, size_t nlists, size_t nplans) {
+  Workload w;
+  w.domain = 1 << 20;
+  for (size_t i = 0; i < nlists; ++i) {
+    const size_t n = 200 + 600 * (i % 4);
+    const uint64_t seed = 1000 + i;
+    if (std::string_view(dist) == "uniform") {
+      w.lists.push_back(GenerateUniform(n, w.domain, seed));
+    } else if (std::string_view(dist) == "zipf") {
+      w.lists.push_back(GenerateZipf(n, w.domain, kPaperZipfSkew, seed));
+    } else {
+      w.lists.push_back(GenerateMarkov(n, w.domain, kPaperMarkovClustering, seed));
+    }
+  }
+  Prng rng(42);
+  for (size_t q = 0; q < nplans; ++q) {
+    const size_t a = rng.NextBounded(nlists);
+    const size_t b = rng.NextBounded(nlists);
+    const size_t c = rng.NextBounded(nlists);
+    switch (q % 3) {
+      case 0:
+        w.plans.push_back(QueryPlan::And({QueryPlan::Leaf(a), QueryPlan::Leaf(b)}));
+        break;
+      case 1:
+        w.plans.push_back(QueryPlan::Or({QueryPlan::Leaf(a), QueryPlan::Leaf(b)}));
+        break;
+      default:
+        w.plans.push_back(QueryPlan::And(
+            {QueryPlan::Or({QueryPlan::Leaf(a), QueryPlan::Leaf(b)}),
+             QueryPlan::Leaf(c)}));
+        break;
+    }
+  }
+  return w;
+}
+
+struct EncodedWorkload {
+  std::vector<std::unique_ptr<CompressedSet>> sets;
+  std::vector<const CompressedSet*> ptrs;
+};
+
+EncodedWorkload Encode(const Codec& codec, const Workload& w) {
+  EncodedWorkload e;
+  for (const auto& l : w.lists) {
+    e.sets.push_back(codec.Encode(l, w.domain));
+    e.ptrs.push_back(e.sets.back().get());
+  }
+  return e;
+}
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, RunsEverySubmittedTaskExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kTasks = 1000;
+  std::vector<std::atomic<int>> ran(kTasks);
+  for (size_t i = 0; i < kTasks; ++i) {
+    pool.Submit([&ran, i](size_t) { ran[i].fetch_add(1); });
+  }
+  pool.Wait();
+  for (size_t i = 0; i < kTasks; ++i) EXPECT_EQ(ran[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeOnce) {
+  ThreadPool pool(kStressThreads);
+  std::vector<uint32_t> hits(10007, 0);  // one slot per index: no two tasks
+                                         // share an index, so plain writes
+  pool.ParallelFor(100, 10007, [&](size_t i, size_t) { hits[i] += 1; });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], i >= 100 ? 1u : 0u) << "index " << i;
+  }
+  pool.ParallelFor(5, 5, [&](size_t, size_t) { FAIL() << "empty range ran"; });
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossGenerations) {
+  ThreadPool pool(3);
+  std::atomic<uint64_t> sum{0};
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&sum](size_t) { sum.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(sum.load(), static_cast<uint64_t>((round + 1) * 50));
+  }
+}
+
+TEST(ThreadPoolTest, TasksSeeTheExecutingWorkerIndex) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> bad{0};
+  pool.ParallelFor(0, 4000, [&](size_t, size_t worker) {
+    if (worker >= pool.NumWorkers()) bad.fetch_add(1);
+  });
+  EXPECT_EQ(bad.load(), 0u);
+}
+
+// ------------------------------------------------------------- determinism
+
+class EngineDeterminismTest : public ::testing::TestWithParam<const Codec*> {};
+
+TEST_P(EngineDeterminismTest, BatchMatchesSerialOnEveryDistribution) {
+  const Codec& codec = *GetParam();
+  for (const char* dist : {"uniform", "zipf", "markov"}) {
+    SCOPED_TRACE(dist);
+    const Workload w = MakeWorkload(dist, 10, 60);
+    const EncodedWorkload e = Encode(codec, w);
+
+    // Serial reference, via the arena-free legacy entry point.
+    std::vector<std::vector<uint32_t>> ref;
+    ref.reserve(w.plans.size());
+    for (const QueryPlan& p : w.plans) {
+      ref.push_back(EvaluatePlan(codec, p, e.ptrs));
+    }
+
+    for (size_t threads : {size_t{1}, kStressThreads}) {
+      SCOPED_TRACE(threads);
+      ThreadPool pool(threads);
+      BatchExecutor exec(&pool);
+      const QueryBatch batch{&codec, w.plans, e.ptrs};
+      // Two rounds through the same executor: warm arenas must not change
+      // results.
+      for (int round = 0; round < 2; ++round) {
+        const auto got = exec.Execute(batch);
+        ASSERT_EQ(got.size(), ref.size());
+        for (size_t q = 0; q < ref.size(); ++q) {
+          ASSERT_EQ(got[q], ref[q]) << "query " << q << " round " << round;
+        }
+      }
+    }
+  }
+}
+
+std::string CodecName(const ::testing::TestParamInfo<const Codec*>& info) {
+  std::string name(info.param->Name());
+  for (char& c : name) {
+    if (c == '*') c = 'S';
+  }
+  return name;
+}
+
+std::vector<const Codec*> AllPlusExtensions() {
+  std::vector<const Codec*> codecs(AllCodecs().begin(), AllCodecs().end());
+  codecs.insert(codecs.end(), ExtensionCodecs().begin(),
+                ExtensionCodecs().end());
+  return codecs;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, EngineDeterminismTest,
+                         ::testing::ValuesIn(AllPlusExtensions()), CodecName);
+
+// ------------------------------------------------------------------ stress
+
+TEST(EngineStressTest, TenThousandTinyQueries) {
+  // 10k near-empty queries: task scheduling dominates the work, which is
+  // exactly where submission/steal/quiescence races would surface. Run
+  // under INTCOMP_SANITIZE=thread this is the engine's race detector.
+  const Codec* codec = FindCodec("Roaring");
+  ASSERT_NE(codec, nullptr);
+  const uint64_t domain = 1 << 16;
+  Prng rng(7);
+  std::vector<std::vector<uint32_t>> lists;
+  for (size_t i = 0; i < 64; ++i) {
+    lists.push_back(RandomSortedList(1 + rng.NextBounded(8), domain, 500 + i));
+  }
+  std::vector<std::unique_ptr<CompressedSet>> sets;
+  std::vector<const CompressedSet*> ptrs;
+  for (const auto& l : lists) {
+    sets.push_back(codec->Encode(l, domain));
+    ptrs.push_back(sets.back().get());
+  }
+  std::vector<QueryPlan> plans;
+  plans.reserve(10000);
+  for (size_t q = 0; q < 10000; ++q) {
+    const size_t a = rng.NextBounded(lists.size());
+    const size_t b = rng.NextBounded(lists.size());
+    plans.push_back(q % 2 == 0
+                        ? QueryPlan::And({QueryPlan::Leaf(a), QueryPlan::Leaf(b)})
+                        : QueryPlan::Or({QueryPlan::Leaf(a), QueryPlan::Leaf(b)}));
+  }
+
+  ThreadPool pool(kStressThreads);
+  BatchExecutor exec(&pool);
+  BatchReport report;
+  const auto got = exec.Execute({codec, plans, ptrs}, &report);
+
+  ASSERT_EQ(got.size(), plans.size());
+  for (size_t q = 0; q < plans.size(); ++q) {
+    const auto& a = lists[plans[q].children[0].leaf];
+    const auto& b = lists[plans[q].children[1].leaf];
+    const auto ref = q % 2 == 0 ? RefIntersect(a, b) : RefUnion(a, b);
+    ASSERT_EQ(got[q], ref) << "query " << q;
+  }
+  EXPECT_EQ(report.Totals().queries, plans.size());
+}
+
+// ------------------------------------------------------------ engine stats
+
+TEST(EngineStatsTest, CountersSumAcrossWorkers) {
+  const Codec* codec = FindCodec("WAH");
+  ASSERT_NE(codec, nullptr);
+  const Workload w = MakeWorkload("uniform", 8, 100);
+  const EncodedWorkload e = Encode(*codec, w);
+
+  ThreadPool pool(4);
+  BatchExecutor exec(&pool);
+  BatchReport report;
+  const auto results = exec.Execute({codec, w.plans, e.ptrs}, &report);
+
+  ASSERT_EQ(report.NumWorkers(), pool.NumWorkers());
+  const WorkerCounters totals = report.Totals();
+  EXPECT_EQ(totals.queries, w.plans.size());
+  size_t result_ints = 0;
+  for (const auto& r : results) result_ints += r.size();
+  EXPECT_EQ(totals.result_ints, result_ints);
+  uint64_t queries_by_worker = 0;
+  for (const auto& c : report.per_worker) queries_by_worker += c.queries;
+  EXPECT_EQ(queries_by_worker, totals.queries);
+  EXPECT_GT(totals.busy_ns, 0u);
+  const std::string table = report.ToString();
+  EXPECT_NE(table.find("total"), std::string::npos);
+}
+
+TEST(EngineStatsTest, ReusedPoolDoesNotDoubleCount) {
+  // Two consecutive batches through the same pool+executor: each report
+  // must hold only its own batch's numbers, and the steal/busy/idle deltas
+  // must not accumulate the first batch's totals.
+  const Codec* codec = FindCodec("SIMDBP128");
+  ASSERT_NE(codec, nullptr);
+  const Workload w = MakeWorkload("markov", 8, 80);
+  const EncodedWorkload e = Encode(*codec, w);
+
+  ThreadPool pool(4);
+  BatchExecutor exec(&pool);
+  const QueryBatch batch{codec, w.plans, e.ptrs};
+  BatchReport first, second;
+  const auto r1 = exec.Execute(batch, &first);
+  const auto r2 = exec.Execute(batch, &second);
+  ASSERT_EQ(r1, r2);
+
+  EXPECT_EQ(first.Totals().queries, w.plans.size());
+  EXPECT_EQ(second.Totals().queries, w.plans.size());
+  EXPECT_EQ(second.Totals().result_ints, first.Totals().result_ints);
+  // Busy time is per-batch: batch 2's total can't include batch 1's too.
+  // (Generous 4x bound — scheduling noise, but not 2-batches-in-one.)
+  EXPECT_LT(second.Totals().busy_ns,
+            4 * std::max<uint64_t>(first.Totals().busy_ns, 1));
+
+  // The scratch arenas persist across batches, so the buffer population is
+  // bounded by workers x plan depth — not by query count. (An exact
+  // across-batch equality would be flaky: stealing may hand a different
+  // worker the deepest plan on a later run and warm that one arena up.)
+  for (int round = 0; round < 10; ++round) exec.Execute(batch, nullptr);
+  EXPECT_LE(exec.ScratchBuffers(), pool.NumWorkers() * 8)
+      << "scratch buffers scale with queries, not workers: reuse is broken";
+}
+
+TEST(EngineStatsTest, BusyFractionIsBounded) {
+  BatchReport r;
+  r.per_worker.assign(2, WorkerCounters{});
+  EXPECT_EQ(r.BusyFraction(), 0.0);
+  r.per_worker[0].busy_ns = 300;
+  r.per_worker[1].idle_ns = 100;
+  EXPECT_DOUBLE_EQ(r.BusyFraction(), 0.75);
+  WorkerCounters sum = r.Totals();
+  EXPECT_EQ(sum.busy_ns, 300u);
+  EXPECT_EQ(sum.idle_ns, 100u);
+}
+
+}  // namespace
+}  // namespace intcomp

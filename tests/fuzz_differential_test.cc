@@ -5,6 +5,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <set>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -12,6 +14,8 @@
 #include "common/prng.h"
 #include "core/registry.h"
 #include "core/set_ops.h"
+#include "engine/batch_executor.h"
+#include "engine/thread_pool.h"
 #include "test_util.h"
 #include "workload/synthetic.h"
 
@@ -126,6 +130,160 @@ TEST_P(FuzzDifferentialTest, MultiListPlansAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Rounds, FuzzDifferentialTest,
                          ::testing::Range<uint64_t>(0, 12));
+
+// ------------------------------------------------- adversarial fixed shapes
+//
+// Hand-picked worst cases for run-length and block codecs: pure runs,
+// alternating bits (the RLE pessimum), singletons, the 2^32-1 universe
+// boundary, and pairs with empty intersections. Every pair is cross-checked
+// against a literal std::set oracle, through the serial drivers AND through
+// the batch engine.
+
+constexpr uint32_t kMaxU32 = 4294967295u;  // 2^32 - 1 universe boundary
+
+struct AdversarialShape {
+  const char* name;
+  std::vector<uint32_t> values;
+};
+
+std::vector<AdversarialShape> AdversarialShapes() {
+  std::vector<AdversarialShape> shapes;
+  shapes.push_back({"empty", {}});
+  shapes.push_back({"singleton_zero", {0}});
+  shapes.push_back({"singleton_max", {kMaxU32}});
+  {
+    // All-runs bitmap: long literal runs split by long zero runs, plus a
+    // run ending exactly at the universe boundary.
+    std::vector<uint32_t> v;
+    for (uint32_t i = 0; i < 3000; ++i) v.push_back(i);
+    for (uint32_t i = 0; i < 3000; ++i) v.push_back(1u << 20 | i);
+    for (uint32_t i = 0; i < 3000; ++i) v.push_back(kMaxU32 - 2999 + i);
+    shapes.push_back({"all_runs", std::move(v)});
+  }
+  {
+    // Alternating bits: the worst case for every RLE scheme (no run ever
+    // forms) and a dense-block stress for Roaring containers.
+    std::vector<uint32_t> v;
+    for (uint32_t i = 0; i < 40000; i += 2) v.push_back(i);
+    shapes.push_back({"alternating", std::move(v)});
+  }
+  {
+    // Alternating, offset by one: intersects the above to the empty set.
+    std::vector<uint32_t> v;
+    for (uint32_t i = 1; i < 40000; i += 2) v.push_back(i);
+    shapes.push_back({"alternating_odd", std::move(v)});
+  }
+  {
+    // Sparse tail hugging the boundary: every value in the last 2^16 chunk.
+    std::vector<uint32_t> v;
+    for (uint32_t i = 0; i < 1000; ++i) v.push_back(kMaxU32 - 3 * i);
+    std::sort(v.begin(), v.end());
+    shapes.push_back({"sparse_near_max", std::move(v)});
+  }
+  {
+    // Wide stride: one value per WAH word-span, so every gap is a fill.
+    std::vector<uint32_t> v;
+    for (uint32_t i = 0; i < 2000; ++i) v.push_back(i * 65537u);
+    shapes.push_back({"wide_stride", std::move(v)});
+  }
+  return shapes;
+}
+
+// Literal std::set oracle — deliberately naive, independent of the list
+// helpers the production code shares.
+std::vector<uint32_t> SetOracleIntersect(const std::vector<uint32_t>& a,
+                                         const std::vector<uint32_t>& b) {
+  const std::set<uint32_t> sb(b.begin(), b.end());
+  std::vector<uint32_t> out;
+  for (uint32_t v : a) {
+    if (sb.count(v)) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<uint32_t> SetOracleUnion(const std::vector<uint32_t>& a,
+                                     const std::vector<uint32_t>& b) {
+  std::set<uint32_t> s(a.begin(), a.end());
+  s.insert(b.begin(), b.end());
+  return std::vector<uint32_t>(s.begin(), s.end());
+}
+
+std::vector<const Codec*> AllPlusExtensions() {
+  std::vector<const Codec*> codecs(AllCodecs().begin(), AllCodecs().end());
+  codecs.insert(codecs.end(), ExtensionCodecs().begin(),
+                ExtensionCodecs().end());
+  return codecs;
+}
+
+TEST(AdversarialDifferentialTest, SerialPathMatchesSetOracle) {
+  const uint64_t domain = uint64_t{1} << 32;
+  const auto shapes = AdversarialShapes();
+  for (const Codec* codec : AllPlusExtensions()) {
+    SCOPED_TRACE(std::string(codec->Name()));
+    std::vector<std::unique_ptr<CompressedSet>> sets;
+    for (const auto& s : shapes) sets.push_back(codec->Encode(s.values, domain));
+    for (size_t i = 0; i < shapes.size(); ++i) {
+      SCOPED_TRACE(shapes[i].name);
+      std::vector<uint32_t> out;
+      codec->Decode(*sets[i], &out);
+      ASSERT_EQ(out, shapes[i].values);
+      // Serialization must survive the adversarial shape too.
+      std::vector<uint8_t> image;
+      codec->Serialize(*sets[i], &image);
+      auto restored = codec->Deserialize(image.data(), image.size());
+      ASSERT_NE(restored, nullptr);
+      codec->Decode(*restored, &out);
+      ASSERT_EQ(out, shapes[i].values);
+      for (size_t j = 0; j < shapes.size(); ++j) {
+        SCOPED_TRACE(shapes[j].name);
+        codec->Intersect(*sets[i], *sets[j], &out);
+        ASSERT_EQ(out, SetOracleIntersect(shapes[i].values, shapes[j].values));
+        codec->Union(*sets[i], *sets[j], &out);
+        ASSERT_EQ(out, SetOracleUnion(shapes[i].values, shapes[j].values));
+        codec->IntersectWithList(*sets[i], shapes[j].values, &out);
+        ASSERT_EQ(out, SetOracleIntersect(shapes[j].values, shapes[i].values));
+      }
+    }
+  }
+}
+
+TEST(AdversarialDifferentialTest, BatchPathMatchesSetOracle) {
+  // The same pairwise grid, driven through the batch engine: one AND and
+  // one OR plan per shape pair, all submitted as a single batch per codec.
+  const uint64_t domain = uint64_t{1} << 32;
+  const auto shapes = AdversarialShapes();
+  std::vector<QueryPlan> plans;
+  std::vector<std::pair<size_t, size_t>> pairs;
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    for (size_t j = 0; j < shapes.size(); ++j) {
+      plans.push_back(QueryPlan::And({QueryPlan::Leaf(i), QueryPlan::Leaf(j)}));
+      plans.push_back(QueryPlan::Or({QueryPlan::Leaf(i), QueryPlan::Leaf(j)}));
+      pairs.emplace_back(i, j);
+    }
+  }
+
+  ThreadPool pool(4);
+  BatchExecutor exec(&pool);
+  for (const Codec* codec : AllPlusExtensions()) {
+    SCOPED_TRACE(std::string(codec->Name()));
+    std::vector<std::unique_ptr<CompressedSet>> sets;
+    std::vector<const CompressedSet*> ptrs;
+    for (const auto& s : shapes) {
+      sets.push_back(codec->Encode(s.values, domain));
+      ptrs.push_back(sets.back().get());
+    }
+    const auto results = exec.Execute({codec, plans, ptrs});
+    ASSERT_EQ(results.size(), plans.size());
+    for (size_t p = 0; p < pairs.size(); ++p) {
+      const auto& [i, j] = pairs[p];
+      SCOPED_TRACE(std::string(shapes[i].name) + " x " + shapes[j].name);
+      ASSERT_EQ(results[2 * p],
+                SetOracleIntersect(shapes[i].values, shapes[j].values));
+      ASSERT_EQ(results[2 * p + 1],
+                SetOracleUnion(shapes[i].values, shapes[j].values));
+    }
+  }
+}
 
 }  // namespace
 }  // namespace intcomp

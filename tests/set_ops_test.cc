@@ -108,6 +108,93 @@ TEST_P(SetOpsTest, EmptyIntersectionShortCircuits) {
   EXPECT_TRUE(got.empty());
 }
 
+TEST_P(SetOpsTest, SingleListPlanEvaluates) {
+  // k=1 regression: a one-child AND / OR (and a bare leaf) must all reduce
+  // to a plain decode, for every codec.
+  auto list = RandomSortedList(2000, 1 << 20, 33);
+  auto set = codec().Encode(list, 1 << 22);
+  const CompressedSet* ptr = set.get();
+  EXPECT_EQ(EvaluatePlan(codec(), QueryPlan::Leaf(0), std::span(&ptr, 1)),
+            list);
+  EXPECT_EQ(EvaluatePlan(codec(), QueryPlan::And({QueryPlan::Leaf(0)}),
+                         std::span(&ptr, 1)),
+            list);
+  EXPECT_EQ(EvaluatePlan(codec(), QueryPlan::Or({QueryPlan::Leaf(0)}),
+                         std::span(&ptr, 1)),
+            list);
+}
+
+TEST_P(SetOpsTest, EmptySetInputs) {
+  // Empty-CompressedSet regression: an empty operand must behave as the
+  // empty set through every driver, and an empty encoding must cost zero
+  // bytes (the blocked list codecs used to charge their trailing slack
+  // word) and survive a serialize round-trip.
+  auto empty = codec().Encode(std::span<const uint32_t>(), 1 << 22);
+  EXPECT_EQ(empty->Cardinality(), 0u);
+  EXPECT_EQ(empty->SizeInBytes(), 0u);
+
+  std::vector<uint8_t> image;
+  codec().Serialize(*empty, &image);
+  auto restored = codec().Deserialize(image.data(), image.size());
+  ASSERT_NE(restored, nullptr);
+  std::vector<uint32_t> got = {99};
+  codec().Decode(*restored, &got);
+  EXPECT_TRUE(got.empty());
+
+  auto list = RandomSortedList(1000, 1 << 20, 34);
+  auto set = codec().Encode(list, 1 << 22);
+  const CompressedSet* both[] = {set.get(), empty.get()};
+  IntersectSets(codec(), both, &got);
+  EXPECT_TRUE(got.empty());
+  UnionSets(codec(), both, &got);
+  EXPECT_EQ(got, list);
+  const CompressedSet* only_empty[] = {empty.get()};
+  IntersectSets(codec(), only_empty, &got);
+  EXPECT_TRUE(got.empty());
+
+  auto plan = QueryPlan::And({QueryPlan::Leaf(0), QueryPlan::Leaf(1)});
+  EXPECT_TRUE(EvaluatePlan(codec(), plan, both).empty());
+  auto or_plan = QueryPlan::Or({QueryPlan::Leaf(0), QueryPlan::Leaf(1)});
+  EXPECT_EQ(EvaluatePlan(codec(), or_plan, both), list);
+}
+
+TEST_P(SetOpsTest, ArenaReuseMatchesThrowawayArena) {
+  // The arena-taking overloads must be pure in (codec, plan, sets): running
+  // many different queries through ONE arena gives the same answers as a
+  // fresh arena per call, and the buffer count plateaus (reuse, not growth).
+  std::vector<std::vector<uint32_t>> lists;
+  for (uint64_t s = 0; s < 4; ++s) {
+    lists.push_back(RandomSortedList(5000, 1 << 18, 70 + s));
+  }
+  auto sets = EncodeAll(lists);
+  auto ptrs = Ptrs(sets);
+  auto plan = QueryPlan::And(
+      {QueryPlan::Or({QueryPlan::Leaf(0), QueryPlan::Leaf(1)}),
+       QueryPlan::Or({QueryPlan::Leaf(2), QueryPlan::Leaf(3)})});
+  ScratchArena arena;
+  std::vector<uint32_t> got;
+  size_t high_water = 0;
+  for (int round = 0; round < 5; ++round) {
+    EvaluatePlan(codec(), plan, ptrs, &arena, &got);
+    EXPECT_EQ(got, EvaluatePlan(codec(), plan, ptrs));
+    IntersectSets(codec(), ptrs, &arena, &got);
+    std::vector<uint32_t> fresh;
+    IntersectSets(codec(), ptrs, &fresh);
+    EXPECT_EQ(got, fresh);
+    UnionSets(codec(), ptrs, &arena, &got);
+    UnionSets(codec(), ptrs, &fresh);
+    EXPECT_EQ(got, fresh);
+    if (round == 0) {
+      high_water = arena.BuffersAllocated();
+    } else {
+      EXPECT_EQ(arena.BuffersAllocated(), high_water)
+          << "arena grew after warm-up round";
+    }
+  }
+  EXPECT_EQ(arena.BuffersFree(), arena.BuffersAllocated())
+      << "a lease leaked out of query evaluation";
+}
+
 TEST_P(SetOpsTest, Ssb34StylePlan) {
   // (L0 u L1) n (L2 u L3) n L4 — the paper's Q3.4 shape.
   std::vector<std::vector<uint32_t>> lists;
