@@ -1,0 +1,113 @@
+// Validation-overhead microbench: trusted Deserialize vs. checked
+// DeserializeChecked, per codec, over many serialized lists. Reported as
+// ns/list for both paths plus the checked/trusted ratio — the price of
+// admitting untrusted byte images (EXPERIMENTS.md "validation overhead").
+//
+//   --lists=N     lists per codec           (default 200)
+//   --size=N     values per list            (default 4000)
+//   --domain=N   value domain               (default 2^20)
+//   --repeats=N  timed repetitions, min-of  (default 3)
+//   --dist=s     uniform | zipf | markov    (default uniform)
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "benchutil/flags.h"
+#include "workload/synthetic.h"
+
+namespace intcomp {
+namespace {
+
+void Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t nlists = flags.GetInt("lists", 200);
+  const size_t size = flags.GetInt("size", 4000);
+  const uint64_t domain = flags.GetInt("domain", 1 << 20);
+  const int repeats = static_cast<int>(flags.GetInt("repeats", 3));
+  const std::string dist = flags.GetString("dist", "uniform");
+  const uint64_t seed = flags.GetInt("seed", 77);
+  if (dist != "uniform" && dist != "zipf" && dist != "markov") {
+    std::fprintf(stderr, "--dist: unknown distribution '%s' (want uniform|zipf|markov)\n",
+                 dist.c_str());
+    std::exit(1);
+  }
+
+  std::vector<std::vector<uint32_t>> lists;
+  lists.reserve(nlists);
+  for (size_t i = 0; i < nlists; ++i) {
+    if (dist == "zipf") {
+      lists.push_back(GenerateZipf(size, domain, kPaperZipfSkew, seed + i));
+    } else if (dist == "markov") {
+      lists.push_back(
+          GenerateMarkov(size, domain, kPaperMarkovClustering, seed + i));
+    } else {
+      lists.push_back(GenerateUniform(size, domain, seed + i));
+    }
+  }
+
+  std::printf(
+      "Validation overhead: Deserialize vs DeserializeChecked "
+      "(%zu %s lists x %zu values, domain 2^%d)\n",
+      nlists, dist.c_str(), size, [&] {
+        int b = 0;
+        while ((uint64_t{1} << b) < domain) ++b;
+        return b;
+      }());
+  std::printf("%-16s %14s %14s %8s\n", "codec", "trusted ns/l", "checked ns/l",
+              "ratio");
+
+  std::vector<const Codec*> codecs(AllCodecs().begin(), AllCodecs().end());
+  for (const Codec* c : ExtensionCodecs()) codecs.push_back(c);
+  for (const Codec* codec : codecs) {
+    std::vector<std::vector<uint8_t>> images;
+    images.reserve(nlists);
+    for (const auto& l : lists) {
+      auto set = codec->Encode(l, domain);
+      std::vector<uint8_t> image;
+      codec->Serialize(*set, &image);
+      images.push_back(std::move(image));
+    }
+
+    size_t sink = 0;  // defeat dead-code elimination across repeats
+    const double trusted_ms = MeasureMs(
+        [&] {
+          for (const auto& image : images) {
+            auto set = codec->Deserialize(image.data(), image.size());
+            sink += set->Cardinality();
+          }
+        },
+        repeats);
+    const double checked_ms = MeasureMs(
+        [&] {
+          for (const auto& image : images) {
+            auto r = codec->DeserializeChecked(image, domain);
+            if (!r.ok()) {
+              std::fprintf(stderr, "BUG: genuine image rejected for %s: %s\n",
+                           std::string(codec->Name()).c_str(),
+                           r.status().ToString().c_str());
+              std::exit(1);
+            }
+            sink += (*r)->Cardinality();
+          }
+        },
+        repeats);
+
+    const double trusted_ns = trusted_ms * 1e6 / static_cast<double>(nlists);
+    const double checked_ns = checked_ms * 1e6 / static_cast<double>(nlists);
+    std::printf("%-16s %14.0f %14.0f %7.2fx%s\n",
+                std::string(codec->Name()).c_str(), trusted_ns, checked_ns,
+                trusted_ns > 0 ? checked_ns / trusted_ns : 0.0,
+                sink == 0 ? " " : "");  // sink keeps the loops live
+  }
+}
+
+}  // namespace
+}  // namespace intcomp
+
+int main(int argc, char** argv) {
+  intcomp::Run(argc, argv);
+  return 0;
+}

@@ -115,7 +115,7 @@ void Run(int argc, char** argv) {
     for (const Codec* codec : codecs) {
       EncodedLists enc = EncodeLists(*codec, lists, domain);
       const auto ptrs = enc.Ptrs();
-      const QueryBatch batch{codec, plans, ptrs};
+      const QueryBatch batch{.codec = codec, .plans = plans, .sets = ptrs};
 
       std::vector<ScalingRow> rows;
       std::vector<std::vector<uint32_t>> reference;

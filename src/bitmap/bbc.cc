@@ -103,6 +103,48 @@ class Encoder {
 
 }  // namespace
 
+namespace {
+
+// Bounds-checked mirror of VByteDecode: consumes the same bytes on success,
+// fails on truncation or counters that do not fit in 32 bits (6+ bytes, or a
+// 5th byte with payload above bit 31). Genuine BBC fill counters are at most
+// 2^29 (domain 2^32 over 8-bit groups), well inside both limits.
+bool CheckedVByte(const uint8_t* data, size_t size, size_t* pos) {
+  int shift = 0;
+  while (true) {
+    if (*pos >= size) return false;
+    const uint8_t byte = data[(*pos)++];
+    if (shift == 28 && (byte & 0x70) != 0) return false;
+    if ((byte & 0x80) == 0) return true;
+    shift += 7;
+    if (shift > 28) return false;
+  }
+}
+
+}  // namespace
+
+bool BbcTraits::CheckStream(std::span<const uint8_t> bytes) {
+  const uint8_t* data = bytes.data();
+  const size_t size = bytes.size();
+  size_t pos = 0;
+  while (pos < size) {
+    const uint8_t h = data[pos++];
+    uint32_t lits = 0;
+    if (h & 0x80) {  // P1: fills and literal count inside the header
+      lits = h & 0x0f;
+    } else if (h & 0x40) {  // P2: fully self-contained
+    } else if (h & 0x20) {  // P3: VByte fill counter + literals
+      lits = h & 0x0f;
+      if (!CheckedVByte(data, size, &pos)) return false;
+    } else {  // P4: VByte fill counter + odd byte (synthesized, no read)
+      if (!CheckedVByte(data, size, &pos)) return false;
+    }
+    if (lits > size - pos) return false;
+    pos += lits;
+  }
+  return true;
+}
+
 void BbcTraits::EncodeWords(std::span<const uint32_t> sorted,
                             std::vector<uint8_t>* bytes) {
   bytes->clear();

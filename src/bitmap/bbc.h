@@ -106,6 +106,11 @@ struct BbcTraits {
 
   static void EncodeWords(std::span<const uint32_t> sorted,
                           std::vector<uint8_t>* bytes);
+
+  // Walks the header structure with bounds checks (the Decoder's literal
+  // reads and VByte fill counters trust the headers). Required before
+  // running a Decoder over an untrusted stream.
+  static bool CheckStream(std::span<const uint8_t> bytes);
 };
 
 using BbcCodec = RleBitmapCodec<BbcTraits>;

@@ -92,4 +92,29 @@ std::unique_ptr<CompressedSet> BitsetCodec::Deserialize(const uint8_t* data,
   return set;
 }
 
+Status BitsetCodec::ValidateSet(const CompressedSet& set,
+                                uint64_t domain) const {
+  const auto& s = static_cast<const Set&>(set);
+  const uint64_t dmax = std::min<uint64_t>(domain, uint64_t{1} << 32);
+  // Decode sizes its output from `cardinality` and writes one slot per set
+  // bit, so a popcount mismatch is an out-of-bounds write, not just a wrong
+  // answer. The word count bound also keeps Decode's w*64 base in uint32.
+  if (s.words.size() > (dmax + 63) / 64) {
+    return Status::Corrupt("bitmap wider than domain");
+  }
+  uint64_t bits = 0;
+  for (uint64_t w : s.words) bits += PopCount64(w);
+  if (bits != s.cardinality) {
+    return Status::Corrupt("cardinality mismatch");
+  }
+  if (!s.words.empty() && s.words.back() != 0) {
+    const uint64_t high =
+        (s.words.size() - 1) * 64 + (BitWidth64(s.words.back()) - 1);
+    if (high >= dmax) {
+      return Status::Corrupt("set bit past domain");
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace intcomp

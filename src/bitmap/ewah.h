@@ -72,6 +72,20 @@ struct EwahTraits {
 
   static void EncodeWords(std::span<const uint32_t> sorted,
                           std::vector<uint32_t>* words);
+
+  // Verifies that every marker's literal count stays inside the stream —
+  // the one read the Decoder cannot bound by itself (`seg->literal = *p_++`
+  // trusts the marker's q field). Required before running a Decoder over an
+  // untrusted stream.
+  static bool CheckStream(std::span<const uint32_t> words) {
+    size_t i = 0;
+    while (i < words.size()) {
+      const uint32_t q = words[i++] & kMaxLiterals;
+      if (q > words.size() - i) return false;
+      i += q;
+    }
+    return true;
+  }
 };
 
 using EwahCodec = RleBitmapCodec<EwahTraits>;

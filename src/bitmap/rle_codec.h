@@ -22,11 +22,13 @@
 #ifndef INTCOMP_BITMAP_RLE_CODEC_H_
 #define INTCOMP_BITMAP_RLE_CODEC_H_
 
+#include <algorithm>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "bitmap/runstream.h"
+#include "common/bits.h"
 #include "common/serialize_util.h"
 #include "core/codec.h"
 
@@ -107,6 +109,61 @@ class RleBitmapCodec final : public Codec {
     set->cardinality = reader.GetU64();
     if (!ReadVector(&reader, &set->words)) return nullptr;
     return set;
+  }
+
+  Status ValidateSet(const CompressedSet& set,
+                     uint64_t domain) const override {
+    const auto& s = static_cast<const Set&>(set);
+    constexpr uint64_t kW = Decoder::kGroupBits;
+    const uint64_t dmax = std::min<uint64_t>(domain, uint64_t{1} << 32);
+    const std::span<const Word> words(s.words);
+    if constexpr (requires { Traits::CheckStream(words); }) {
+      // Codecs whose decoders take data-dependent strides (EWAH marker
+      // literal counts, BBC variable-length headers) must prove the word
+      // walk stays in bounds before a decoder may run over the stream.
+      if (!Traits::CheckStream(words)) {
+        return Status::Corrupt("malformed word stream");
+      }
+    }
+    // Replay the segment stream, bounding every group position by the domain
+    // and recounting set bits. This is exactly the coverage Decode/Intersect/
+    // Union rely on: EmitRange/EmitBits truncate positions to uint32, so any
+    // group beyond ceil(dmax / kW) would silently wrap.
+    const uint64_t max_groups = (dmax + kW - 1) / kW;
+    Decoder dec(words);
+    RunSegment seg;
+    uint64_t pos = 0;   // current group index
+    uint64_t bits = 0;  // set bits seen so far
+    while (dec.Next(&seg)) {
+      if (seg.is_fill) {
+        if (seg.count > max_groups - pos) {
+          return Status::Corrupt("fill run extends past domain");
+        }
+        if (seg.fill_bit) {
+          if ((pos + seg.count) * kW > dmax) {
+            return Status::Corrupt("1-fill covers bits past domain");
+          }
+          bits += seg.count * kW;
+        }
+        pos += seg.count;
+      } else {
+        if (pos >= max_groups) {
+          return Status::Corrupt("literal group past domain");
+        }
+        if (seg.literal != 0) {
+          const uint64_t high = BitWidth32(seg.literal) - 1;
+          if (pos * kW + high >= dmax) {
+            return Status::Corrupt("literal sets bit past domain");
+          }
+          bits += PopCount32(seg.literal);
+        }
+        ++pos;
+      }
+    }
+    if (bits != s.cardinality) {
+      return Status::Corrupt("cardinality mismatch");
+    }
+    return Status::Ok();
   }
 };
 

@@ -329,4 +329,59 @@ std::unique_ptr<CompressedSet> RoaringCodec::Deserialize(const uint8_t* data,
   return set;
 }
 
+Status RoaringCodec::ValidateSet(const CompressedSet& set,
+                                 uint64_t domain) const {
+  const auto& s = static_cast<const Set&>(set);
+  const uint64_t dmax = std::min<uint64_t>(domain, uint64_t{1} << 32);
+  uint64_t sum = 0;
+  int prev_key = -1;
+  for (const Container& c : s.containers) {
+    if (static_cast<int>(c.key) <= prev_key) {
+      return Status::Corrupt("container keys not strictly increasing");
+    }
+    prev_key = c.key;
+    const uint64_t base = static_cast<uint64_t>(c.key) << 16;
+    if (c.is_bitmap) {
+      // The container-type invariant (bitmap iff > 4096 elements) is what
+      // the intersection kernels' size heuristics assume, and the recounted
+      // popcount is what Decode's reserve relies on.
+      if (c.cardinality <= kArrayMax || c.cardinality > 65536) {
+        return Status::Corrupt("bitmap container cardinality out of range");
+      }
+      const uint64_t* words = s.bitmap_data.data() + c.offset;
+      uint64_t bits = 0;
+      for (size_t w = 0; w < kBitmapWords; ++w) bits += PopCount64(words[w]);
+      if (bits != c.cardinality) {
+        return Status::Corrupt("bitmap container popcount mismatch");
+      }
+      size_t w = kBitmapWords;
+      while (w > 0 && words[w - 1] == 0) --w;
+      // bits > 0 here, so some word is non-zero.
+      const uint64_t high =
+          base + (w - 1) * 64 + (BitWidth64(words[w - 1]) - 1);
+      if (high >= dmax) {
+        return Status::Corrupt("container value past domain");
+      }
+    } else {
+      if (c.cardinality == 0 || c.cardinality > kArrayMax) {
+        return Status::Corrupt("array container cardinality out of range");
+      }
+      const uint16_t* vals = s.array_data.data() + c.offset;
+      for (uint32_t i = 1; i < c.cardinality; ++i) {
+        if (vals[i] <= vals[i - 1]) {
+          return Status::Corrupt("array container not strictly increasing");
+        }
+      }
+      if (base + vals[c.cardinality - 1] >= dmax) {
+        return Status::Corrupt("container value past domain");
+      }
+    }
+    sum += c.cardinality;
+  }
+  if (sum != s.cardinality) {
+    return Status::Corrupt("cardinality mismatch");
+  }
+  return Status::Ok();
+}
+
 }  // namespace intcomp

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "bitmap/group_builder.h"
+#include "common/bits.h"
 #include "common/serialize_util.h"
 
 namespace intcomp {
@@ -196,6 +197,52 @@ std::unique_ptr<CompressedSet> ValwahCodec::Deserialize(const uint8_t* data,
   if (!ReadVector(&reader, &set->data)) return nullptr;
   if (set->data.size() % set->unit_bytes != 0) return nullptr;
   return set;
+}
+
+Status ValwahCodec::ValidateSet(const CompressedSet& set,
+                                uint64_t domain) const {
+  // Same segment replay as RleBitmapCodec::ValidateSet, at the set's runtime
+  // group width. The decoder itself is bounds-safe (Deserialize pins
+  // unit_bytes and the unit alignment), so only group positions, bit bounds,
+  // and the cardinality need verification.
+  const auto& s = static_cast<const Set&>(set);
+  const uint64_t dmax = std::min<uint64_t>(domain, uint64_t{1} << 32);
+  ValwahDecoder dec(s.data.data(), s.data.size(), s.unit_bytes);
+  const uint64_t kW = dec.group_bits();
+  const uint64_t max_groups = (dmax + kW - 1) / kW;
+  RunSegment seg;
+  uint64_t pos = 0;
+  uint64_t bits = 0;
+  while (dec.Next(&seg)) {
+    if (seg.is_fill) {
+      if (seg.count > max_groups - pos) {
+        return Status::Corrupt("fill run extends past domain");
+      }
+      if (seg.fill_bit) {
+        if ((pos + seg.count) * kW > dmax) {
+          return Status::Corrupt("1-fill covers bits past domain");
+        }
+        bits += seg.count * kW;
+      }
+      pos += seg.count;
+    } else {
+      if (pos >= max_groups) {
+        return Status::Corrupt("literal group past domain");
+      }
+      if (seg.literal != 0) {
+        const uint64_t high = BitWidth32(seg.literal) - 1;
+        if (pos * kW + high >= dmax) {
+          return Status::Corrupt("literal sets bit past domain");
+        }
+        bits += PopCount32(seg.literal);
+      }
+      ++pos;
+    }
+  }
+  if (bits != s.cardinality) {
+    return Status::Corrupt("cardinality mismatch");
+  }
+  return Status::Ok();
 }
 
 }  // namespace intcomp

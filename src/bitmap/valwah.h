@@ -95,6 +95,8 @@ class ValwahCodec final : public Codec {
                  std::vector<uint8_t>* out) const override;
   std::unique_ptr<CompressedSet> Deserialize(const uint8_t* data,
                                              size_t size) const override;
+  Status ValidateSet(const CompressedSet& set,
+                     uint64_t domain) const override;
 };
 
 }  // namespace intcomp

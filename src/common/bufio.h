@@ -4,6 +4,7 @@
 #ifndef INTCOMP_COMMON_BUFIO_H_
 #define INTCOMP_COMMON_BUFIO_H_
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -41,27 +42,42 @@ class ByteWriter {
   std::vector<uint8_t>* out_;
 };
 
-// Sequential reader over a byte buffer. Callers are responsible for staying
-// within bounds; `Remaining()` supports that check in debug assertions.
+// Sequential reader over a byte buffer.
+//
+// TRUSTED-CALLER CONTRACT: reads are unchecked for speed; the caller must
+// guarantee `Remaining()` covers each read before issuing it (every in-tree
+// caller checks sizes up front or via ReadVector). Debug builds assert the
+// contract. Untrusted byte images must instead go through CheckedByteReader
+// (common/status.h) / Codec::DeserializeChecked, which never read past the
+// end of the buffer.
 class ByteReader {
  public:
   ByteReader(const uint8_t* data, size_t size)
       : data_(data), size_(size), pos_(0) {}
 
-  uint8_t GetU8() { return data_[pos_++]; }
-  uint8_t PeekU8() const { return data_[pos_]; }
+  uint8_t GetU8() {
+    assert(Remaining() >= 1 && "ByteReader::GetU8 past end");
+    return data_[pos_++];
+  }
+  uint8_t PeekU8() const {
+    assert(Remaining() >= 1 && "ByteReader::PeekU8 past end");
+    return data_[pos_];
+  }
   uint16_t GetU16() {
+    assert(Remaining() >= 2 && "ByteReader::GetU16 past end");
     uint16_t v = static_cast<uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
     pos_ += 2;
     return v;
   }
   uint32_t GetU32() {
+    assert(Remaining() >= 4 && "ByteReader::GetU32 past end");
     uint32_t v;
     std::memcpy(&v, data_ + pos_, 4);
     pos_ += 4;
     return v;
   }
   uint64_t GetU64() {
+    assert(Remaining() >= 8 && "ByteReader::GetU64 past end");
     uint64_t v;
     std::memcpy(&v, data_ + pos_, 8);
     pos_ += 8;
@@ -69,6 +85,7 @@ class ByteReader {
   }
 
   void GetBytes(uint8_t* dst, size_t n) {
+    assert(Remaining() >= n && "ByteReader::GetBytes past end");
     std::memcpy(dst, data_ + pos_, n);
     pos_ += n;
   }

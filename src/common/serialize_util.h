@@ -30,7 +30,11 @@ bool ReadVector(ByteReader* reader, std::vector<T>* v) {
   static_assert(std::is_trivially_copyable_v<T>);
   if (reader->Remaining() < 8) return false;
   const uint64_t n = reader->GetU64();
-  if (reader->Remaining() < n * sizeof(T)) return false;
+  // Divide instead of multiplying: `n * sizeof(T)` wraps for hostile lengths
+  // (a 16-byte buffer claiming 2^61 8-byte elements), which would both pass
+  // the bounds check and request a multi-exabyte resize. The quotient form
+  // also caps n by Remaining(), so resize(n) is bounded by the buffer size.
+  if (n > reader->Remaining() / sizeof(T)) return false;
   v->resize(n);
   if (n > 0) {
     reader->GetBytes(reinterpret_cast<uint8_t*>(v->data()), n * sizeof(T));

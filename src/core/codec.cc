@@ -2,6 +2,17 @@
 
 namespace intcomp {
 
+StatusOr<std::unique_ptr<CompressedSet>> Codec::DeserializeChecked(
+    std::span<const uint8_t> image, uint64_t domain) const {
+  std::unique_ptr<CompressedSet> set = Deserialize(image.data(), image.size());
+  if (set == nullptr) {
+    return Status::Corrupt("unparseable image (truncated or bad lengths)");
+  }
+  Status valid = ValidateSet(*set, domain);
+  if (!valid.ok()) return valid;
+  return StatusOr<std::unique_ptr<CompressedSet>>(std::move(set));
+}
+
 void Codec::IntersectWithList(const CompressedSet& a,
                               std::span<const uint32_t> probe,
                               std::vector<uint32_t>* out) const {

@@ -17,6 +17,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/status.h"
+
 namespace intcomp {
 
 // Which research lineage a codec belongs to (paper §2 vs §3).
@@ -90,8 +92,33 @@ class Codec {
 
   // Reconstructs a set from a Serialize image. Returns nullptr if the
   // buffer is malformed (truncated or inconsistent lengths).
+  //
+  // TRUST BOUNDARY: this is the trusted fast path. It is parse-bounds-safe
+  // (never reads outside [data, data+size) and never makes an allocation
+  // larger than `size`), but it does NOT validate structural invariants of
+  // the payload — decoding a set built from a hostile image may still read
+  // or write out of bounds. Images from disk/network/cache must go through
+  // DeserializeChecked instead.
   virtual std::unique_ptr<CompressedSet> Deserialize(const uint8_t* data,
                                                      size_t size) const = 0;
+
+  // Checked ingestion path for untrusted byte images: parses like Deserialize
+  // and then deep-validates every structural invariant Decode/Intersect/Union
+  // rely on (word-stream shape, block headers and selector legality, skip
+  // pointers, partition bounds, container cardinalities, monotonicity, and
+  // value < domain). On success the returned set is safe to pass to any
+  // operation of this codec; on failure returns kCorruptData. `domain` is the
+  // same domain the set was encoded with (values must be < domain).
+  virtual StatusOr<std::unique_ptr<CompressedSet>> DeserializeChecked(
+      std::span<const uint8_t> image, uint64_t domain) const;
+
+  // Deep structural validation of an already-parsed set (the second half of
+  // DeserializeChecked). Public so wrapper codecs (Hybrid) can delegate to
+  // the inner codec's validator. Returns OK iff every operation on `set` is
+  // memory-safe and yields a strictly increasing list of values < domain
+  // consistent with Cardinality().
+  virtual Status ValidateSet(const CompressedSet& set, uint64_t domain)
+      const = 0;
 
  protected:
   Codec() = default;

@@ -96,4 +96,24 @@ std::unique_ptr<CompressedSet> HybridCodec::Deserialize(const uint8_t* data,
   return set;
 }
 
+StatusOr<std::unique_ptr<CompressedSet>> HybridCodec::DeserializeChecked(
+    std::span<const uint8_t> image, uint64_t domain) const {
+  if (image.empty())
+    return Status::Corrupt("Hybrid: empty image (missing family tag)");
+  auto set = std::make_unique<Set>();
+  set->is_bitmap = image[0] != 0;
+  auto inner = (set->is_bitmap ? bitmap_ : list_)
+                   ->DeserializeChecked(image.subspan(1), domain);
+  if (!inner.ok()) return inner.status();
+  set->inner = std::move(inner.value());
+  return StatusOr<std::unique_ptr<CompressedSet>>(std::move(set));
+}
+
+Status HybridCodec::ValidateSet(const CompressedSet& set,
+                                uint64_t domain) const {
+  const auto& s = static_cast<const Set&>(set);
+  if (s.inner == nullptr) return Status::Corrupt("Hybrid: missing inner set");
+  return InnerOf(s).ValidateSet(*s.inner, domain);
+}
+
 }  // namespace intcomp

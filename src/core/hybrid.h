@@ -53,6 +53,11 @@ class HybridCodec final : public Codec {
                  std::vector<uint8_t>* out) const override;
   std::unique_ptr<CompressedSet> Deserialize(const uint8_t* data,
                                              size_t size) const override;
+  StatusOr<std::unique_ptr<CompressedSet>> DeserializeChecked(
+      std::span<const uint8_t> image, uint64_t domain) const override;
+  // Delegates to the inner codec's ValidateSet.
+  Status ValidateSet(const CompressedSet& set,
+                     uint64_t domain) const override;
 
  private:
   const Codec& InnerOf(const Set& s) const {

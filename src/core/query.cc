@@ -98,6 +98,120 @@ void Evaluate(const Codec& codec, const QueryPlan& plan,
   }
 }
 
+// Status-returning mirror of Evaluate. The per-node algorithm (child
+// ordering, SvS vs. gallop choices) is kept line-for-line identical so that
+// a successful checked evaluation is bit-identical to the trusted path; the
+// only additions are the token poll and leaf/shape validation at node entry.
+Status EvaluateChecked(const Codec& codec, const QueryPlan& plan,
+                       std::span<const CompressedSet* const> sets,
+                       const CancellationToken* token, ScratchArena& arena,
+                       std::vector<uint32_t>* out) {
+  if (token != nullptr) {
+    Status st = token->Check();
+    if (!st.ok()) return st;
+  }
+  out->clear();
+  switch (plan.op) {
+    case QueryPlan::Op::kLeaf: {
+      if (plan.leaf >= sets.size())
+        return Status::InvalidArgument("plan leaf index out of range");
+      if (sets[plan.leaf] == nullptr)
+        return Status::InvalidArgument("plan references missing input set");
+      codec.Decode(*sets[plan.leaf], out);
+      return Status::Ok();
+    }
+    case QueryPlan::Op::kAnd: {
+      if (plan.children.empty())
+        return Status::InvalidArgument("AND node with no children");
+      std::vector<const CompressedSet*> leaves;
+      std::vector<ScratchArena::Lease> materialized;
+      for (const QueryPlan& child : plan.children) {
+        if (child.op == QueryPlan::Op::kLeaf) {
+          if (child.leaf >= sets.size())
+            return Status::InvalidArgument("plan leaf index out of range");
+          if (sets[child.leaf] == nullptr)
+            return Status::InvalidArgument("plan references missing input set");
+          leaves.push_back(sets[child.leaf]);
+        } else {
+          ScratchArena::Lease sub = arena.Acquire();
+          Status st =
+              EvaluateChecked(codec, child, sets, token, arena, sub.get());
+          if (!st.ok()) return st;
+          materialized.push_back(std::move(sub));
+        }
+      }
+      std::sort(leaves.begin(), leaves.end(),
+                [](const CompressedSet* a, const CompressedSet* b) {
+                  return a->Cardinality() < b->Cardinality();
+                });
+      std::sort(materialized.begin(), materialized.end(),
+                [](const auto& a, const auto& b) { return a->size() < b->size(); });
+
+      ScratchArena::Lease next = arena.Acquire();
+      size_t li = 0;
+      if (!materialized.empty()) {
+        out->swap(*materialized[0]);
+        for (size_t i = 1; i < materialized.size(); ++i) {
+          IntersectLists(*out, *materialized[i], next.get());
+          out->swap(*next);
+        }
+      } else if (leaves.size() == 1) {
+        codec.Decode(*leaves[0], out);
+        li = 1;
+      } else {
+        codec.Intersect(*leaves[0], *leaves[1], out);
+        li = 2;
+      }
+      for (; li < leaves.size() && !out->empty(); ++li) {
+        if (token != nullptr) {
+          Status st = token->Check();
+          if (!st.ok()) return st;
+        }
+        if (leaves[li]->Cardinality() * 8 < out->size()) {
+          ScratchArena::Lease decoded = arena.Acquire();
+          codec.Decode(*leaves[li], decoded.get());
+          GallopIntersect(*decoded, *out, next.get());
+        } else {
+          codec.IntersectWithList(*leaves[li], *out, next.get());
+        }
+        out->swap(*next);
+      }
+      return Status::Ok();
+    }
+    case QueryPlan::Op::kOr:
+    default: {
+      if (plan.children.empty())
+        return Status::InvalidArgument("OR node with no children");
+      std::vector<const CompressedSet*> leaves;
+      std::vector<ScratchArena::Lease> materialized;
+      for (const QueryPlan& child : plan.children) {
+        if (child.op == QueryPlan::Op::kLeaf) {
+          if (child.leaf >= sets.size())
+            return Status::InvalidArgument("plan leaf index out of range");
+          if (sets[child.leaf] == nullptr)
+            return Status::InvalidArgument("plan references missing input set");
+          leaves.push_back(sets[child.leaf]);
+        } else {
+          ScratchArena::Lease sub = arena.Acquire();
+          Status st =
+              EvaluateChecked(codec, child, sets, token, arena, sub.get());
+          if (!st.ok()) return st;
+          materialized.push_back(std::move(sub));
+        }
+      }
+      if (!leaves.empty()) {
+        UnionSets(codec, leaves, &arena, out);
+      }
+      ScratchArena::Lease merged = arena.Acquire();
+      for (const auto& m : materialized) {
+        UnionLists(*out, *m, merged.get());
+        out->swap(*merged);
+      }
+      return Status::Ok();
+    }
+  }
+}
+
 }  // namespace
 
 void EvaluatePlan(const Codec& codec, const QueryPlan& plan,
@@ -112,6 +226,15 @@ std::vector<uint32_t> EvaluatePlan(const Codec& codec, const QueryPlan& plan,
   std::vector<uint32_t> out;
   Evaluate(codec, plan, sets, arena, &out);
   return out;
+}
+
+Status EvaluatePlanChecked(const Codec& codec, const QueryPlan& plan,
+                           std::span<const CompressedSet* const> sets,
+                           const CancellationToken* token, ScratchArena* arena,
+                           std::vector<uint32_t>* out) {
+  Status st = EvaluateChecked(codec, plan, sets, token, *arena, out);
+  if (!st.ok()) out->clear();
+  return st;
 }
 
 }  // namespace intcomp

@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "core/cancel.h"
 #include "core/codec.h"
 #include "core/scratch.h"
 
@@ -56,6 +57,21 @@ void EvaluatePlan(const Codec& codec, const QueryPlan& plan,
 // Convenience form with a throwaway arena per call.
 std::vector<uint32_t> EvaluatePlan(const Codec& codec, const QueryPlan& plan,
                                    std::span<const CompressedSet* const> sets);
+
+// Fault-contained form of EvaluatePlan: computes bit-identical results on
+// success, but instead of assuming a well-formed plan it returns
+//   kInvalidArgument   — leaf index out of range, null input set, or an
+//                        AND/OR node with no children;
+//   kCancelled /
+//   kDeadlineExceeded  — `token` tripped (polled at every plan-node entry,
+//                        so latency is bounded by one decode/intersect).
+// On any non-OK status `out` is cleared. `token` may be null (no
+// cancellation). The trusted EvaluatePlan stays assert-only; this is the
+// entry point for plans or sets that crossed a trust boundary.
+Status EvaluatePlanChecked(const Codec& codec, const QueryPlan& plan,
+                           std::span<const CompressedSet* const> sets,
+                           const CancellationToken* token, ScratchArena* arena,
+                           std::vector<uint32_t>* out);
 
 }  // namespace intcomp
 

@@ -30,20 +30,51 @@ std::vector<std::vector<uint32_t>> BatchExecutor::Execute(
   struct alignas(64) Tally {
     uint64_t queries = 0;
     uint64_t result_ints = 0;
+    uint64_t ok = 0;
+    uint64_t rejected = 0;
+    uint64_t timed_out = 0;
+    uint64_t cancelled = 0;
+    uint64_t failed = 0;
   };
   std::vector<Tally> tallies(nworkers);
+  // One Status slot per query; each slot is written by exactly one task, so
+  // no synchronization beyond the pool's Wait() barrier is needed.
+  std::vector<Status> statuses(nplans);
 
   WallTimer timer;
   const Codec* codec = batch.codec;
   const std::span<const QueryPlan> plans = batch.plans;
   const std::span<const CompressedSet* const> sets = batch.sets;
+  const uint64_t default_deadline_ns = batch.default_deadline_ns;
+  const std::span<const uint64_t> deadlines = batch.deadlines_ns;
+  const CancellationToken* batch_cancel = batch.cancel;
   for (size_t q = 0; q < nplans; ++q) {
-    pool_->Submit([this, codec, plans, sets, &results, &tallies,
-                   q](size_t worker) {
+    const uint64_t deadline_ns =
+        (q < deadlines.size() && deadlines[q] != 0) ? deadlines[q]
+                                                    : default_deadline_ns;
+    pool_->Submit([this, codec, plans, sets, &results, &tallies, &statuses, q,
+                   deadline_ns, batch_cancel](size_t worker) {
       std::vector<uint32_t>& out = results[q];
-      EvaluatePlan(*codec, plans[q], sets, arenas_[worker].get(), &out);
-      tallies[worker].queries += 1;
-      tallies[worker].result_ints += out.size();
+      // The deadline clock starts when the query starts executing, so a
+      // query queued behind a long batch is not penalized for the wait.
+      CancellationToken token;
+      token.ChainParent(batch_cancel);
+      token.SetDeadlineAfterNs(deadline_ns);
+      const CancellationToken* tok =
+          (deadline_ns != 0 || batch_cancel != nullptr) ? &token : nullptr;
+      Status st = EvaluatePlanChecked(*codec, plans[q], sets, tok,
+                                      arenas_[worker].get(), &out);
+      Tally& t = tallies[worker];
+      t.queries += 1;
+      t.result_ints += out.size();
+      switch (st.code()) {
+        case StatusCode::kOk: t.ok += 1; break;
+        case StatusCode::kInvalidArgument: t.rejected += 1; break;
+        case StatusCode::kDeadlineExceeded: t.timed_out += 1; break;
+        case StatusCode::kCancelled: t.cancelled += 1; break;
+        default: t.failed += 1; break;
+      }
+      statuses[q] = std::move(st);
     });
   }
   pool_->Wait();
@@ -51,6 +82,7 @@ std::vector<std::vector<uint32_t>> BatchExecutor::Execute(
 
   if (report != nullptr) {
     report->per_worker.assign(nworkers, WorkerCounters{});
+    report->per_query = std::move(statuses);
     report->wall_ms = wall_ms;
     for (size_t w = 0; w < nworkers; ++w) {
       WorkerCounters& c = report->per_worker[w];
@@ -59,6 +91,11 @@ std::vector<std::vector<uint32_t>> BatchExecutor::Execute(
       c.steals = pool_->Steals(w) - steals0[w];
       c.busy_ns = pool_->BusyNs(w) - busy0[w];
       c.idle_ns = pool_->IdleNs(w) - idle0[w];
+      c.ok = tallies[w].ok;
+      c.rejected = tallies[w].rejected;
+      c.timed_out = tallies[w].timed_out;
+      c.cancelled = tallies[w].cancelled;
+      c.failed = tallies[w].failed;
     }
   }
   return results;

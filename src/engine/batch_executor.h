@@ -21,10 +21,12 @@
 #ifndef INTCOMP_ENGINE_BATCH_EXECUTOR_H_
 #define INTCOMP_ENGINE_BATCH_EXECUTOR_H_
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "core/cancel.h"
 #include "core/codec.h"
 #include "core/query.h"
 #include "core/scratch.h"
@@ -35,10 +37,27 @@ namespace intcomp {
 
 // A batch: every plan is evaluated with `codec` against the shared `sets`
 // slice (plans reference sets by index, as in EvaluatePlan).
+//
+// Fault containment: queries are evaluated through EvaluatePlanChecked, so
+// a malformed plan, a missing (null) set slot, an elapsed deadline, or a
+// tripped cancel token fails only its own query — the slot's result list
+// comes back empty, the per-query Status in the report says why, and every
+// healthy query's result is bit-identical to a serial EvaluatePlan run.
 struct QueryBatch {
   const Codec* codec = nullptr;
   std::span<const QueryPlan> plans;
   std::span<const CompressedSet* const> sets;
+
+  // Deadline applied to every query, measured from the moment the query
+  // starts executing on a worker (0 = none). Deadlines are polled at plan
+  // node boundaries, so overrun latency is bounded by one node.
+  uint64_t default_deadline_ns = 0;
+  // Optional per-query override of default_deadline_ns: either empty or
+  // plans.size() entries (0 = fall back to the default).
+  std::span<const uint64_t> deadlines_ns;
+  // Optional batch-wide cancellation (e.g. client disconnect); checked by
+  // every query alongside its own deadline. Must outlive Execute.
+  const CancellationToken* cancel = nullptr;
 };
 
 class BatchExecutor {
@@ -49,7 +68,9 @@ class BatchExecutor {
 
   // Evaluates all plans; element i of the result corresponds to plans[i].
   // When `report` is non-null it is overwritten with this batch's counters
-  // (deltas only — consecutive batches on a re-used pool don't accumulate).
+  // (deltas only — consecutive batches on a re-used pool don't accumulate)
+  // and its per_query vector holds each query's Status; failed queries have
+  // empty result lists and never affect their neighbors.
   std::vector<std::vector<uint32_t>> Execute(const QueryBatch& batch,
                                              BatchReport* report = nullptr);
 

@@ -10,6 +10,11 @@ WorkerCounters& WorkerCounters::operator+=(const WorkerCounters& o) {
   steals += o.steals;
   busy_ns += o.busy_ns;
   idle_ns += o.idle_ns;
+  ok += o.ok;
+  rejected += o.rejected;
+  timed_out += o.timed_out;
+  cancelled += o.cancelled;
+  failed += o.failed;
   return *this;
 }
 
@@ -49,7 +54,40 @@ std::string BatchReport::ToString() const {
   std::snprintf(line, sizeof(line), "wall %.2f ms, busy fraction %.2f\n",
                 wall_ms, BusyFraction());
   s += line;
+  const WorkerCounters t = Totals();
+  if (t.rejected + t.timed_out + t.cancelled + t.failed > 0) {
+    std::snprintf(line, sizeof(line),
+                  "outcomes: %llu ok, %llu rejected, %llu timed out, "
+                  "%llu cancelled, %llu failed\n",
+                  static_cast<unsigned long long>(t.ok),
+                  static_cast<unsigned long long>(t.rejected),
+                  static_cast<unsigned long long>(t.timed_out),
+                  static_cast<unsigned long long>(t.cancelled),
+                  static_cast<unsigned long long>(t.failed));
+    s += line;
+  }
   return s;
+}
+
+void EngineStats::Accumulate(const BatchReport& report) {
+  ++batches;
+  totals += report.Totals();
+}
+
+std::string EngineStats::ToString() const {
+  char line[200];
+  std::snprintf(line, sizeof(line),
+                "%llu batches, %llu queries (%llu ok, %llu rejected, "
+                "%llu timed out, %llu cancelled, %llu failed), %llu ints",
+                static_cast<unsigned long long>(batches),
+                static_cast<unsigned long long>(totals.queries),
+                static_cast<unsigned long long>(totals.ok),
+                static_cast<unsigned long long>(totals.rejected),
+                static_cast<unsigned long long>(totals.timed_out),
+                static_cast<unsigned long long>(totals.cancelled),
+                static_cast<unsigned long long>(totals.failed),
+                static_cast<unsigned long long>(totals.result_ints));
+  return line;
 }
 
 }  // namespace intcomp

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace intcomp {
 
 struct WorkerCounters {
@@ -22,11 +24,23 @@ struct WorkerCounters {
   uint64_t busy_ns = 0;      // wall time inside tasks
   uint64_t idle_ns = 0;      // wall time asleep waiting for work
 
+  // Fault-containment outcome tallies (queries == ok + rejected +
+  // timed_out + cancelled + failed).
+  uint64_t ok = 0;         // completed successfully
+  uint64_t rejected = 0;   // kInvalidArgument: bad plan or missing set
+  uint64_t timed_out = 0;  // kDeadlineExceeded
+  uint64_t cancelled = 0;  // kCancelled
+  uint64_t failed = 0;     // kCorruptData / kInternal
+
   WorkerCounters& operator+=(const WorkerCounters& o);
 };
 
 struct BatchReport {
   std::vector<WorkerCounters> per_worker;
+  // Outcome of each query, indexed like the batch's plans. Healthy queries
+  // are OK; a non-OK entry means the matching result list is empty and the
+  // failure never touched any other query's result.
+  std::vector<Status> per_query;
   double wall_ms = 0;  // batch wall time as seen by the submitting thread
 
   size_t NumWorkers() const { return per_worker.size(); }
@@ -39,6 +53,17 @@ struct BatchReport {
   double BusyFraction() const;
 
   // Multi-line human-readable table: one row per worker plus a totals row.
+  std::string ToString() const;
+};
+
+// Long-lived accumulator over many batches (one per engine / service).
+// BatchReport is a per-batch delta; EngineStats is the running sum a
+// monitoring endpoint would export.
+struct EngineStats {
+  uint64_t batches = 0;
+  WorkerCounters totals;
+
+  void Accumulate(const BatchReport& report);
   std::string ToString() const;
 };
 

@@ -18,6 +18,13 @@
 //     // Decodes exactly n values; may write up to 128 entries (SIMD codecs
 //     // always materialize a full block). Returns bytes consumed.
 //     static size_t DecodeBlock(const uint8_t* data, size_t n, uint32_t* out);
+//     // Bounds-checked mirror of DecodeBlock for untrusted payloads: never
+//     // reads at or past data + avail, rejects illegal headers/selectors/
+//     // bit widths and out-of-range exception positions. On success decodes
+//     // the same values DecodeBlock would, sets *consumed, returns true.
+//     static bool CheckedDecodeBlock(const uint8_t* data, size_t avail,
+//                                    size_t n, uint32_t* out,
+//                                    size_t* consumed);
 //   };
 //
 // For delta-based codecs the first gap of block b is relative to the last
@@ -290,6 +297,85 @@ class BlockedListCodec final : public Codec {
       return nullptr;
     }
     return set;
+  }
+
+  Status ValidateSet(const CompressedSet& set,
+                     uint64_t domain) const override {
+    const auto& s = static_cast<const Set&>(set);
+    const uint64_t dmax = std::min<uint64_t>(domain, uint64_t{1} << 32);
+    if (s.count > dmax) {
+      return Status::Corrupt("cardinality exceeds domain");
+    }
+    if (s.count == 0) {
+      return s.data.empty() ? Status::Ok()
+                            : Status::Corrupt("empty list with payload");
+    }
+    // Re-decode every block through the traits' bounds-checked decoder and
+    // replay the rebase arithmetic in uint64, so wrap-around tricks in the
+    // stored gaps cannot fake monotonicity. The skip pointers are verified
+    // against the recomputed first values because BlockedCursor seeks with
+    // them directly.
+    uint32_t buf[kBlockN < kSimdBlockSize ? kSimdBlockSize : kBlockN];
+    uint64_t prev = 0;  // last accepted value
+    bool any = false;
+    for (size_t b = 0; b < s.skip_first.size(); ++b) {
+      const size_t i = b * kBlockN;
+      const size_t n = std::min(kBlockN, s.count - i);
+      const size_t off = s.skip_offset[b];
+      if (off >= s.data.size()) {
+        return Status::Corrupt("skip offset out of range");
+      }
+      size_t consumed = 0;
+      if (!Traits::CheckedDecodeBlock(s.data.data() + off,
+                                      s.data.size() - off, n, buf,
+                                      &consumed)) {
+        return Status::Corrupt("malformed block payload");
+      }
+      if (Traits::kDeltaBased) {
+        uint64_t running = prev;
+        for (size_t k = 0; k < n; ++k) {
+          if ((any || k > 0) && buf[k] == 0) {
+            return Status::Corrupt("values not strictly increasing");
+          }
+          running += buf[k];
+          if (running >= dmax) {
+            return Status::Corrupt("value past domain");
+          }
+          if (k == 0 && s.skip_first[b] != running) {
+            return Status::Corrupt("skip pointer mismatch");
+          }
+          any = true;
+        }
+        prev = running;
+      } else {
+        // Frame-of-reference blocks are rebased to their first value, so a
+        // genuine payload always starts with 0 and skip_first is the base.
+        if (buf[0] != 0) {
+          return Status::Corrupt("FOR block base not zero");
+        }
+        const uint64_t base = s.skip_first[b];
+        uint64_t last = base;
+        if (any && base <= prev) {
+          return Status::Corrupt("values not strictly increasing");
+        }
+        if (base >= dmax) {
+          return Status::Corrupt("value past domain");
+        }
+        for (size_t k = 1; k < n; ++k) {
+          const uint64_t v = base + buf[k];
+          if (v <= last) {
+            return Status::Corrupt("values not strictly increasing");
+          }
+          if (v >= dmax) {
+            return Status::Corrupt("value past domain");
+          }
+          last = v;
+        }
+        prev = last;
+        any = true;
+      }
+    }
+    return Status::Ok();
   }
 
  private:

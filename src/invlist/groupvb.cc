@@ -51,4 +51,29 @@ size_t GroupVbTraits::DecodeBlock(const uint8_t* data, size_t n,
   return pos;
 }
 
+bool GroupVbTraits::CheckedDecodeBlock(const uint8_t* data, size_t avail,
+                                       size_t n, uint32_t* out,
+                                       size_t* consumed) {
+  size_t pos = 0;
+  for (size_t i = 0; i < n; i += 4) {
+    const size_t k = std::min<size_t>(4, n - i);
+    if (pos >= avail) return false;
+    const uint8_t header = data[pos++];
+    for (size_t j = 0; j < k; ++j) {
+      const int len = ((header >> (2 * j)) & 3) + 1;
+      // DecodeBlock issues an unconditional 4-byte masked load per value, so
+      // the untrusted check must cover the full load, not just `len` bytes.
+      // Genuine images always satisfy this via the encoder's trailing slack.
+      if (avail - pos < 4) return false;
+      uint32_t v = 0;
+      std::memcpy(&v, data + pos, 4);
+      v &= len == 4 ? ~uint32_t{0} : ((uint32_t{1} << (8 * len)) - 1);
+      out[i + j] = v;
+      pos += len;
+    }
+  }
+  *consumed = pos;
+  return true;
+}
+
 }  // namespace intcomp

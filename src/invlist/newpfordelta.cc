@@ -116,5 +116,59 @@ size_t DecodeBlockImpl(const uint8_t* data, size_t n, uint32_t* out) {
   return pos + pos_bytes + high_bytes;
 }
 
+bool CheckedDecodeBlockImpl(const uint8_t* data, size_t avail, size_t n,
+                            uint32_t* out, size_t* consumed) {
+  if (avail < 6) return false;
+  const int b = data[0];
+  const size_t n_exc = data[1];
+  const size_t pos_bytes = data[2] | (static_cast<size_t>(data[3]) << 8);
+  const size_t high_bytes = data[4] | (static_cast<size_t>(data[5]) << 8);
+  // b > 32 overflows the 128-word scratch in DecodeBlockImpl; b == 32 with
+  // exceptions would shift the high bits by 32 (undefined) — genuine blocks
+  // never have exceptions at the maximal width.
+  if (b > 32) return false;
+  if (n_exc > n) return false;
+  if (n_exc > 0 && b >= 32) return false;
+
+  const size_t words = PackedWords32(n, b);
+  if (6 + words * 4 > avail) return false;
+  size_t pos = 6;
+  if (words > 0) {
+    uint32_t packed[kListBlockSize];
+    std::memcpy(packed, data + pos, words * 4);
+    UnpackBits(packed, n, b, out);
+  } else {
+    std::memset(out, 0, n * sizeof(uint32_t));
+  }
+  pos += words * 4;
+  if (pos_bytes > avail - pos) return false;
+  if (high_bytes > avail - pos - pos_bytes) return false;
+
+  if (n_exc > 0) {
+    uint32_t positions[kListBlockSize];
+    uint32_t highs[kListBlockSize];
+    size_t used = 0;
+    // The trusted decoder reads the two Simple16 streams from fixed offsets
+    // without honoring pos_bytes/high_bytes as limits, so the checked walk
+    // bounds each stream by the whole remaining payload, exactly mirroring
+    // the reads DecodeBlockImpl will issue.
+    if (!Simple16CheckedDecodeArray(data + pos, avail - pos, n_exc, positions,
+                                    &used)) {
+      return false;
+    }
+    if (!Simple16CheckedDecodeArray(data + pos + pos_bytes,
+                                    avail - pos - pos_bytes, n_exc, highs,
+                                    &used)) {
+      return false;
+    }
+    for (size_t k = 0; k < n_exc; ++k) {
+      if (positions[k] >= n) return false;
+      out[positions[k]] |= highs[k] << b;
+    }
+  }
+  *consumed = pos + pos_bytes + high_bytes;
+  return true;
+}
+
 }  // namespace newpfor_internal
 }  // namespace intcomp

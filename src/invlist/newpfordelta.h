@@ -25,6 +25,8 @@ void EncodeBlockWithWidth(const uint32_t* in, size_t n, int b,
                           std::vector<uint8_t>* out);
 size_t MeasureBlockWithWidth(const uint32_t* in, size_t n, int b);
 size_t DecodeBlockImpl(const uint8_t* data, size_t n, uint32_t* out);
+bool CheckedDecodeBlockImpl(const uint8_t* data, size_t avail, size_t n,
+                            uint32_t* out, size_t* consumed);
 int ChooseWidth90(const uint32_t* in, size_t n);
 }  // namespace newpfor_internal
 
@@ -40,6 +42,11 @@ struct NewPforDeltaTraits {
   }
   static size_t DecodeBlock(const uint8_t* data, size_t n, uint32_t* out) {
     return newpfor_internal::DecodeBlockImpl(data, n, out);
+  }
+  static bool CheckedDecodeBlock(const uint8_t* data, size_t avail, size_t n,
+                                 uint32_t* out, size_t* consumed) {
+    return newpfor_internal::CheckedDecodeBlockImpl(data, avail, n, out,
+                                                    consumed);
   }
 };
 

@@ -25,6 +25,11 @@ struct OptPforDeltaTraits {
   static size_t DecodeBlock(const uint8_t* data, size_t n, uint32_t* out) {
     return newpfor_internal::DecodeBlockImpl(data, n, out);
   }
+  static bool CheckedDecodeBlock(const uint8_t* data, size_t avail, size_t n,
+                                 uint32_t* out, size_t* consumed) {
+    return newpfor_internal::CheckedDecodeBlockImpl(data, avail, n, out,
+                                                    consumed);
+  }
 };
 
 using OptPforDeltaCodec = BlockedListCodec<OptPforDeltaTraits>;

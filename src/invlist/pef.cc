@@ -285,4 +285,95 @@ std::unique_ptr<CompressedSet> PefCodec::Deserialize(const uint8_t* data,
   return set;
 }
 
+Status PefCodec::ValidateSet(const CompressedSet& set, uint64_t domain) const {
+  const auto& s = static_cast<const Set&>(set);
+  const uint64_t dmax = std::min<uint64_t>(domain, uint64_t{1} << 32);
+  if (s.count > dmax) return Status::Corrupt("PEF: cardinality beyond domain");
+  const size_t span = PartitionSpan(s.count);
+  const size_t want_parts = s.count == 0 ? 0 : (s.count - 1) / span + 1;
+  if (s.parts.size() != want_parts)
+    return Status::Corrupt("PEF: partition count mismatch");
+  if (s.count == 0) {
+    if (!s.data.empty()) return Status::Corrupt("PEF: data in empty set");
+    return Status::Ok();
+  }
+
+  // Structural pass: every partition's container must lie inside `data` and
+  // hold exactly its announced number of set bits, so the cursor replay
+  // below can never scan past the allocation.
+  uint64_t prev_last = 0;
+  for (size_t p = 0; p < s.parts.size(); ++p) {
+    const Partition& part = s.parts[p];
+    const size_t n = std::min(span, s.count - p * span);
+    if (part.first > part.last) return Status::Corrupt("PEF: first > last");
+    if (part.last >= dmax) return Status::Corrupt("PEF: value past domain");
+    if (p > 0 && part.first <= prev_last)
+      return Status::Corrupt("PEF: partitions not increasing");
+    prev_last = part.last;
+    const uint64_t universe = part.last - part.first;
+    switch (part.type) {
+      case PartitionType::kRun:
+        if (universe != n - 1)
+          return Status::Corrupt("PEF: run span != cardinality");
+        break;
+      case PartitionType::kBitmap: {
+        const size_t words = WordsForBits(universe + 1);
+        if (static_cast<uint64_t>(part.offset) + words > s.data.size())
+          return Status::Corrupt("PEF: bitmap container out of range");
+        const uint32_t* w = s.data.data() + part.offset;
+        uint64_t bits = 0;
+        for (size_t k = 0; k < words; ++k) bits += PopCount32(w[k]);
+        if (bits != n)
+          return Status::Corrupt("PEF: bitmap popcount mismatch");
+        // A bit past the universe would decode a value beyond `last`.
+        const unsigned used = (universe + 1) & 31;
+        if (used != 0 && (w[words - 1] >> used) != 0)
+          return Status::Corrupt("PEF: bitmap bits past universe");
+        break;
+      }
+      case PartitionType::kEliasFano: {
+        const int l = part.low_bits;
+        if (l > 31) return Status::Corrupt("PEF: low-bit width too wide");
+        const size_t lw = WordsForBits(static_cast<uint64_t>(n) * l);
+        const uint64_t high_bits = n + (universe >> l) + 1;
+        const size_t hw = WordsForBits(high_bits);
+        if (static_cast<uint64_t>(part.offset) + lw + hw > s.data.size())
+          return Status::Corrupt("PEF: EF container out of range");
+        const uint32_t* high = s.data.data() + part.offset + lw;
+        uint64_t bits = 0;
+        for (size_t k = 0; k < hw; ++k) bits += PopCount32(high[k]);
+        if (bits != n)
+          return Status::Corrupt("PEF: EF high-bit popcount mismatch");
+        const unsigned used = high_bits & 31;
+        if (used != 0 && (high[hw - 1] >> used) != 0)
+          return Status::Corrupt("PEF: EF bits past universe");
+        break;
+      }
+    }
+  }
+
+  // Value replay: decode every partition with the real cursor and require
+  // exactly the announced first/last plus global strict monotonicity. The
+  // high bits are bounded above, but crafted EF low bits can still produce
+  // out-of-order values — only a replay catches that.
+  uint64_t prev = 0;
+  bool have_prev = false;
+  for (size_t p = 0; p < s.parts.size(); ++p) {
+    PartitionCursor cursor(s, p, span);
+    uint32_t part_first = 0;
+    uint32_t v = 0;
+    for (size_t k = 0; !cursor.exhausted(); cursor.Advance(), ++k) {
+      v = cursor.Current();
+      if (k == 0) part_first = v;
+      if (have_prev && v <= prev)
+        return Status::Corrupt("PEF: values not strictly increasing");
+      prev = v;
+      have_prev = true;
+    }
+    if (part_first != s.parts[p].first || v != s.parts[p].last)
+      return Status::Corrupt("PEF: partition bounds mismatch");
+  }
+  return Status::Ok();
+}
+
 }  // namespace intcomp

@@ -127,5 +127,44 @@ size_t DecodeBlockImpl(const uint8_t* data, size_t n, uint32_t* out) {
   return pos;
 }
 
+bool CheckedDecodeBlockImpl(const uint8_t* data, size_t avail, size_t n,
+                            uint32_t* out, size_t* consumed) {
+  if (avail < 4) return false;
+  const int b = data[0];
+  const size_t n_exc = data[1];
+  const uint8_t first_exc = data[2];
+  // b > 32 overflows the fixed 128-word scratch in DecodeBlockImpl (a stack
+  // smash, not just a wrong answer), and the exception walk writes out[p]
+  // for link-derived p, so both need hard bounds.
+  if (b > 32) return false;
+  if (n_exc > n) return false;
+  if (n_exc > 0 && first_exc >= n) return false;
+
+  const size_t words = PackedWords32(n, b);
+  if (4 + words * 4 + n_exc * 4 > avail) return false;
+  size_t pos = 4;
+  if (words > 0) {
+    uint32_t packed[kListBlockSize];
+    std::memcpy(packed, data + pos, words * 4);
+    UnpackBits(packed, n, b, out);
+  } else {
+    std::memset(out, 0, n * sizeof(uint32_t));
+  }
+  pos += words * 4;
+
+  size_t p = first_exc;
+  for (size_t k = 0; k < n_exc; ++k) {
+    if (p >= n) return false;
+    const uint32_t link = out[p];
+    uint32_t v;
+    std::memcpy(&v, data + pos, 4);
+    pos += 4;
+    out[p] = v;
+    p += link + 1;
+  }
+  *consumed = pos;
+  return true;
+}
+
 }  // namespace pfor_internal
 }  // namespace intcomp

@@ -26,6 +26,8 @@ namespace pfor_internal {
 void EncodeBlockImpl(const uint32_t* in, size_t n, int threshold_percent,
                      std::vector<uint8_t>* out);
 size_t DecodeBlockImpl(const uint8_t* data, size_t n, uint32_t* out);
+bool CheckedDecodeBlockImpl(const uint8_t* data, size_t avail, size_t n,
+                            uint32_t* out, size_t* consumed);
 }  // namespace pfor_internal
 
 struct PforDeltaTraits {
@@ -40,6 +42,11 @@ struct PforDeltaTraits {
   static size_t DecodeBlock(const uint8_t* data, size_t n, uint32_t* out) {
     return pfor_internal::DecodeBlockImpl(data, n, out);
   }
+  static bool CheckedDecodeBlock(const uint8_t* data, size_t avail, size_t n,
+                                 uint32_t* out, size_t* consumed) {
+    return pfor_internal::CheckedDecodeBlockImpl(data, avail, n, out,
+                                                 consumed);
+  }
 };
 
 struct PforDeltaStarTraits {
@@ -53,6 +60,11 @@ struct PforDeltaStarTraits {
   }
   static size_t DecodeBlock(const uint8_t* data, size_t n, uint32_t* out) {
     return pfor_internal::DecodeBlockImpl(data, n, out);
+  }
+  static bool CheckedDecodeBlock(const uint8_t* data, size_t avail, size_t n,
+                                 uint32_t* out, size_t* consumed) {
+    return pfor_internal::CheckedDecodeBlockImpl(data, avail, n, out,
+                                                 consumed);
   }
 };
 

@@ -86,4 +86,18 @@ std::unique_ptr<CompressedSet> PlainListCodec::Deserialize(
   return set;
 }
 
+Status PlainListCodec::ValidateSet(const CompressedSet& set,
+                                   uint64_t domain) const {
+  const auto& s = static_cast<const Set&>(set);
+  const uint64_t dmax = std::min<uint64_t>(domain, uint64_t{1} << 32);
+  // Intersection gallops under the assumption of sorted unique values.
+  for (size_t i = 0; i < s.values.size(); ++i) {
+    if (i > 0 && s.values[i] <= s.values[i - 1])
+      return Status::Corrupt("List: values not strictly increasing");
+    if (s.values[i] >= dmax)
+      return Status::Corrupt("List: value past domain");
+  }
+  return Status::Ok();
+}
+
 }  // namespace intcomp

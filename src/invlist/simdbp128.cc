@@ -33,5 +33,18 @@ size_t DecodeBlockImpl(const uint8_t* data, size_t n, uint32_t* out) {
   return 1 + SimdPackedWords(b) * 4;
 }
 
+bool CheckedDecodeBlockImpl(const uint8_t* data, size_t avail, size_t n,
+                            uint32_t* out, size_t* consumed) {
+  if (avail < 1) return false;
+  const int b = data[0];
+  if (b > 32) return false;  // SimdUnpack128 is defined for b in [0, 32]
+  const size_t packed_bytes = SimdPackedWords(b) * 4;
+  if (1 + packed_bytes > avail) return false;
+  SimdUnpack128(reinterpret_cast<const uint32_t*>(data + 1), b, out);
+  (void)n;
+  *consumed = 1 + packed_bytes;
+  return true;
+}
+
 }  // namespace simdbp_internal
 }  // namespace intcomp

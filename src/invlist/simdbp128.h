@@ -23,6 +23,8 @@ namespace intcomp {
 namespace simdbp_internal {
 void EncodeBlockImpl(const uint32_t* in, size_t n, std::vector<uint8_t>* out);
 size_t DecodeBlockImpl(const uint8_t* data, size_t n, uint32_t* out);
+bool CheckedDecodeBlockImpl(const uint8_t* data, size_t avail, size_t n,
+                            uint32_t* out, size_t* consumed);
 }  // namespace simdbp_internal
 
 struct SimdBp128Traits {
@@ -38,6 +40,11 @@ struct SimdBp128Traits {
   static size_t DecodeBlock(const uint8_t* data, size_t n, uint32_t* out) {
     return simdbp_internal::DecodeBlockImpl(data, n, out);
   }
+  static bool CheckedDecodeBlock(const uint8_t* data, size_t avail, size_t n,
+                                 uint32_t* out, size_t* consumed) {
+    return simdbp_internal::CheckedDecodeBlockImpl(data, avail, n, out,
+                                                   consumed);
+  }
 };
 
 struct SimdBp128StarTraits {
@@ -52,6 +59,11 @@ struct SimdBp128StarTraits {
   }
   static size_t DecodeBlock(const uint8_t* data, size_t n, uint32_t* out) {
     return simdbp_internal::DecodeBlockImpl(data, n, out);
+  }
+  static bool CheckedDecodeBlock(const uint8_t* data, size_t avail, size_t n,
+                                 uint32_t* out, size_t* consumed) {
+    return simdbp_internal::CheckedDecodeBlockImpl(data, avail, n, out,
+                                                   consumed);
   }
 };
 

@@ -85,5 +85,37 @@ size_t DecodeBlockImpl(const uint8_t* data, size_t n, uint32_t* out) {
   return pos;
 }
 
+bool CheckedDecodeBlockImpl(const uint8_t* data, size_t avail, size_t n,
+                            uint32_t* out, size_t* consumed) {
+  if (avail < 2) return false;
+  const int b = data[0];
+  const size_t n_exc = data[1];
+  // b > 32 makes SimdUnpack128 read past the payload it was sized for; an
+  // exception at the maximal width would shift its high bits by 32
+  // (undefined) — genuine blocks never have exceptions when b == 32.
+  if (b > 32) return false;
+  if (n_exc > 0 && b >= 32) return false;
+  const size_t packed_bytes = SimdPackedWords(b) * 4;
+  if (2 + packed_bytes + n_exc + n_exc * 4 > avail) return false;
+
+  size_t pos = 2;
+  SimdUnpack128(reinterpret_cast<const uint32_t*>(data + pos), b, out);
+  pos += packed_bytes;
+
+  const uint8_t* exc_pos = data + pos;
+  pos += n_exc;
+  for (size_t k = 0; k < n_exc; ++k) {
+    // Positions are u8 (up to 255); the output buffer holds 128 values and
+    // genuine blocks only patch real elements.
+    if (exc_pos[k] >= n) return false;
+    uint32_t high;
+    std::memcpy(&high, data + pos + k * 4, 4);
+    out[exc_pos[k]] |= high << b;
+  }
+  pos += n_exc * 4;
+  *consumed = pos;
+  return true;
+}
+
 }  // namespace simdpfor_internal
 }  // namespace intcomp

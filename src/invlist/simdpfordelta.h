@@ -25,6 +25,8 @@ namespace simdpfor_internal {
 void EncodeBlockImpl(const uint32_t* in, size_t n, int threshold_percent,
                      std::vector<uint8_t>* out);
 size_t DecodeBlockImpl(const uint8_t* data, size_t n, uint32_t* out);
+bool CheckedDecodeBlockImpl(const uint8_t* data, size_t avail, size_t n,
+                            uint32_t* out, size_t* consumed);
 }  // namespace simdpfor_internal
 
 struct SimdPforDeltaTraits {
@@ -40,6 +42,11 @@ struct SimdPforDeltaTraits {
   static size_t DecodeBlock(const uint8_t* data, size_t n, uint32_t* out) {
     return simdpfor_internal::DecodeBlockImpl(data, n, out);
   }
+  static bool CheckedDecodeBlock(const uint8_t* data, size_t avail, size_t n,
+                                 uint32_t* out, size_t* consumed) {
+    return simdpfor_internal::CheckedDecodeBlockImpl(data, avail, n, out,
+                                                     consumed);
+  }
 };
 
 struct SimdPforDeltaStarTraits {
@@ -54,6 +61,11 @@ struct SimdPforDeltaStarTraits {
   }
   static size_t DecodeBlock(const uint8_t* data, size_t n, uint32_t* out) {
     return simdpfor_internal::DecodeBlockImpl(data, n, out);
+  }
+  static bool CheckedDecodeBlock(const uint8_t* data, size_t avail, size_t n,
+                                 uint32_t* out, size_t* consumed) {
+    return simdpfor_internal::CheckedDecodeBlockImpl(data, avail, n, out,
+                                                     consumed);
   }
 };
 

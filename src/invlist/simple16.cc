@@ -130,6 +130,38 @@ size_t Simple16DecodeArray(const uint8_t* data, size_t n, uint32_t* out) {
   return pos;
 }
 
+bool Simple16CheckedDecodeArray(const uint8_t* data, size_t avail, size_t n,
+                                uint32_t* out, size_t* consumed) {
+  size_t pos = 0;
+  size_t i = 0;
+  while (i < n) {
+    if (avail - pos < 4) return false;
+    uint32_t word;
+    std::memcpy(&word, data + pos, 4);
+    pos += 4;
+    if (word == kEscapeWord) {
+      if (avail - pos < 4) return false;
+      std::memcpy(&out[i], data + pos, 4);
+      pos += 4;
+      ++i;
+      continue;
+    }
+    const Case& c = kCases[word >> 28];
+    const size_t take = std::min<size_t>(c.total, n - i);
+    int shift = 0;
+    size_t j = 0;
+    for (const Run& r : c.runs) {
+      const uint32_t mask = LowMask32(r.bits);
+      for (int k = 0; k < r.count; ++k, shift += r.bits) {
+        if (j < take) out[i + j++] = (word >> shift) & mask;
+      }
+    }
+    i += take;
+  }
+  *consumed = pos;
+  return true;
+}
+
 size_t Simple16MeasureArray(const uint32_t* in, size_t n) {
   size_t words = 0;
   size_t i = 0;

@@ -28,6 +28,14 @@ void Simple16EncodeArray(const uint32_t* in, size_t n,
 // Decodes exactly n values; returns bytes consumed.
 size_t Simple16DecodeArray(const uint8_t* data, size_t n, uint32_t* out);
 
+// Bounds-checked mirror of Simple16DecodeArray for untrusted payloads: never
+// reads at or past data + avail. Every 4-bit selector is a legal layout, so
+// only truncation can fail. On success decodes the same n values and sets
+// *consumed. Also used to validate NewPforDelta/OptPforDelta exception
+// arrays.
+bool Simple16CheckedDecodeArray(const uint8_t* data, size_t avail, size_t n,
+                                uint32_t* out, size_t* consumed);
+
 // Returns the number of bytes Simple16EncodeArray would produce.
 size_t Simple16MeasureArray(const uint32_t* in, size_t n);
 
@@ -42,6 +50,10 @@ struct Simple16Traits {
   }
   static size_t DecodeBlock(const uint8_t* data, size_t n, uint32_t* out) {
     return Simple16DecodeArray(data, n, out);
+  }
+  static bool CheckedDecodeBlock(const uint8_t* data, size_t avail, size_t n,
+                                 uint32_t* out, size_t* consumed) {
+    return Simple16CheckedDecodeArray(data, avail, n, out, consumed);
   }
 };
 

@@ -87,4 +87,32 @@ size_t Simple8bTraits::DecodeBlock(const uint8_t* data, size_t n,
   return pos;
 }
 
+bool Simple8bTraits::CheckedDecodeBlock(const uint8_t* data, size_t avail,
+                                        size_t n, uint32_t* out,
+                                        size_t* consumed) {
+  // All 16 selectors are legal layouts, so only truncation can fail.
+  size_t pos = 0;
+  size_t i = 0;
+  while (i < n) {
+    if (avail - pos < 8) return false;
+    uint64_t word;
+    std::memcpy(&word, data + pos, 8);
+    pos += 8;
+    const uint64_t sel = word >> 60;
+    const Case c = kCases[sel];
+    const size_t take = std::min<size_t>(c.count, n - i);
+    if (sel <= 1) {
+      for (size_t j = 0; j < take; ++j) out[i + j] = 1;
+    } else {
+      const uint64_t mask = LowMask64(c.bits);
+      for (size_t j = 0; j < take; ++j) {
+        out[i + j] = static_cast<uint32_t>((word >> (j * c.bits)) & mask);
+      }
+    }
+    i += take;
+  }
+  *consumed = pos;
+  return true;
+}
+
 }  // namespace intcomp

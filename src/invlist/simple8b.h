@@ -24,6 +24,8 @@ struct Simple8bTraits {
   static void EncodeBlock(const uint32_t* in, size_t n,
                           std::vector<uint8_t>* out);
   static size_t DecodeBlock(const uint8_t* data, size_t n, uint32_t* out);
+  static bool CheckedDecodeBlock(const uint8_t* data, size_t avail, size_t n,
+                                 uint32_t* out, size_t* consumed);
 };
 
 using Simple8bCodec = BlockedListCodec<Simple8bTraits>;

@@ -86,4 +86,36 @@ size_t Simple9Traits::DecodeBlock(const uint8_t* data, size_t n,
   return pos;
 }
 
+bool Simple9Traits::CheckedDecodeBlock(const uint8_t* data, size_t avail,
+                                       size_t n, uint32_t* out,
+                                       size_t* consumed) {
+  size_t pos = 0;
+  size_t i = 0;
+  while (i < n) {
+    if (avail - pos < 4) return false;
+    uint32_t word;
+    std::memcpy(&word, data + pos, 4);
+    pos += 4;
+    const uint32_t sel = word >> 28;
+    if (sel == kEscapeSelector) {
+      if (avail - pos < 4) return false;
+      std::memcpy(&out[i], data + pos, 4);
+      pos += 4;
+      ++i;
+      continue;
+    }
+    // Selectors 10..15 have no layout; DecodeBlock would index past kCases.
+    if (sel > kEscapeSelector) return false;
+    const Case c = kCases[sel];
+    const uint32_t mask = LowMask32(c.bits);
+    const size_t take = std::min<size_t>(c.count, n - i);
+    for (size_t j = 0; j < take; ++j) {
+      out[i + j] = (word >> (j * c.bits)) & mask;
+    }
+    i += take;
+  }
+  *consumed = pos;
+  return true;
+}
+
 }  // namespace intcomp

@@ -15,4 +15,27 @@ size_t VbTraits::DecodeBlock(const uint8_t* data, size_t n, uint32_t* out) {
   return pos;
 }
 
+bool VbTraits::CheckedDecodeBlock(const uint8_t* data, size_t avail, size_t n,
+                                  uint32_t* out, size_t* consumed) {
+  size_t pos = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t value = 0;
+    int shift = 0;
+    while (true) {
+      if (pos >= avail) return false;
+      const uint8_t byte = data[pos++];
+      // Reject values that do not fit 32 bits: a 5th byte may only carry
+      // bits 28..31, and a 6th byte never exists (VByteLength <= 5).
+      if (shift == 28 && (byte & 0x70) != 0) return false;
+      value |= static_cast<uint32_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+      if (shift > 28) return false;
+    }
+    out[i] = value;
+  }
+  *consumed = pos;
+  return true;
+}
+
 }  // namespace intcomp

@@ -2,6 +2,7 @@
 // SIMD packing, prefix sums, VByte, and the PRNG.
 
 #include <cstdint>
+#include <cstring>
 #include <numeric>
 #include <vector>
 
@@ -10,8 +11,10 @@
 #include "common/bitpack.h"
 #include "common/bits.h"
 #include "common/prng.h"
+#include "common/serialize_util.h"
 #include "common/simdpack.h"
 #include "common/simdpack256.h"
+#include "common/status.h"
 #include "common/vbyte_raw.h"
 #include "test_util.h"
 
@@ -190,6 +193,111 @@ TEST(VByteRawTest, RoundTripBoundaries) {
     size_t pos = 0;
     EXPECT_EQ(VByteDecode(buf.data(), &pos), v);
   }
+}
+
+TEST(SerializeUtilTest, RoundTripsVectors) {
+  std::vector<uint32_t> v32 = {1, 2, 100000, 0xffffffffu};
+  std::vector<uint8_t> buf;
+  WriteVector(v32, &buf);
+  ByteReader reader(buf.data(), buf.size());
+  std::vector<uint32_t> back;
+  ASSERT_TRUE(ReadVector(&reader, &back));
+  EXPECT_EQ(back, v32);
+  EXPECT_EQ(reader.Remaining(), 0u);
+}
+
+TEST(SerializeUtilTest, ReadVectorRejectsOverflowingElementCount) {
+  // Regression: a 16-byte buffer whose length prefix claims 2^61 8-byte
+  // elements. 2^61 * 8 wraps a 64-bit size_t to 0, so a naive byte-count
+  // check passes and resize(2^61) aborts; the checked form must reject
+  // before allocating.
+  std::vector<uint8_t> buf(16, 0);
+  const uint64_t huge = uint64_t{1} << 61;
+  std::memcpy(buf.data(), &huge, 8);
+  ByteReader reader(buf.data(), buf.size());
+  std::vector<uint64_t> out;
+  EXPECT_FALSE(ReadVector(&reader, &out));
+  EXPECT_TRUE(out.empty());
+
+  // Same shape for 4-byte elements: 2^62 * 4 also wraps to 0.
+  std::vector<uint8_t> buf2(16, 0);
+  const uint64_t huge2 = uint64_t{1} << 62;
+  std::memcpy(buf2.data(), &huge2, 8);
+  ByteReader r2(buf2.data(), buf2.size());
+  std::vector<uint32_t> out2;
+  EXPECT_FALSE(ReadVector(&r2, &out2));
+
+  // A count that merely exceeds the buffer (no wrap) is rejected too.
+  std::vector<uint8_t> buf3(16, 0);
+  const uint64_t big = 1000;
+  std::memcpy(buf3.data(), &big, 8);
+  ByteReader r3(buf3.data(), buf3.size());
+  std::vector<uint32_t> out3;
+  EXPECT_FALSE(ReadVector(&r3, &out3));
+}
+
+TEST(StatusTest, CodesFactoriesAndMessages) {
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+  const Status corrupt = Status::Corrupt("bad header");
+  EXPECT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.code(), StatusCode::kCorruptData);
+  EXPECT_EQ(corrupt.message(), "bad header");
+  EXPECT_EQ(corrupt.ToString(), "CORRUPT_DATA: bad header");
+  EXPECT_EQ(Status::DeadlineExceeded("t").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Cancelled("c").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::InvalidArgument("a").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrTest, CarriesValueOrStatus) {
+  StatusOr<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  EXPECT_EQ(*good, 42);
+  StatusOr<int> bad(Status::Corrupt("nope"));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kCorruptData);
+}
+
+TEST(CheckedByteReaderTest, ReadsExactlyWhatFits) {
+  const uint8_t data[] = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07};
+  CheckedByteReader r(data, sizeof(data));
+  uint8_t u8 = 0xff;
+  uint16_t u16 = 0xffff;
+  uint32_t u32 = 0xffffffff;
+  ASSERT_TRUE(r.GetU8(&u8));
+  EXPECT_EQ(u8, 0x01);
+  ASSERT_TRUE(r.GetU16(&u16));
+  EXPECT_EQ(u16, 0x0302);
+  ASSERT_TRUE(r.GetU32(&u32));
+  EXPECT_EQ(u32, 0x07060504u);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(r.Remaining(), 0u);
+
+  // Past-the-end reads fail, poison the output, and do not advance.
+  uint64_t u64 = 0xdeadbeef;
+  EXPECT_FALSE(r.GetU64(&u64));
+  EXPECT_EQ(u64, 0u);
+  EXPECT_EQ(r.Position(), sizeof(data));
+}
+
+TEST(CheckedByteReaderTest, ShortBufferFailsWideReadsButCursorHolds) {
+  const uint8_t data[] = {0xaa, 0xbb};
+  CheckedByteReader r(data, sizeof(data));
+  uint64_t u64 = 1;
+  uint32_t u32 = 1;
+  EXPECT_FALSE(r.GetU64(&u64));
+  EXPECT_EQ(u64, 0u);
+  EXPECT_FALSE(r.GetU32(&u32));
+  EXPECT_EQ(u32, 0u);
+  EXPECT_EQ(r.Position(), 0u);  // failed reads never advance
+  EXPECT_FALSE(r.Skip(3));
+  ASSERT_TRUE(r.Skip(2));
+  EXPECT_TRUE(r.AtEnd());
+  uint8_t buf[4];
+  EXPECT_FALSE(r.GetBytes(buf, 1));
 }
 
 TEST(PrngTest, DeterministicAndBounded) {

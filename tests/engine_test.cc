@@ -150,7 +150,7 @@ TEST_P(EngineDeterminismTest, BatchMatchesSerialOnEveryDistribution) {
       SCOPED_TRACE(threads);
       ThreadPool pool(threads);
       BatchExecutor exec(&pool);
-      const QueryBatch batch{&codec, w.plans, e.ptrs};
+      const QueryBatch batch{.codec = &codec, .plans = w.plans, .sets = e.ptrs};
       // Two rounds through the same executor: warm arenas must not change
       // results.
       for (int round = 0; round < 2; ++round) {
@@ -215,7 +215,7 @@ TEST(EngineStressTest, TenThousandTinyQueries) {
   ThreadPool pool(kStressThreads);
   BatchExecutor exec(&pool);
   BatchReport report;
-  const auto got = exec.Execute({codec, plans, ptrs}, &report);
+  const auto got = exec.Execute({.codec = codec, .plans = plans, .sets = ptrs}, &report);
 
   ASSERT_EQ(got.size(), plans.size());
   for (size_t q = 0; q < plans.size(); ++q) {
@@ -238,7 +238,7 @@ TEST(EngineStatsTest, CountersSumAcrossWorkers) {
   ThreadPool pool(4);
   BatchExecutor exec(&pool);
   BatchReport report;
-  const auto results = exec.Execute({codec, w.plans, e.ptrs}, &report);
+  const auto results = exec.Execute({.codec = codec, .plans = w.plans, .sets = e.ptrs}, &report);
 
   ASSERT_EQ(report.NumWorkers(), pool.NumWorkers());
   const WorkerCounters totals = report.Totals();
@@ -265,7 +265,7 @@ TEST(EngineStatsTest, ReusedPoolDoesNotDoubleCount) {
 
   ThreadPool pool(4);
   BatchExecutor exec(&pool);
-  const QueryBatch batch{codec, w.plans, e.ptrs};
+  const QueryBatch batch{.codec = codec, .plans = w.plans, .sets = e.ptrs};
   BatchReport first, second;
   const auto r1 = exec.Execute(batch, &first);
   const auto r2 = exec.Execute(batch, &second);
@@ -286,6 +286,168 @@ TEST(EngineStatsTest, ReusedPoolDoesNotDoubleCount) {
   for (int round = 0; round < 10; ++round) exec.Execute(batch, nullptr);
   EXPECT_LE(exec.ScratchBuffers(), pool.NumWorkers() * 8)
       << "scratch buffers scale with queries, not workers: reuse is broken";
+}
+
+// ------------------------------------------------------- fault containment
+
+TEST(EvaluatePlanCheckedTest, ValidatesShapeAndMatchesTrustedPath) {
+  const Codec& codec = *FindCodec("VB");
+  const uint64_t domain = 1 << 16;
+  auto la = RandomSortedList(2000, domain, 31);
+  auto lb = RandomSortedList(3000, domain, 32);
+  auto sa = codec.Encode(la, domain);
+  auto sb = codec.Encode(lb, domain);
+  std::vector<const CompressedSet*> sets = {sa.get(), sb.get()};
+
+  ScratchArena arena;
+  std::vector<uint32_t> out;
+  const auto plan =
+      QueryPlan::And({QueryPlan::Leaf(0), QueryPlan::Leaf(1)});
+  ASSERT_TRUE(
+      EvaluatePlanChecked(codec, plan, sets, nullptr, &arena, &out).ok());
+  EXPECT_EQ(out, EvaluatePlan(codec, plan, sets));
+
+  // Leaf index out of range.
+  Status st = EvaluatePlanChecked(codec, QueryPlan::Leaf(7), sets, nullptr,
+                                  &arena, &out);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(out.empty());
+  // Null set slot (an image that failed DeserializeChecked upstream).
+  std::vector<const CompressedSet*> holed = {sa.get(), nullptr};
+  st = EvaluatePlanChecked(
+      codec, QueryPlan::Or({QueryPlan::Leaf(0), QueryPlan::Leaf(1)}), holed,
+      nullptr, &arena, &out);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  // Operator nodes with no children.
+  st = EvaluatePlanChecked(codec, QueryPlan::And({}), sets, nullptr, &arena,
+                           &out);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  st = EvaluatePlanChecked(codec, QueryPlan::Or({}), sets, nullptr, &arena,
+                           &out);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+
+  // A pre-tripped token cancels before any work.
+  CancellationToken cancelled;
+  cancelled.Cancel();
+  st = EvaluatePlanChecked(codec, plan, sets, &cancelled, &arena, &out);
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  // An already-elapsed deadline reports kDeadlineExceeded.
+  CancellationToken past;
+  past.SetDeadline(std::chrono::steady_clock::now() -
+                   std::chrono::milliseconds(1));
+  st = EvaluatePlanChecked(codec, plan, sets, &past, &arena, &out);
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(FaultContainmentTest, BadQueriesFailAloneAndHealthyResultsAreIdentical) {
+  // One batch holding: healthy queries, a query over a missing (null) set
+  // slot — the engine's representation of a set whose byte image failed
+  // DeserializeChecked — a query with an already-impossible deadline, and a
+  // plan referencing an out-of-range leaf. The batch must complete; each
+  // bad query reports its own Status; healthy results are bit-identical to
+  // serial EvaluatePlan at 1 and N threads.
+  const Codec& codec = *FindCodec("Roaring");
+  const uint64_t domain = 1 << 18;
+  std::vector<std::vector<uint32_t>> lists;
+  for (size_t i = 0; i < 6; ++i) {
+    lists.push_back(RandomSortedList(4000 + 700 * i, domain, 600 + i));
+  }
+  std::vector<std::unique_ptr<CompressedSet>> sets;
+  std::vector<const CompressedSet*> ptrs;
+  for (const auto& l : lists) {
+    sets.push_back(codec.Encode(l, domain));
+    ptrs.push_back(sets.back().get());
+  }
+  ptrs.push_back(nullptr);  // slot 6: the corrupt set
+
+  std::vector<QueryPlan> plans;
+  plans.push_back(QueryPlan::And({QueryPlan::Leaf(0), QueryPlan::Leaf(1)}));
+  plans.push_back(QueryPlan::And({QueryPlan::Leaf(2), QueryPlan::Leaf(6)}));
+  plans.push_back(QueryPlan::Or({QueryPlan::Leaf(2), QueryPlan::Leaf(3)}));
+  plans.push_back(QueryPlan::And(  // deadline victim (1 ns)
+      {QueryPlan::Or({QueryPlan::Leaf(0), QueryPlan::Leaf(1)}),
+       QueryPlan::Leaf(4)}));
+  plans.push_back(QueryPlan::Leaf(99));  // out of range
+  plans.push_back(QueryPlan::And(
+      {QueryPlan::Or({QueryPlan::Leaf(4), QueryPlan::Leaf(5)}),
+       QueryPlan::Leaf(0)}));
+  const std::vector<uint64_t> deadlines = {0, 0, 0, 1, 0, 0};
+  const std::vector<size_t> healthy = {0, 2, 5};
+
+  std::vector<std::vector<uint32_t>> ref(plans.size());
+  for (size_t q : healthy) ref[q] = EvaluatePlan(codec, plans[q], ptrs);
+
+  EngineStats stats;
+  std::vector<std::vector<std::vector<uint32_t>>> per_thread_results;
+  for (size_t threads : {size_t{1}, kStressThreads}) {
+    SCOPED_TRACE(threads);
+    ThreadPool pool(threads);
+    BatchExecutor exec(&pool);
+    const QueryBatch batch{.codec = &codec,
+                           .plans = plans,
+                           .sets = ptrs,
+                           .deadlines_ns = deadlines};
+    BatchReport report;
+    const auto results = exec.Execute(batch, &report);
+    ASSERT_EQ(results.size(), plans.size());
+    ASSERT_EQ(report.per_query.size(), plans.size());
+
+    for (size_t q : healthy) {
+      EXPECT_TRUE(report.per_query[q].ok()) << "query " << q;
+      EXPECT_EQ(results[q], ref[q]) << "query " << q;
+    }
+    EXPECT_EQ(report.per_query[1].code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(report.per_query[3].code(), StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(report.per_query[4].code(), StatusCode::kInvalidArgument);
+    EXPECT_TRUE(results[1].empty());
+    EXPECT_TRUE(results[3].empty());
+    EXPECT_TRUE(results[4].empty());
+
+    const WorkerCounters totals = report.Totals();
+    EXPECT_EQ(totals.queries, plans.size());
+    EXPECT_EQ(totals.ok, healthy.size());
+    EXPECT_EQ(totals.rejected, 2u);
+    EXPECT_EQ(totals.timed_out, 1u);
+    EXPECT_EQ(totals.cancelled, 0u);
+    EXPECT_EQ(totals.failed, 0u);
+    EXPECT_NE(report.ToString().find("rejected"), std::string::npos);
+    stats.Accumulate(report);
+    per_thread_results.push_back(results);
+  }
+  // Bit-identical across thread counts, including the failed slots.
+  EXPECT_EQ(per_thread_results[0], per_thread_results[1]);
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_EQ(stats.totals.ok, 2 * healthy.size());
+  EXPECT_EQ(stats.totals.rejected, 4u);
+  EXPECT_EQ(stats.totals.timed_out, 2u);
+  EXPECT_NE(stats.ToString().find("2 batches"), std::string::npos);
+}
+
+TEST(FaultContainmentTest, BatchWideCancellationStopsEveryQuery) {
+  const Codec& codec = *FindCodec("WAH");
+  const Workload w = MakeWorkload("uniform", 8, 64);
+  const EncodedWorkload e = Encode(codec, w);
+  ThreadPool pool(4);
+  BatchExecutor exec(&pool);
+  CancellationToken cancel;
+  cancel.Cancel();  // tripped before submission, e.g. client disconnected
+  BatchReport report;
+  const auto results = exec.Execute({.codec = &codec,
+                                     .plans = w.plans,
+                                     .sets = e.ptrs,
+                                     .cancel = &cancel},
+                                    &report);
+  ASSERT_EQ(report.per_query.size(), w.plans.size());
+  for (size_t q = 0; q < w.plans.size(); ++q) {
+    EXPECT_EQ(report.per_query[q].code(), StatusCode::kCancelled);
+    EXPECT_TRUE(results[q].empty());
+  }
+  EXPECT_EQ(report.Totals().cancelled, w.plans.size());
+
+  // The same batch without the token runs to completion.
+  BatchReport clean;
+  exec.Execute({.codec = &codec, .plans = w.plans, .sets = e.ptrs}, &clean);
+  EXPECT_EQ(clean.Totals().ok, w.plans.size());
 }
 
 TEST(EngineStatsTest, BusyFractionIsBounded) {

@@ -1,0 +1,80 @@
+// Deterministic corruption operators for serialized codec images.
+//
+// Each operator takes a genuine image and produces a hostile variant that a
+// decoder must survive: truncations model torn reads, bit flips model media
+// corruption, length inflation models attacker-controlled size fields, and
+// splices model images whose halves come from different (or differently
+// versioned) writers. All randomness flows through the caller's Prng, so a
+// failing fuzz iteration reproduces from its seed alone.
+
+#ifndef INTCOMP_TESTS_FAULT_INJECT_H_
+#define INTCOMP_TESTS_FAULT_INJECT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/prng.h"
+
+namespace intcomp {
+
+// The first `n` bytes of `image` (n may be anything up to image.size()).
+inline std::vector<uint8_t> TruncateAt(const std::vector<uint8_t>& image,
+                                       size_t n) {
+  return std::vector<uint8_t>(image.begin(),
+                              image.begin() + std::min(n, image.size()));
+}
+
+// Flips `flips` random bits in place.
+inline void FlipBits(std::vector<uint8_t>* image, size_t flips, Prng* rng) {
+  if (image->empty()) return;
+  for (size_t i = 0; i < flips; ++i) {
+    const size_t bit = rng->NextBounded(image->size() * 8);
+    (*image)[bit / 8] ^= uint8_t{1} << (bit % 8);
+  }
+}
+
+// Overwrites a random aligned-size window with an attacker-chosen "huge
+// length" pattern: all-ones, a value just past the buffer size, or a value
+// whose byte count overflows 64-bit arithmetic (2^61 8-byte elements).
+inline void InflateLength(std::vector<uint8_t>* image, Prng* rng) {
+  if (image->size() < 4) return;
+  const size_t off = rng->NextBounded(image->size() - 3);
+  const uint64_t patterns[] = {
+      ~uint64_t{0},
+      uint64_t{0xffffffff},
+      static_cast<uint64_t>(image->size()) + 1 + rng->NextBounded(1024),
+      uint64_t{1} << 61,  // * 8 bytes/element wraps a 64-bit size_t
+  };
+  const uint64_t v = patterns[rng->NextBounded(4)];
+  const size_t n = std::min<size_t>(8, image->size() - off);
+  std::memcpy(image->data() + off, &v, n);
+}
+
+// Head of `a` glued to the tail of `b` at independent random cuts — the
+// shape of an image whose inner payload was swapped out from under its
+// header (or that mixes two codecs' framings).
+inline std::vector<uint8_t> Splice(const std::vector<uint8_t>& a,
+                                   const std::vector<uint8_t>& b, Prng* rng) {
+  const size_t cut_a = a.empty() ? 0 : rng->NextBounded(a.size() + 1);
+  const size_t cut_b = b.empty() ? 0 : rng->NextBounded(b.size() + 1);
+  std::vector<uint8_t> out(a.begin(), a.begin() + cut_a);
+  out.insert(out.end(), b.begin() + cut_b, b.end());
+  return out;
+}
+
+// Replaces a random window with uniformly random bytes.
+inline void Scramble(std::vector<uint8_t>* image, Prng* rng) {
+  if (image->empty()) return;
+  const size_t off = rng->NextBounded(image->size());
+  const size_t len =
+      1 + rng->NextBounded(std::min<size_t>(image->size() - off, 16));
+  for (size_t i = 0; i < len; ++i) {
+    (*image)[off + i] = static_cast<uint8_t>(rng->Next());
+  }
+}
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_TESTS_FAULT_INJECT_H_

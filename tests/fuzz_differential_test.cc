@@ -272,7 +272,7 @@ TEST(AdversarialDifferentialTest, BatchPathMatchesSetOracle) {
       sets.push_back(codec->Encode(s.values, domain));
       ptrs.push_back(sets.back().get());
     }
-    const auto results = exec.Execute({codec, plans, ptrs});
+    const auto results = exec.Execute({.codec = codec, .plans = plans, .sets = ptrs});
     ASSERT_EQ(results.size(), plans.size());
     for (size_t p = 0; p < pairs.size(); ++p) {
       const auto& [i, j] = pairs[p];

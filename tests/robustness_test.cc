@@ -119,6 +119,45 @@ TEST(DeserializeValidationTest, RejectsStructuralGarbage) {
   }
 }
 
+TEST(DeserializeCheckedTest, EveryPrefixOfEveryCodecIsContained) {
+  // Registry-wide truncation sweep: serialize one list per codec (and
+  // extension), then present EVERY proper prefix of the image to
+  // DeserializeChecked. Each prefix must either be rejected with a non-OK
+  // Status or produce a set whose decode is a well-formed sorted list
+  // inside the domain — and must never crash (the ASan/UBSan CI jobs give
+  // that teeth). A modest domain keeps the Bitset image, and therefore the
+  // quadratic sweep, small.
+  constexpr uint64_t kDomain = 1 << 14;
+  const auto list = RandomSortedList(1000, kDomain, 97);
+  std::vector<const Codec*> codecs(AllCodecs().begin(), AllCodecs().end());
+  for (const Codec* c : ExtensionCodecs()) codecs.push_back(c);
+  for (const Codec* codec : codecs) {
+    SCOPED_TRACE(std::string(codec->Name()));
+    auto set = codec->Encode(list, kDomain);
+    std::vector<uint8_t> image;
+    codec->Serialize(*set, &image);
+
+    // The untruncated image must be accepted and decode exactly.
+    auto whole = codec->DeserializeChecked(image, kDomain);
+    ASSERT_TRUE(whole.ok()) << whole.status().ToString();
+    std::vector<uint32_t> decoded;
+    codec->Decode(**whole, &decoded);
+    ASSERT_EQ(decoded, list);
+
+    for (size_t n = 0; n < image.size(); ++n) {
+      auto r = codec->DeserializeChecked(
+          std::span<const uint8_t>(image.data(), n), kDomain);
+      if (!r.ok()) continue;
+      codec->Decode(**r, &decoded);
+      ASSERT_EQ(decoded.size(), (*r)->Cardinality()) << "prefix " << n;
+      for (size_t i = 0; i < decoded.size(); ++i) {
+        ASSERT_LT(decoded[i], kDomain) << "prefix " << n;
+        if (i > 0) ASSERT_LT(decoded[i - 1], decoded[i]) << "prefix " << n;
+      }
+    }
+  }
+}
+
 TEST(HybridBoundaryTest, ThresholdSidesAndCustomThreshold) {
   const Codec* roaring = FindCodec("Roaring");
   const Codec* list = FindCodec("SIMDPforDelta*");
