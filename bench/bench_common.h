@@ -4,18 +4,39 @@
 #define INTCOMP_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "benchutil/flags.h"
 #include "benchutil/report.h"
 #include "benchutil/timer.h"
+#include "common/simd_intersect.h"
 #include "core/codec.h"
 #include "core/query.h"
 #include "core/registry.h"
 #include "core/set_ops.h"
 
 namespace intcomp {
+
+// Applies the shared --kernel={scalar,simd,auto} flag (default auto) to the
+// process-wide kernel mode and prints the resolved selection, so every
+// figure/table in a bench run is labeled with the kernels it measured.
+inline KernelMode ApplyKernelFlag(Flags& flags) {
+  const std::string text = flags.GetString("kernel", "auto");
+  KernelMode mode;
+  if (!ParseKernelMode(text, &mode)) {
+    std::fprintf(stderr, "bad --kernel=%s (want scalar|simd|auto)\n",
+                 text.c_str());
+    std::exit(2);
+  }
+  SetKernelMode(mode);
+  std::printf("# kernel mode: %s (SIMD kernels %s)\n",
+              std::string(KernelModeName(mode)).c_str(),
+              SimdKernelsAvailable() ? "available" : "not compiled in");
+  return mode;
+}
 
 inline double ToMb(size_t bytes) { return static_cast<double>(bytes) / (1024.0 * 1024.0); }
 

@@ -49,6 +49,7 @@ void Run(int argc, char** argv) {
   const uint64_t domain = flags.GetInt("domain", kPaperDomain);
   const int repeats = static_cast<int>(flags.GetInt("repeats", 3));
   const uint64_t seed = flags.GetInt("seed", 45);
+  ApplyKernelFlag(flags);
 
   auto pairs = MakePairs();
   for (const char* dist : {"uniform", "zipf"}) {

@@ -29,6 +29,7 @@ void Run(int argc, char** argv) {
   const size_t ratio = flags.GetInt("ratio", 1000);
   const int repeats = static_cast<int>(flags.GetInt("repeats", 3));
   const uint64_t seed = flags.GetInt("seed", 8);
+  ApplyKernelFlag(flags);
 
   struct Dist {
     const char* name;

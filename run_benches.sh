@@ -8,6 +8,10 @@
 #                               every bench must still build, parse its
 #                               flags, and run to completion
 #   BUILD_DIR=build-asan ./run_benches.sh --smoke   run against another tree
+#   BENCH_JSON=BENCH_pr.json ./run_benches.sh --smoke
+#                               additionally append one JSON record per
+#                               figure/table panel to BENCH_pr.json (the CI
+#                               perf-smoke artifact)
 set -e
 cd "$(dirname "$0")"
 
@@ -15,9 +19,15 @@ BUILD_DIR="${BUILD_DIR:-build}"
 SMOKE=0
 [ "${1:-}" = "--smoke" ] && SMOKE=1
 
+if [ -n "${BENCH_JSON:-}" ]; then
+  rm -f "$BENCH_JSON"
+  INTCOMP_BENCH_JSON="$BENCH_JSON"
+  export INTCOMP_BENCH_JSON
+fi
+
 # The bench flag parser ignores flags a binary doesn't read, so one shared
 # set of shrink-everything flags covers all binaries.
-SMOKE_FLAGS="--repeats=1 --sizes=20000 --size=20000 --queries=4 --docs=20000 --threads=1,2 --sf=1 --domain=1048576"
+SMOKE_FLAGS="--repeats=1 --sizes=20000 --size=20000 --queries=4 --docs=20000 --threads=1,2 --sf=1 --domain=1048576 --kernel=auto"
 
 RAN=0
 for b in "$BUILD_DIR"/bench/*; do

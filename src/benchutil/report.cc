@@ -1,8 +1,47 @@
 #include "benchutil/report.h"
 
 #include <cstdio>
+#include <cstdlib>
+
+#include "common/simd_intersect.h"
 
 namespace intcomp {
+namespace {
+
+// Lazily opened JSONL sink shared by all panels of one bench process;
+// nullptr (the common case) disables the artifact entirely.
+FILE* JsonSink() {
+  static FILE* sink = [] {
+    const char* path = std::getenv("INTCOMP_BENCH_JSON");
+    return (path != nullptr && *path != '\0') ? std::fopen(path, "a")
+                                              : nullptr;
+  }();
+  return sink;
+}
+
+void JsonString(FILE* f, const std::string& s) {
+  std::fputc('"', f);
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      std::fputc('\\', f);
+      std::fputc(c, f);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      std::fprintf(f, "\\u%04x", c);
+    } else {
+      std::fputc(c, f);
+    }
+  }
+  std::fputc('"', f);
+}
+
+void JsonRecordHead(FILE* f, const char* type, const std::string& title) {
+  std::fprintf(f, "{\"type\":\"%s\",\"title\":", type);
+  JsonString(f, title);
+  std::fprintf(f, ",\"kernel\":\"%s\"",
+               std::string(KernelModeName(GetKernelMode())).c_str());
+}
+
+}  // namespace
 
 void PrintFigureBlock(const std::string& title,
                       const std::vector<FigureRow>& rows) {
@@ -13,6 +52,18 @@ void PrintFigureBlock(const std::string& title,
                 r.time_ms);
   }
   std::fflush(stdout);
+  if (FILE* f = JsonSink()) {
+    JsonRecordHead(f, "figure", title);
+    std::fprintf(f, ",\"rows\":[");
+    for (size_t r = 0; r < rows.size(); ++r) {
+      std::fprintf(f, "%s{\"codec\":", r == 0 ? "" : ",");
+      JsonString(f, rows[r].codec);
+      std::fprintf(f, ",\"space_mb\":%.6f,\"time_ms\":%.6f}", rows[r].space_mb,
+                   rows[r].time_ms);
+    }
+    std::fprintf(f, "]}\n");
+    std::fflush(f);
+  }
 }
 
 void PrintMatrix(const std::string& title,
@@ -29,6 +80,26 @@ void PrintMatrix(const std::string& title,
     std::printf("\n");
   }
   std::fflush(stdout);
+  if (FILE* f = JsonSink()) {
+    JsonRecordHead(f, "matrix", title);
+    std::fprintf(f, ",\"cols\":[");
+    for (size_t c = 0; c < col_names.size(); ++c) {
+      if (c != 0) std::fputc(',', f);
+      JsonString(f, col_names[c]);
+    }
+    std::fprintf(f, "],\"rows\":[");
+    for (size_t r = 0; r < row_names.size(); ++r) {
+      std::fprintf(f, "%s{\"name\":", r == 0 ? "" : ",");
+      JsonString(f, row_names[r]);
+      std::fprintf(f, ",\"values\":[");
+      for (size_t c = 0; c < values[r].size(); ++c) {
+        std::fprintf(f, "%s%.6f", c == 0 ? "" : ",", values[r][c]);
+      }
+      std::fprintf(f, "]}");
+    }
+    std::fprintf(f, "]}\n");
+    std::fflush(f);
+  }
 }
 
 void PrintScalingBlock(const std::string& title,
@@ -42,6 +113,21 @@ void PrintScalingBlock(const std::string& title,
                 static_cast<unsigned long long>(r.steals), r.busy_fraction);
   }
   std::fflush(stdout);
+  if (FILE* f = JsonSink()) {
+    JsonRecordHead(f, "scaling", title);
+    std::fprintf(f, ",\"rows\":[");
+    for (size_t r = 0; r < rows.size(); ++r) {
+      std::fprintf(f,
+                   "%s{\"threads\":%zu,\"time_ms\":%.6f,\"speedup\":%.4f,"
+                   "\"qps\":%.1f,\"steals\":%llu,\"busy_fraction\":%.4f}",
+                   r == 0 ? "" : ",", rows[r].threads, rows[r].time_ms,
+                   rows[r].speedup, rows[r].qps,
+                   static_cast<unsigned long long>(rows[r].steals),
+                   rows[r].busy_fraction);
+    }
+    std::fprintf(f, "]}\n");
+    std::fflush(f);
+  }
 }
 
 void PrintPaperShape(const std::string& claim) {

@@ -33,6 +33,12 @@ void PrintMatrix(const std::string& title,
 // panel is expected to reproduce.
 void PrintPaperShape(const std::string& claim);
 
+// All Print* functions additionally append one JSON record per panel to the
+// file named by the INTCOMP_BENCH_JSON environment variable (JSONL, opened
+// in append mode so several bench binaries can share one artifact). Each
+// record carries the active kernel mode, making scalar-vs-SIMD ablation runs
+// diffable by machines (the CI perf-smoke job archives this file).
+
 // One thread-count sample of a parallel scaling sweep (tab1_parallel).
 struct ScalingRow {
   size_t threads = 0;

@@ -1,5 +1,7 @@
 #include "core/codec.h"
 
+#include "common/simd_intersect.h"
+
 namespace intcomp {
 
 StatusOr<std::unique_ptr<CompressedSet>> Codec::DeserializeChecked(
@@ -24,42 +26,14 @@ void Codec::IntersectWithList(const CompressedSet& a,
 void IntersectLists(std::span<const uint32_t> a, std::span<const uint32_t> b,
                     std::vector<uint32_t>* out) {
   out->clear();
-  size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    uint32_t va = a[i], vb = b[j];
-    if (va < vb) {
-      ++i;
-    } else if (vb < va) {
-      ++j;
-    } else {
-      out->push_back(va);
-      ++i;
-      ++j;
-    }
-  }
+  IntersectKernelInto(a, b, out);
 }
 
 void UnionLists(std::span<const uint32_t> a, std::span<const uint32_t> b,
                 std::vector<uint32_t>* out) {
   out->clear();
   out->reserve(a.size() + b.size());
-  size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    uint32_t va = a[i], vb = b[j];
-    if (va < vb) {
-      out->push_back(va);
-      ++i;
-    } else if (vb < va) {
-      out->push_back(vb);
-      ++j;
-    } else {
-      out->push_back(va);
-      ++i;
-      ++j;
-    }
-  }
-  out->insert(out->end(), a.begin() + i, a.end());
-  out->insert(out->end(), b.begin() + j, b.end());
+  UnionKernelInto(a, b, out);
 }
 
 }  // namespace intcomp

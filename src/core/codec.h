@@ -124,11 +124,14 @@ class Codec {
   Codec() = default;
 };
 
-// Merge-intersects two uncompressed sorted lists.
+// Intersects two uncompressed sorted lists through the adaptive kernel
+// planner (common/simd_intersect.h): merge-based for similar sizes,
+// galloping for skewed pairs, SIMD or scalar per the process KernelMode.
 void IntersectLists(std::span<const uint32_t> a, std::span<const uint32_t> b,
                     std::vector<uint32_t>* out);
 
-// Merge-unions two uncompressed sorted lists.
+// Unions two uncompressed sorted lists through the mode-selected merge
+// kernel (vectorized bitonic merge network under SIMD modes).
 void UnionLists(std::span<const uint32_t> a, std::span<const uint32_t> b,
                 std::vector<uint32_t>* out);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bufio.h"
+#include "common/simd_intersect.h"
 
 namespace intcomp {
 
@@ -10,12 +11,13 @@ std::unique_ptr<CompressedSet> HybridCodec::Encode(
     std::span<const uint32_t> sorted, uint64_t domain) const {
   auto set = std::make_unique<Set>();
   // Effective universe: the declared domain, or the value range when the
-  // caller passes a loose bound.
+  // caller passes a loose bound. domain == 0 means "unknown", never "tiny":
+  // clamping it to 1 would make every non-empty list look fully dense and
+  // silently route arbitrarily sparse sets to the bitmap family.
   uint64_t universe = domain;
   if (!sorted.empty()) {
-    universe = std::min<uint64_t>(
-        std::max<uint64_t>(1, domain),
-        std::max<uint64_t>(1, uint64_t{sorted.back()} + 1));
+    const uint64_t value_range = uint64_t{sorted.back()} + 1;
+    universe = domain == 0 ? value_range : std::min(domain, value_range);
   }
   const double density =
       universe == 0 ? 0.0
@@ -42,13 +44,15 @@ void HybridCodec::Intersect(const CompressedSet& a, const CompressedSet& b,
   }
   // Mixed families: decode the smaller side; for skewed sizes probe the
   // larger through its own skip/bucket structure (SvS step), for similar
-  // sizes merge two decoded lists (paper footnote 8).
+  // sizes merge two decoded lists. The threshold is the planner's shared
+  // policy (common/simd_intersect.h), not a local constant.
   const Set* small = &sa;
   const Set* large = &sb;
   if (small->Cardinality() > large->Cardinality()) std::swap(small, large);
   std::vector<uint32_t> decoded;
   InnerOf(*small).Decode(*small->inner, &decoded);
-  if (large->Cardinality() < 8 * std::max<size_t>(1, small->Cardinality())) {
+  if (ChooseIntersectStrategy(small->Cardinality(), large->Cardinality()) ==
+      IntersectStrategy::kMerge) {
     std::vector<uint32_t> decoded_large;
     InnerOf(*large).Decode(*large->inner, &decoded_large);
     IntersectLists(decoded, decoded_large, out);

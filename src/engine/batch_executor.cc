@@ -35,11 +35,14 @@ std::vector<std::vector<uint32_t>> BatchExecutor::Execute(
     uint64_t timed_out = 0;
     uint64_t cancelled = 0;
     uint64_t failed = 0;
+    KernelCounters kernels;
   };
   std::vector<Tally> tallies(nworkers);
-  // One Status slot per query; each slot is written by exactly one task, so
-  // no synchronization beyond the pool's Wait() barrier is needed.
+  // One Status / kernel-label slot per query; each slot is written by exactly
+  // one task, so no synchronization beyond the pool's Wait() barrier is
+  // needed.
   std::vector<Status> statuses(nplans);
+  std::vector<std::string_view> kernel_labels(nplans);
 
   WallTimer timer;
   const Codec* codec = batch.codec;
@@ -52,8 +55,9 @@ std::vector<std::vector<uint32_t>> BatchExecutor::Execute(
     const uint64_t deadline_ns =
         (q < deadlines.size() && deadlines[q] != 0) ? deadlines[q]
                                                     : default_deadline_ns;
-    pool_->Submit([this, codec, plans, sets, &results, &tallies, &statuses, q,
-                   deadline_ns, batch_cancel](size_t worker) {
+    pool_->Submit([this, codec, plans, sets, &results, &tallies, &statuses,
+                   &kernel_labels, q, deadline_ns,
+                   batch_cancel](size_t worker) {
       std::vector<uint32_t>& out = results[q];
       // The deadline clock starts when the query starts executing, so a
       // query queued behind a long batch is not penalized for the wait.
@@ -62,11 +66,17 @@ std::vector<std::vector<uint32_t>> BatchExecutor::Execute(
       token.SetDeadlineAfterNs(deadline_ns);
       const CancellationToken* tok =
           (deadline_ns != 0 || batch_cancel != nullptr) ? &token : nullptr;
+      // Delta of the thread-local kernel tallies across the evaluation
+      // attributes the executed kernels to this query.
+      const KernelCounters kernels_before = ThreadKernelCounters();
       Status st = EvaluatePlanChecked(*codec, plans[q], sets, tok,
                                       arenas_[worker].get(), &out);
+      const KernelCounters delta = ThreadKernelCounters() - kernels_before;
+      kernel_labels[q] = delta.Dominant();
       Tally& t = tallies[worker];
       t.queries += 1;
       t.result_ints += out.size();
+      t.kernels += delta;
       switch (st.code()) {
         case StatusCode::kOk: t.ok += 1; break;
         case StatusCode::kInvalidArgument: t.rejected += 1; break;
@@ -83,6 +93,7 @@ std::vector<std::vector<uint32_t>> BatchExecutor::Execute(
   if (report != nullptr) {
     report->per_worker.assign(nworkers, WorkerCounters{});
     report->per_query = std::move(statuses);
+    report->per_query_kernel = std::move(kernel_labels);
     report->wall_ms = wall_ms;
     for (size_t w = 0; w < nworkers; ++w) {
       WorkerCounters& c = report->per_worker[w];
@@ -96,6 +107,7 @@ std::vector<std::vector<uint32_t>> BatchExecutor::Execute(
       c.timed_out = tallies[w].timed_out;
       c.cancelled = tallies[w].cancelled;
       c.failed = tallies[w].failed;
+      c.kernels = tallies[w].kernels;
     }
   }
   return results;

@@ -15,6 +15,7 @@ WorkerCounters& WorkerCounters::operator+=(const WorkerCounters& o) {
   timed_out += o.timed_out;
   cancelled += o.cancelled;
   failed += o.failed;
+  kernels += o.kernels;
   return *this;
 }
 
@@ -66,6 +67,21 @@ std::string BatchReport::ToString() const {
                   static_cast<unsigned long long>(t.failed));
     s += line;
   }
+  if (t.kernels.Total() > 0) {
+    const KernelCounters& k = t.kernels;
+    std::snprintf(line, sizeof(line),
+                  "kernels: merge %llu scalar / %llu simd, gallop %llu scalar"
+                  " / %llu simd, union %llu scalar / %llu simd,"
+                  " block probes %llu\n",
+                  static_cast<unsigned long long>(k.scalar_merge),
+                  static_cast<unsigned long long>(k.simd_merge),
+                  static_cast<unsigned long long>(k.scalar_gallop),
+                  static_cast<unsigned long long>(k.simd_gallop),
+                  static_cast<unsigned long long>(k.scalar_union),
+                  static_cast<unsigned long long>(k.simd_union),
+                  static_cast<unsigned long long>(k.block_probes));
+    s += line;
+  }
   return s;
 }
 
@@ -75,10 +91,11 @@ void EngineStats::Accumulate(const BatchReport& report) {
 }
 
 std::string EngineStats::ToString() const {
-  char line[200];
+  char line[320];
   std::snprintf(line, sizeof(line),
                 "%llu batches, %llu queries (%llu ok, %llu rejected, "
-                "%llu timed out, %llu cancelled, %llu failed), %llu ints",
+                "%llu timed out, %llu cancelled, %llu failed), %llu ints, "
+                "dominant kernel %.*s",
                 static_cast<unsigned long long>(batches),
                 static_cast<unsigned long long>(totals.queries),
                 static_cast<unsigned long long>(totals.ok),
@@ -86,7 +103,9 @@ std::string EngineStats::ToString() const {
                 static_cast<unsigned long long>(totals.timed_out),
                 static_cast<unsigned long long>(totals.cancelled),
                 static_cast<unsigned long long>(totals.failed),
-                static_cast<unsigned long long>(totals.result_ints));
+                static_cast<unsigned long long>(totals.result_ints),
+                static_cast<int>(totals.kernels.Dominant().size()),
+                totals.kernels.Dominant().data());
   return line;
 }
 

@@ -11,8 +11,10 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/simd_intersect.h"
 #include "common/status.h"
 
 namespace intcomp {
@@ -32,6 +34,10 @@ struct WorkerCounters {
   uint64_t cancelled = 0;  // kCancelled
   uint64_t failed = 0;     // kCorruptData / kInternal
 
+  // Which set-operation kernels this worker's queries executed (sampled as
+  // per-query deltas of the thread-local tallies in common/simd_intersect.h).
+  KernelCounters kernels;
+
   WorkerCounters& operator+=(const WorkerCounters& o);
 };
 
@@ -41,6 +47,10 @@ struct BatchReport {
   // are OK; a non-OK entry means the matching result list is empty and the
   // failure never touched any other query's result.
   std::vector<Status> per_query;
+  // Dominant set-operation kernel each query executed ("simd-merge",
+  // "scalar-gallop", "block-probe", ...; "none" for queries that never
+  // reached a kernel), indexed like per_query.
+  std::vector<std::string_view> per_query_kernel;
   double wall_ms = 0;  // batch wall time as seen by the submitting thread
 
   size_t NumWorkers() const { return per_worker.size(); }

@@ -35,12 +35,14 @@
 #define INTCOMP_INVLIST_BLOCKED_LIST_H_
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "common/serialize_util.h"
+#include "common/simd_intersect.h"
 #include "common/simdpack.h"
 #include "core/codec.h"
 
@@ -48,9 +50,9 @@ namespace intcomp {
 
 inline constexpr size_t kListBlockSize = 128;
 
-// Similar-size threshold below which intersection switches from skip-based
-// SvS to merge-based (paper footnote 8).
-inline constexpr size_t kMergeIntersectRatio = 8;
+// The merge-vs-skip threshold (paper footnote 8) lives in
+// common/simd_intersect.h (kMergeIntersectRatio / ChooseIntersectStrategy),
+// shared with the hybrid codec and the uncompressed-list planner.
 
 // Returns the last block index in [from, firsts.size()) whose first value is
 // <= target, assuming firsts[from] <= target. Gallops forward then binary
@@ -69,7 +71,15 @@ struct BlockedSet final : CompressedSet {
 
   size_t SizeInBytes() const override {
     size_t s = data.size();
-    if (skips_in_size) s += (skip_first.size() + skip_offset.size()) * 4;
+    if (skips_in_size) {
+      s += (skip_first.size() + skip_offset.size()) * 4;
+    } else if (!Traits::kDeltaBased) {
+      // Frame-of-reference payloads are rebased to the block's first value,
+      // so skip_first is part of the payload (the base), not skip metadata:
+      // a no-skip encoding still has to carry it. Serialize agrees (it
+      // writes skip_first, and only skip_first, for FOR no-skip sets).
+      s += skip_first.size() * 4;
+    }
     return s;
   }
   size_t Cardinality() const override { return count; }
@@ -96,9 +106,12 @@ class BlockedCursor {
   explicit BlockedCursor(const BlockedSet<Traits>& set) : set_(&set) {}
 
   // Positions at the smallest value >= target at-or-after the current
-  // position (targets must be non-decreasing across calls). Returns false if
-  // no such value exists.
+  // position (targets must be non-decreasing across calls — enforced by an
+  // assertion in debug/sanitizer builds, since a backwards target after a
+  // gallop would silently return a wrong element). Returns false if no such
+  // value exists.
   bool NextGEQ(uint32_t target, uint32_t* value) {
+    CheckTargetMonotone(target);
     const auto& firsts = set_->skip_first;
     if (firsts.empty()) return false;
     size_t b = (loaded_ == kNone) ? 0 : loaded_;
@@ -117,8 +130,56 @@ class BlockedCursor {
     }
   }
 
+  // Bulk SvS probe: appends (probe AND list) to `out`, consuming decoded
+  // blocks whole. For each block, the slice of ascending probe values that
+  // lands inside the block's value range is intersected against the decoded
+  // buffer in one kernel call (up to 128 values at a time) instead of
+  // re-entering NextGEQ element by element; probes falling in the gap
+  // between two blocks are skipped without decoding anything. `probe` must
+  // be ascending and must respect the cursor's non-decreasing-target
+  // contract relative to earlier NextGEQ / ProbeIntersect calls.
+  void ProbeIntersect(std::span<const uint32_t> probe,
+                      std::vector<uint32_t>* out) {
+    const auto& firsts = set_->skip_first;
+    if (firsts.empty() || probe.empty()) return;
+    size_t i = 0;
+    while (i < probe.size()) {
+      const uint32_t target = probe[i];
+      CheckTargetMonotone(target);
+      size_t b = (loaded_ == kNone) ? 0 : loaded_;
+      if (b + 1 < firsts.size() && firsts[b + 1] <= target) {
+        b = GallopToBlock(firsts, b, target);
+      }
+      if (b != loaded_) Load(b);
+      const uint32_t block_last = buf_[n_ - 1];
+      size_t j = i;
+      while (j < probe.size() && probe[j] <= block_last) ++j;
+      if (j > i) {
+        IntersectSliceWithBlockInto(probe.subspan(i, j - i),
+                                    std::span<const uint32_t>(buf_, n_), out);
+        i = j;
+      }
+      if (i >= probe.size() || loaded_ + 1 >= firsts.size()) break;
+      // Probes between this block's last value and the next block's first
+      // cannot match; drop them here so the gallop above never stalls.
+      const uint32_t next_first = firsts[loaded_ + 1];
+      while (i < probe.size() && probe[i] < next_first) ++i;
+    }
+  }
+
  private:
   static constexpr size_t kNone = static_cast<size_t>(-1);
+
+  void CheckTargetMonotone(uint32_t target) {
+#ifndef NDEBUG
+    assert((!dbg_have_target_ || target >= dbg_last_target_) &&
+           "BlockedCursor targets must be non-decreasing across calls");
+    dbg_have_target_ = true;
+    dbg_last_target_ = target;
+#else
+    (void)target;
+#endif
+  }
 
   void Load(size_t b) {
     size_t n = std::min(kBlockN, set_->count - b * kBlockN);
@@ -143,6 +204,10 @@ class BlockedCursor {
   size_t loaded_ = kNone;
   size_t pos_ = 0;
   size_t n_ = 0;
+#ifndef NDEBUG
+  uint32_t dbg_last_target_ = 0;
+  bool dbg_have_target_ = false;
+#endif
   uint32_t buf_[kBlockN < kSimdBlockSize ? kSimdBlockSize : kBlockN];
 };
 
@@ -235,7 +300,8 @@ class BlockedListCodec final : public Codec {
     std::vector<uint32_t> decoded;
     Decode(*small, &decoded);
     if (!use_skips_ ||
-        large->count < kMergeIntersectRatio * std::max<size_t>(1, small->count)) {
+        ChooseIntersectStrategy(small->count, large->count) ==
+            IntersectStrategy::kMerge) {
       // Merge-based path for similar sizes (paper footnote 8) and for the
       // no-skip ablation, where the longer list must be fully decompressed.
       std::vector<uint32_t> decoded_large;
@@ -275,8 +341,18 @@ class BlockedListCodec final : public Codec {
     writer.PutU64(s.count);
     writer.PutU8(s.skips_in_size ? 1 : 0);
     WriteVector(s.data, out);
-    WriteVector(s.skip_first, out);
-    WriteVector(s.skip_offset, out);
+    if (s.skips_in_size) {
+      WriteVector(s.skip_first, out);
+      WriteVector(s.skip_offset, out);
+    } else if (!Traits::kDeltaBased) {
+      // No-skip frame-of-reference images still carry the per-block bases:
+      // they are payload (rebased blocks cannot be decoded without them), not
+      // skip metadata, and SizeInBytes charges them accordingly. Byte
+      // offsets — pure skip metadata — are rebuilt on load, as are both
+      // arrays for delta-based traits. This keeps the serialized footprint
+      // equal to the compression-ratio accounting for Fig. 7's no-skip mode.
+      WriteVector(s.skip_first, out);
+    }
   }
 
   std::unique_ptr<CompressedSet> Deserialize(const uint8_t* data,
@@ -286,16 +362,32 @@ class BlockedListCodec final : public Codec {
     auto set = std::make_unique<Set>();
     set->count = reader.GetU64();
     set->skips_in_size = reader.GetU8() != 0;
-    if (!ReadVector(&reader, &set->data) ||
-        !ReadVector(&reader, &set->skip_first) ||
-        !ReadVector(&reader, &set->skip_offset)) {
-      return nullptr;
+    if (!ReadVector(&reader, &set->data)) return nullptr;
+    const size_t nblocks = (set->count + kBlockN - 1) / kBlockN;
+    if (set->skips_in_size) {
+      if (!ReadVector(&reader, &set->skip_first) ||
+          !ReadVector(&reader, &set->skip_offset)) {
+        return nullptr;
+      }
+      if (set->skip_first.size() != set->skip_offset.size() ||
+          set->skip_first.size() != nblocks) {
+        return nullptr;
+      }
+      return set;
     }
-    if (set->skip_first.size() != set->skip_offset.size() ||
-        set->skip_first.size() !=
-            (set->count + kBlockN - 1) / kBlockN) {
-      return nullptr;
+    // No-skip image: the skip arrays were not serialized (except FOR bases);
+    // rebuild them by walking the block payloads. Every block encodes to at
+    // least one byte, so a count implying more blocks than payload bytes is
+    // unparseable — this also bounds the rebuild allocations by the image
+    // size (the trusted path stays parse-bounds-safe).
+    if (nblocks > set->data.size()) return nullptr;
+    if (!Traits::kDeltaBased) {
+      if (!ReadVector(&reader, &set->skip_first) ||
+          set->skip_first.size() != nblocks) {
+        return nullptr;
+      }
     }
+    if (!RebuildSkips(set.get(), nblocks)) return nullptr;
     return set;
   }
 
@@ -383,11 +475,54 @@ class BlockedListCodec final : public Codec {
                       std::vector<uint32_t>* out) const {
     out->clear();
     BlockedCursor<Traits, kBlockN> cursor(s);
-    uint32_t found;
-    for (uint32_t v : probe) {
-      if (!cursor.NextGEQ(v, &found)) break;
-      if (found == v) out->push_back(v);
+    if (GetKernelMode() == KernelMode::kScalar) {
+      // Legacy per-element NextGEQ loop, kept as the measured baseline for
+      // the --kernel ablation.
+      uint32_t found;
+      for (uint32_t v : probe) {
+        if (!cursor.NextGEQ(v, &found)) break;
+        if (found == v) out->push_back(v);
+      }
+      return;
     }
+    cursor.ProbeIntersect(probe, out);
+  }
+
+  // Rebuilds the skip arrays for a no-skip image by walking the block
+  // payloads with the traits' bounds-checked decoder (even the trusted
+  // Deserialize path must never read past the buffer while parsing). For
+  // delta-based traits block firsts are recomputed from the running gap sum;
+  // for frame-of-reference traits skip_first came from the image and only
+  // the byte offsets are recomputed.
+  static bool RebuildSkips(Set* set, size_t nblocks) {
+    set->skip_offset.clear();
+    set->skip_offset.reserve(nblocks);
+    if (Traits::kDeltaBased) {
+      set->skip_first.clear();
+      set->skip_first.reserve(nblocks);
+    }
+    uint32_t buf[kBlockN < kSimdBlockSize ? kSimdBlockSize : kBlockN];
+    size_t off = 0;
+    uint32_t prev_last = 0;
+    for (size_t b = 0; b < nblocks; ++b) {
+      const size_t n = std::min(kBlockN, set->count - b * kBlockN);
+      if (off >= set->data.size()) return false;
+      size_t consumed = 0;
+      if (!Traits::CheckedDecodeBlock(set->data.data() + off,
+                                      set->data.size() - off, n, buf,
+                                      &consumed)) {
+        return false;
+      }
+      set->skip_offset.push_back(static_cast<uint32_t>(off));
+      if (Traits::kDeltaBased) {
+        // Same uint32 wraparound arithmetic the cursor's rebase uses, so a
+        // rebuilt skip_first always matches what Encode would have stored.
+        set->skip_first.push_back(prev_last + buf[0]);
+        for (size_t k = 0; k < n; ++k) prev_last += buf[k];
+      }
+      off += consumed;
+    }
+    return true;
   }
 
   const bool use_skips_;

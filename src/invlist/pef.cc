@@ -1,11 +1,13 @@
 #include "invlist/pef.h"
 
 #include <algorithm>
-#include <optional>
+
+#include <cassert>
 
 #include "common/bitpack.h"
 #include "common/bits.h"
 #include "common/serialize_util.h"
+#include "common/simd_intersect.h"
 
 namespace intcomp {
 namespace {
@@ -35,6 +37,9 @@ size_t EfWords(uint64_t u, size_t n, int l) {
 // high-bit array without materializing the partition.
 class PartitionCursor {
  public:
+  // Default state is an exhausted cursor; PefCursor positions lazily.
+  PartitionCursor() : part_{} {}
+
   PartitionCursor(const PefCodec::Set& set, size_t part_index,
                   size_t partition_span)
       : part_(set.parts[part_index]) {
@@ -85,7 +90,7 @@ class PartitionCursor {
   }
 
   PefCodec::Partition part_;
-  const uint32_t* words_;
+  const uint32_t* words_ = nullptr;
   const uint32_t* low_words_ = nullptr;
   const uint32_t* high_words_ = nullptr;
   size_t n_ = 0;
@@ -100,10 +105,133 @@ class PefCursor {
       : set_(&set), span_(partition_span) {}
 
   bool NextGEQ(uint32_t target, uint32_t* value) {
+    CheckTargetMonotone(target);
     const auto& parts = set_->parts;
     if (parts.empty()) return false;
-    // Find the last partition whose first value is <= target, from the
-    // current one forward.
+    const size_t p = SeekPartition(target);
+    if (p != part_ || !positioned_) {
+      part_ = p;
+      cursor_ = PartitionCursor(*set_, p, span_);
+      positioned_ = true;
+    }
+    while (true) {
+      while (!cursor_.exhausted()) {
+        uint32_t v = cursor_.Current();
+        if (v >= target) {
+          *value = v;
+          return true;
+        }
+        cursor_.Advance();
+      }
+      if (part_ + 1 >= parts.size()) return false;
+      ++part_;
+      cursor_ = PartitionCursor(*set_, part_, span_);
+    }
+  }
+
+  // Bulk SvS probe: appends (probe AND set) to `out`, handling whole
+  // partitions at a time. Run partitions answer a probe slice by range
+  // check alone, bitmap partitions by O(1) bit tests, and Elias-Fano
+  // partitions are materialized once and merged through the block kernel
+  // (large EF partitions stream instead of materializing). `probe` must be
+  // ascending, and calls must respect the non-decreasing-target contract.
+  void ProbeIntersect(std::span<const uint32_t> probe,
+                      std::vector<uint32_t>* out) {
+    const auto& parts = set_->parts;
+    if (parts.empty() || probe.empty()) return;
+    std::vector<uint32_t> buf;
+    size_t i = 0;
+    while (i < probe.size()) {
+      const uint32_t target = probe[i];
+      CheckTargetMonotone(target);
+      const size_t p = SeekPartition(target);
+      part_ = p;
+      positioned_ = false;  // bulk paths bypass the streaming cursor state
+      const PefCodec::Partition& part = parts[p];
+      if (part.last < target) {
+        // Gap (or past the final partition): drop probes that cannot match.
+        if (p + 1 >= parts.size()) return;
+        const uint32_t next_first = parts[p + 1].first;
+        while (i < probe.size() && probe[i] < next_first) ++i;
+        continue;
+      }
+      size_t j = i;
+      while (j < probe.size() && probe[j] <= part.last) ++j;
+      const std::span<const uint32_t> slice = probe.subspan(i, j - i);
+      switch (part.type) {
+        case PefCodec::PartitionType::kRun:
+          // The run covers every value in [first, last]; a probe matches iff
+          // it is in range.
+          ThreadKernelCounters().block_probes += 1;
+          for (const uint32_t v : slice) {
+            if (v >= part.first) out->push_back(v);
+          }
+          break;
+        case PefCodec::PartitionType::kBitmap: {
+          ThreadKernelCounters().block_probes += 1;
+          const uint32_t* words = set_->data.data() + part.offset;
+          for (const uint32_t v : slice) {
+            if (v >= part.first && TestBit(words, v - part.first)) {
+              out->push_back(v);
+            }
+          }
+          break;
+        }
+        case PefCodec::PartitionType::kEliasFano:
+        default: {
+          PartitionCursor cur(*set_, p, span_);
+          if (cur.size() <= kMaxMaterializedPartition) {
+            buf.clear();
+            buf.reserve(cur.size());
+            while (!cur.exhausted()) {
+              buf.push_back(cur.Current());
+              cur.Advance();
+            }
+            IntersectSliceWithBlockInto(slice, buf, out);
+          } else {
+            // Oversized partition (the whole-list EF extension): stream the
+            // values against the slice instead of materializing them.
+            size_t s = 0;
+            while (s < slice.size() && !cur.exhausted()) {
+              const uint32_t v = cur.Current();
+              if (v < slice[s]) {
+                cur.Advance();
+              } else {
+                if (v == slice[s]) {
+                  out->push_back(v);
+                  cur.Advance();
+                }
+                ++s;
+              }
+            }
+          }
+          break;
+        }
+      }
+      i = j;
+    }
+  }
+
+ private:
+  // Partitions beyond this cardinality are streamed rather than decoded into
+  // a scratch buffer during bulk probes.
+  static constexpr size_t kMaxMaterializedPartition = 1024;
+
+  void CheckTargetMonotone(uint32_t target) {
+#ifndef NDEBUG
+    assert((!dbg_have_target_ || target >= dbg_last_target_) &&
+           "PefCursor targets must be non-decreasing across calls");
+    dbg_have_target_ = true;
+    dbg_last_target_ = target;
+#else
+    (void)target;
+#endif
+  }
+
+  // Returns the last partition at-or-after the current one whose first
+  // value is <= target (the current partition when none is).
+  size_t SeekPartition(uint32_t target) const {
+    const auto& parts = set_->parts;
     size_t p = part_;
     if (p + 1 < parts.size() && parts[p + 1].first <= target) {
       size_t step = 1;
@@ -123,30 +251,18 @@ class PefCursor {
       }
       p = lo;
     }
-    if (p != part_ || !cursor_) {
-      part_ = p;
-      cursor_.emplace(*set_, p, span_);
-    }
-    while (true) {
-      while (!cursor_->exhausted()) {
-        uint32_t v = cursor_->Current();
-        if (v >= target) {
-          *value = v;
-          return true;
-        }
-        cursor_->Advance();
-      }
-      if (part_ + 1 >= parts.size()) return false;
-      ++part_;
-      cursor_.emplace(*set_, part_, span_);
-    }
+    return p;
   }
 
- private:
   const PefCodec::Set* set_;
   size_t span_;
   size_t part_ = 0;
-  std::optional<PartitionCursor> cursor_;
+  PartitionCursor cursor_;
+  bool positioned_ = false;
+#ifndef NDEBUG
+  uint32_t dbg_last_target_ = 0;
+  bool dbg_have_target_ = false;
+#endif
 };
 
 }  // namespace
@@ -221,6 +337,15 @@ void PefCodec::Intersect(const CompressedSet& a, const CompressedSet& b,
   if (small->count > large->count) std::swap(small, large);
   std::vector<uint32_t> decoded;
   Decode(*small, &decoded);
+  if (ChooseIntersectStrategy(small->count, large->count) ==
+      IntersectStrategy::kMerge) {
+    // Similar sizes: decoding both and merging through the kernel planner
+    // beats partition-by-partition probing (shared footnote-8 policy).
+    std::vector<uint32_t> decoded_large;
+    Decode(*large, &decoded_large);
+    IntersectLists(decoded, decoded_large, out);
+    return;
+  }
   IntersectWithList(*large, decoded, out);
 }
 
@@ -238,11 +363,17 @@ void PefCodec::IntersectWithList(const CompressedSet& a,
   const auto& s = static_cast<const Set&>(a);
   out->clear();
   PefCursor cursor(s, PartitionSpan(s.count));
-  uint32_t found;
-  for (uint32_t v : probe) {
-    if (!cursor.NextGEQ(v, &found)) break;
-    if (found == v) out->push_back(v);
+  if (GetKernelMode() == KernelMode::kScalar) {
+    // Legacy per-element NextGEQ loop, kept as the measured baseline for the
+    // --kernel ablation.
+    uint32_t found;
+    for (uint32_t v : probe) {
+      if (!cursor.NextGEQ(v, &found)) break;
+      if (found == v) out->push_back(v);
+    }
+    return;
   }
+  cursor.ProbeIntersect(probe, out);
 }
 
 void PefCodec::Serialize(const CompressedSet& set,

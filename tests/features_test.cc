@@ -69,6 +69,34 @@ TEST(HybridTest, PicksBitmapForDenseAndListForSparse) {
   EXPECT_FALSE(static_cast<const HybridCodec::Set&>(*ss).is_bitmap);
 }
 
+TEST(HybridTest, UnknownDomainTreatsSparseWideListAsList) {
+  // Regression: domain == 0 means "unknown", not "tiny". A 10k-element list
+  // scattered over nearly the full 2^32 range (density ~2e-6) used to divide
+  // by the declared domain of 0, classify as "dense", and inflate into a
+  // ~500MB bitmap. It must pick the list family, and the serialized image
+  // must carry the list tag in byte 0 so readers agree.
+  auto sparse = RandomSortedList(10000, uint64_t{1} << 32, 21);
+  auto s = Hybrid().Encode(sparse, /*domain=*/0);
+  EXPECT_FALSE(static_cast<const HybridCodec::Set&>(*s).is_bitmap);
+  std::vector<uint8_t> image;
+  Hybrid().Serialize(*s, &image);
+  ASSERT_FALSE(image.empty());
+  EXPECT_EQ(image[0], 0u);  // 0 = list family, 1 = bitmap family
+  // And the round trip must still behave.
+  auto restored = Hybrid().Deserialize(image.data(), image.size());
+  ASSERT_NE(restored, nullptr);
+  std::vector<uint32_t> out;
+  Hybrid().Decode(*restored, &out);
+  EXPECT_EQ(out, sparse);
+
+  // A genuinely dense list must still become a bitmap when the caller
+  // passes a loose or unknown domain: the value range decides.
+  std::vector<uint32_t> dense(200000);
+  for (uint32_t i = 0; i < dense.size(); ++i) dense[i] = 2 * i;
+  auto d = Hybrid().Encode(dense, /*domain=*/0);
+  EXPECT_TRUE(static_cast<const HybridCodec::Set&>(*d).is_bitmap);
+}
+
 TEST(HybridTest, MixedFamilyOpsAreCorrect) {
   auto dense = RandomSortedList(300000, 1 << 20, 3);
   auto sparse = RandomSortedList(1000, 1 << 20, 4);

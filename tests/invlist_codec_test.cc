@@ -290,6 +290,71 @@ TEST(BlockedListTest, NoSkipVariantMatchesResults) {
   EXPECT_LT(sb2->SizeInBytes(), sb1->SizeInBytes());
 }
 
+// Regression for Fig. 7's no-skip mode: Serialize used to write the skip
+// arrays that SizeInBytes excluded, so the measured compression ratio and
+// the actual image disagreed. The framing is fixed (count u64 + flag u8 +
+// one u64 length prefix per serialized vector), so the agreement can be
+// checked exactly for both payload families.
+TEST(BlockedListTest, NoSkipSerializationMatchesSizeAccounting) {
+  const auto values = RandomSortedList(5000, 1 << 22, 93);
+  const auto probe = RandomSortedList(400, 1 << 22, 94);
+
+  // Delta-based traits (VB): a no-skip image carries the payload only;
+  // both skip arrays are rebuilt on load.
+  {
+    VbCodec no_skips(false);
+    auto set = no_skips.Encode(values, 1 << 22);
+    std::vector<uint8_t> image;
+    no_skips.Serialize(*set, &image);
+    EXPECT_EQ(image.size(), 17 + set->SizeInBytes());
+
+    auto restored = no_skips.Deserialize(image.data(), image.size());
+    ASSERT_NE(restored, nullptr);
+    EXPECT_EQ(restored->SizeInBytes(), set->SizeInBytes());
+    std::vector<uint32_t> decoded;
+    no_skips.Decode(*restored, &decoded);
+    EXPECT_EQ(decoded, values);
+    // The rebuilt skip arrays must actually work (NextGEQ seeks with them).
+    std::vector<uint32_t> out;
+    no_skips.IntersectWithList(*restored, probe, &out);
+    EXPECT_EQ(out, RefIntersect(values, probe));
+  }
+
+  // Frame-of-reference traits (SIMDBP128*): blocks are rebased to their
+  // first value, so skip_first is payload and must survive the image; only
+  // the byte offsets are rebuilt.
+  {
+    SimdBp128StarCodec no_skips(false);
+    auto set = no_skips.Encode(values, 1 << 22);
+    std::vector<uint8_t> image;
+    no_skips.Serialize(*set, &image);
+    EXPECT_EQ(image.size(), 17 + 8 + set->SizeInBytes());
+
+    auto restored = no_skips.Deserialize(image.data(), image.size());
+    ASSERT_NE(restored, nullptr);
+    EXPECT_EQ(restored->SizeInBytes(), set->SizeInBytes());
+    std::vector<uint32_t> decoded;
+    no_skips.Decode(*restored, &decoded);
+    EXPECT_EQ(decoded, values);
+    std::vector<uint32_t> out;
+    no_skips.IntersectWithList(*restored, probe, &out);
+    EXPECT_EQ(out, RefIntersect(values, probe));
+  }
+
+  // The no-skip image must be strictly smaller than the with-skips image
+  // of the same list, by exactly the skip metadata it drops.
+  {
+    VbCodec with(true), without(false);
+    auto sw = with.Encode(values, 1 << 22);
+    auto so = without.Encode(values, 1 << 22);
+    std::vector<uint8_t> iw, io;
+    with.Serialize(*sw, &iw);
+    without.Serialize(*so, &io);
+    const size_t nblocks = (values.size() + 127) / 128;
+    EXPECT_EQ(iw.size() - io.size(), 2 * (8 + 4 * nblocks));
+  }
+}
+
 TEST(BlockedListTest, GallopToBlockFindsLastLeq) {
   std::vector<uint32_t> firsts = {0, 100, 200, 300, 1000, 5000};
   EXPECT_EQ(GallopToBlock(firsts, 0, 0), 0u);
