@@ -24,16 +24,22 @@ void RunOne(const std::vector<uint32_t>& l1, const std::vector<uint32_t>& l2,
   auto s1 = codec.Encode(l1, domain);
   auto s2 = codec.Encode(l2, domain);
   std::vector<uint32_t> out;
-  const double decode_ms =
-      MeasureMs([&] { codec.Decode(*s2, &out); }, repeats);
-  const double inter_ms =
-      MeasureMs([&] { codec.Intersect(*s1, *s2, &out); }, repeats);
-  rows->push_back(std::string(Traits::kName) + "/" + std::to_string(kBlockN));
+  // Key the metrics artifact by codec/blocksize so --metrics-out captures
+  // one latency histogram per swept configuration.
+  const std::string key =
+      std::string(Traits::kName) + "/" + std::to_string(kBlockN);
+  const double decode_ms = MeasureOpMs(
+      key, obs::OpKind::kDecode, [&] { codec.Decode(*s2, &out); }, repeats);
+  const double inter_ms = MeasureOpMs(
+      key, obs::OpKind::kIntersect, [&] { codec.Intersect(*s1, *s2, &out); },
+      repeats);
+  rows->push_back(key);
   values->push_back({ToMb(s2->SizeInBytes()), decode_ms, inter_ms});
 }
 
 void Run(int argc, char** argv) {
   Flags flags(argc, argv);
+  BenchMetrics metrics("ablation_blocksize", flags);
   const size_t n2 = flags.GetInt("size", 2000000);
   const size_t ratio = flags.GetInt("ratio", 1000);
   const uint64_t domain = flags.GetInt("domain", kPaperDomain);

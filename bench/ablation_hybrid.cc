@@ -15,6 +15,7 @@ namespace {
 
 void Run(int argc, char** argv) {
   Flags flags(argc, argv);
+  BenchMetrics metrics("ablation_hybrid", flags);
   const uint64_t domain = flags.GetInt("domain", 1 << 24);
   const int repeats = static_cast<int>(flags.GetInt("repeats", 3));
   const uint64_t seed = flags.GetInt("seed", 53);
@@ -32,10 +33,12 @@ void Run(int argc, char** argv) {
       auto s1 = codec->Encode(l1, domain);
       auto s2 = codec->Encode(l2, domain);
       std::vector<uint32_t> out;
-      const double inter_ms =
-          MeasureMs([&] { codec->Intersect(*s1, *s2, &out); }, repeats);
-      const double union_ms =
-          MeasureMs([&] { codec->Union(*s1, *s2, &out); }, repeats);
+      const double inter_ms = MeasureOpMs(
+          codec->Name(), obs::OpKind::kIntersect,
+          [&] { codec->Intersect(*s1, *s2, &out); }, repeats);
+      const double union_ms = MeasureOpMs(
+          codec->Name(), obs::OpKind::kUnion,
+          [&] { codec->Union(*s1, *s2, &out); }, repeats);
       rows.push_back(std::string(codec->Name()) + "@" +
                      std::to_string(density));
       values.push_back({ToMb(s1->SizeInBytes() + s2->SizeInBytes()), inter_ms,

@@ -17,6 +17,7 @@ namespace {
 
 void Run(int argc, char** argv) {
   Flags flags(argc, argv);
+  BenchMetrics metrics("appendix_topk", flags);
   const uint64_t docs = flags.GetInt("docs", 4000000);
   const size_t k = flags.GetInt("k", 10);
   const int repeats = static_cast<int>(flags.GetInt("repeats", 3));

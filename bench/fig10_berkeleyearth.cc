@@ -7,6 +7,7 @@
 
 int main(int argc, char** argv) {
   intcomp::Flags flags(argc, argv);
+  intcomp::BenchMetrics metrics("fig10_berkeleyearth", flags);
   const int repeats = static_cast<int>(flags.GetInt("repeats", 3));
   for (const auto& q :
        intcomp::MakeBerkeleyearthQueries(flags.GetInt("seed", 49))) {

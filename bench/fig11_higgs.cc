@@ -6,6 +6,7 @@
 
 int main(int argc, char** argv) {
   intcomp::Flags flags(argc, argv);
+  intcomp::BenchMetrics metrics("fig11_higgs", flags);
   const int repeats = static_cast<int>(flags.GetInt("repeats", 3));
   for (const auto& q : intcomp::MakeHiggsQueries(flags.GetInt("seed", 50))) {
     intcomp::RunQueryBench("Fig 11: Higgs " + q.name, q.lists, q.plan,

@@ -6,6 +6,7 @@
 
 int main(int argc, char** argv) {
   intcomp::Flags flags(argc, argv);
+  intcomp::BenchMetrics metrics("fig12_kegg", flags);
   const int repeats = static_cast<int>(flags.GetInt("repeats", 5));
   for (const auto& q : intcomp::MakeKeggQueries(flags.GetInt("seed", 51))) {
     intcomp::RunQueryBench("Fig 12: Kegg " + q.name, q.lists, q.plan,

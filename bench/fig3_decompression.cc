@@ -30,6 +30,7 @@ std::vector<size_t> ParseSizes(const std::string& csv) {
 
 void Run(int argc, char** argv) {
   Flags flags(argc, argv);
+  BenchMetrics metrics("fig3_decompression", flags);
   const auto sizes = ParseSizes(flags.GetString("sizes", "1000000"));
   const uint64_t domain = flags.GetInt("domain", kPaperDomain);
   const int repeats = static_cast<int>(flags.GetInt("repeats", 3));
@@ -65,7 +66,8 @@ void Run(int argc, char** argv) {
         auto set = codec->Encode(list, domain);
         std::vector<uint32_t> decoded;
         const double ms =
-            MeasureMs([&] { codec->Decode(*set, &decoded); }, repeats);
+            MeasureOpMs(codec->Name(), obs::OpKind::kDecode,
+                        [&] { codec->Decode(*set, &decoded); }, repeats);
         if (decoded.size() != list.size()) {
           std::fprintf(stderr, "DECODE MISMATCH for %s\n",
                        std::string(codec->Name()).c_str());

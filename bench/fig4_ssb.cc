@@ -15,6 +15,7 @@ namespace {
 
 void Run(int argc, char** argv) {
   Flags flags(argc, argv);
+  BenchMetrics metrics("fig4_ssb", flags);
   const std::string sf_csv = flags.GetString("sf", "1");
   const uint64_t seed = flags.GetInt("seed", 42);
   const int repeats = static_cast<int>(flags.GetInt("repeats", 3));

@@ -13,6 +13,7 @@ namespace {
 
 void Run(int argc, char** argv) {
   Flags flags(argc, argv);
+  BenchMetrics metrics("fig5_tpch", flags);
   const std::string sf_csv = flags.GetString("sf", "1");
   const uint64_t seed = flags.GetInt("seed", 43);
   const int repeats = static_cast<int>(flags.GetInt("repeats", 3));

@@ -16,6 +16,7 @@ namespace {
 
 void Run(int argc, char** argv) {
   Flags flags(argc, argv);
+  BenchMetrics metrics("fig6_web", flags);
   const uint64_t docs = flags.GetInt("docs", 500000);
   const size_t nqueries = flags.GetInt("queries", 100);
   const uint64_t seed = flags.GetInt("seed", 44);

@@ -44,6 +44,7 @@ std::vector<CodecPair> MakePairs() {
 
 void Run(int argc, char** argv) {
   Flags flags(argc, argv);
+  BenchMetrics metrics("fig7_skip_pointers", flags);
   const size_t n2 = flags.GetInt("size", 2000000);
   const size_t ratio = flags.GetInt("ratio", 1000);
   const uint64_t domain = flags.GetInt("domain", kPaperDomain);
@@ -70,10 +71,15 @@ void Run(int argc, char** argv) {
       auto s1s = pair.with_skips->Encode(l1, domain);
       auto s2s = pair.with_skips->Encode(l2, domain);
       std::vector<uint32_t> out;
-      const double no_ms = MeasureMs(
+      // Two metric keys per codec: the skip/no-skip variants are the very
+      // thing this figure contrasts, so they get separate histograms.
+      const std::string noskip_key = std::string(pair.name) + "(noskip)";
+      const double no_ms = MeasureOpMs(
+          noskip_key, obs::OpKind::kIntersect,
           [&] { pair.no_skips->Intersect(*s1n, *s2n, &out); }, repeats);
       const size_t n_no = out.size();
-      const double yes_ms = MeasureMs(
+      const double yes_ms = MeasureOpMs(
+          pair.name, obs::OpKind::kIntersect,
           [&] { pair.with_skips->Intersect(*s1s, *s2s, &out); }, repeats);
       if (out.size() != n_no) {
         std::fprintf(stderr, "CHECKSUM MISMATCH for %s\n", pair.name);

@@ -7,6 +7,7 @@
 
 int main(int argc, char** argv) {
   intcomp::Flags flags(argc, argv);
+  intcomp::BenchMetrics metrics("fig8_graph", flags);
   const int repeats = static_cast<int>(flags.GetInt("repeats", 3));
   for (const auto& q : intcomp::MakeGraphQueries(flags.GetInt("seed", 47))) {
     intcomp::RunQueryBench("Fig 8: Graph " + q.name, q.lists, q.plan,

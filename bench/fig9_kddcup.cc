@@ -6,6 +6,7 @@
 
 int main(int argc, char** argv) {
   intcomp::Flags flags(argc, argv);
+  intcomp::BenchMetrics metrics("fig9_kddcup", flags);
   const int repeats = static_cast<int>(flags.GetInt("repeats", 3));
   for (const auto& q : intcomp::MakeKddcupQueries(flags.GetInt("seed", 48))) {
     intcomp::RunQueryBench("Fig 9: KDDCup " + q.name, q.lists, q.plan,

@@ -23,6 +23,7 @@ namespace {
 
 void Run(int argc, char** argv) {
   Flags flags(argc, argv);
+  BenchMetrics metrics("micro_validate", flags);
   const size_t nlists = flags.GetInt("lists", 200);
   const size_t size = flags.GetInt("size", 4000);
   const uint64_t domain = flags.GetInt("domain", 1 << 20);

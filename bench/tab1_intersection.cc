@@ -4,7 +4,10 @@
 // Paper sweeps |L2| in {1M, 10M, 100M, 1B}; default here is {1M}
 // (--sizes to extend).
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,6 +20,7 @@ namespace {
 
 void Run(int argc, char** argv) {
   Flags flags(argc, argv);
+  BenchMetrics metrics("tab1_intersection", flags);
   std::vector<size_t> sizes;
   {
     const std::string csv = flags.GetString("sizes", "1000000");
@@ -64,22 +68,55 @@ void Run(int argc, char** argv) {
       const auto l1 = dist.make(n1, domain, seed + 1);
       const auto l2 = dist.make(n2, domain, seed + 2);
       cols.push_back(std::string(dist.name) + "/" + std::to_string(n2));
-      size_t expected = static_cast<size_t>(-1);
+      // Encode every codec up front, then interleave the repeats round-robin
+      // across codecs: each codec's latency samples span the whole cell's
+      // runtime instead of one narrow window, so slow machine drift shifts
+      // all histogram keys together and the calibrated perf gate
+      // (tools/perf_check.py diff --calibrate) can cancel it.
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      struct CellState {
+        std::unique_ptr<CompressedSet> s1, s2;
+        obs::LatencyHistogram* hist = nullptr;
+        KernelCounters kernels;
+        uint64_t best_ns = ~uint64_t{0};
+        std::vector<uint32_t> out;
+      };
+      std::vector<CellState> cell(AllCodecs().size());
       for (size_t ci = 0; ci < AllCodecs().size(); ++ci) {
         const Codec* codec = AllCodecs()[ci];
-        auto s1 = codec->Encode(l1, domain);
-        auto s2 = codec->Encode(l2, domain);
-        std::vector<uint32_t> out;
-        const double ms =
-            MeasureMs([&] { codec->Intersect(*s1, *s2, &out); }, repeats);
+        cell[ci].s1 = codec->Encode(l1, domain);
+        cell[ci].s2 = codec->Encode(l2, domain);
+        if (reg.Enabled()) {
+          cell[ci].hist =
+              reg.OpLatency(codec->Name(), obs::OpKind::kIntersect);
+        }
+      }
+      for (int r = 0; r < repeats; ++r) {
+        for (size_t ci = 0; ci < AllCodecs().size(); ++ci) {
+          CellState& st = cell[ci];
+          const KernelCounters before = ThreadKernelCounters();
+          const uint64_t t0 = NowNs();
+          AllCodecs()[ci]->Intersect(*st.s1, *st.s2, &st.out);
+          const uint64_t ns = NowNs() - t0;
+          if (st.hist != nullptr) st.hist->Record(ns);
+          st.kernels += ThreadKernelCounters() - before;
+          st.best_ns = std::min(st.best_ns, ns);
+        }
+      }
+      size_t expected = static_cast<size_t>(-1);
+      for (size_t ci = 0; ci < AllCodecs().size(); ++ci) {
+        CellState& st = cell[ci];
+        if (reg.Enabled()) {
+          reg.RecordKernelCounters(AllCodecs()[ci]->Name(), st.kernels);
+        }
         if (expected == static_cast<size_t>(-1)) {
-          expected = out.size();
-        } else if (out.size() != expected) {
+          expected = st.out.size();
+        } else if (st.out.size() != expected) {
           std::fprintf(stderr, "CHECKSUM MISMATCH: %s %s/%zu: %zu vs %zu\n",
-                       row_names[ci].c_str(), dist.name, n2, out.size(),
+                       row_names[ci].c_str(), dist.name, n2, st.out.size(),
                        expected);
         }
-        values[ci].push_back(ms);
+        values[ci].push_back(static_cast<double>(st.best_ns) / 1e6);
       }
     }
   }

@@ -51,6 +51,7 @@ std::vector<uint32_t> MakeList(const std::string& dist, size_t n,
 
 void Run(int argc, char** argv) {
   Flags flags(argc, argv);
+  BenchMetrics metrics("tab1_parallel", flags);
   const size_t n2 = flags.GetInt("size", 1000000);
   const size_t ratio = flags.GetInt("ratio", 1000);
   const size_t queries = flags.GetInt("queries", 16);

@@ -14,6 +14,7 @@ namespace {
 
 void Run(int argc, char** argv) {
   Flags flags(argc, argv);
+  BenchMetrics metrics("tab2_union", flags);
   std::vector<size_t> sizes;
   {
     const std::string csv = flags.GetString("sizes", "1000000");
@@ -68,7 +69,8 @@ void Run(int argc, char** argv) {
         auto s2 = codec->Encode(l2, domain);
         std::vector<uint32_t> out;
         const double ms =
-            MeasureMs([&] { codec->Union(*s1, *s2, &out); }, repeats);
+            MeasureOpMs(codec->Name(), obs::OpKind::kUnion,
+                        [&] { codec->Union(*s1, *s2, &out); }, repeats);
         if (expected == static_cast<size_t>(-1)) {
           expected = out.size();
         } else if (out.size() != expected) {

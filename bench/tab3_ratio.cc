@@ -15,6 +15,7 @@ namespace {
 
 void Run(int argc, char** argv) {
   Flags flags(argc, argv);
+  BenchMetrics metrics("tab3_ratio", flags);
   const size_t n2 = flags.GetInt("size", 2000000);
   // Density is the controlling variable of this experiment (the paper runs
   // |L2| = 100M over INTMAX, ~4.7%), so the scaled-down default keeps the
@@ -61,8 +62,9 @@ void Run(int argc, char** argv) {
         auto s1 = codec->Encode(l1, domain);
         auto s2 = codec->Encode(l2, domain);
         std::vector<uint32_t> out;
-        const double ms =
-            MeasureMs([&] { codec->Intersect(*s1, *s2, &out); }, repeats);
+        const double ms = MeasureOpMs(
+            codec->Name(), obs::OpKind::kIntersect,
+            [&] { codec->Intersect(*s1, *s2, &out); }, repeats);
         if (expected == static_cast<size_t>(-1)) {
           expected = out.size();
         } else if (out.size() != expected) {

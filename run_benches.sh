@@ -12,12 +12,24 @@
 #                               additionally append one JSON record per
 #                               figure/table panel to BENCH_pr.json (the CI
 #                               perf-smoke artifact)
+#   ./run_benches.sh --smoke --metrics-dir=DIR
+#                               pass --metrics-out=DIR/<bench>.jsonl to every
+#                               binary; fails loudly if any binary runs
+#                               without producing its metrics artifact
 set -e
 cd "$(dirname "$0")"
 
 BUILD_DIR="${BUILD_DIR:-build}"
 SMOKE=0
-[ "${1:-}" = "--smoke" ] && SMOKE=1
+METRICS_DIR=""
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE=1 ;;
+    --metrics-dir=*) METRICS_DIR="${arg#--metrics-dir=}" ;;
+    *) echo "error: unknown argument $arg" >&2; exit 2 ;;
+  esac
+done
+[ -n "$METRICS_DIR" ] && mkdir -p "$METRICS_DIR"
 
 if [ -n "${BENCH_JSON:-}" ]; then
   rm -f "$BENCH_JSON"
@@ -33,28 +45,42 @@ RAN=0
 for b in "$BUILD_DIR"/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
   RAN=$((RAN + 1))
+  NAME="$(basename "$b")"
   echo "===== $b ====="
-  case "$(basename "$b")" in
+  METRICS_FLAG=""
+  if [ -n "$METRICS_DIR" ]; then
+    METRICS_FLAG="--metrics-out=$METRICS_DIR/$NAME.jsonl"
+  fi
+  case "$NAME" in
     micro_kernels)
       # google-benchmark binary: smoke = verify registration and run the
-      # lightest kernel once, not the full timed sweep.
+      # lightest kernel once, not the full timed sweep (but still produce
+      # the metrics artifact via the instrumented sweep when asked to).
       if [ "$SMOKE" = 1 ]; then
-        "$b" --benchmark_list_tests=true > /dev/null
+        if [ -n "$METRICS_DIR" ]; then
+          "$b" --benchmark_filter=none $METRICS_FLAG > /dev/null
+        else
+          "$b" --benchmark_list_tests=true > /dev/null
+        fi
         echo "(smoke: kernel registration OK)"
       else
-        "$b"
+        "$b" $METRICS_FLAG
       fi
       ;;
     *)
       if [ "$SMOKE" = 1 ]; then
         # shellcheck disable=SC2086
-        "$b" $SMOKE_FLAGS > /dev/null
+        "$b" $SMOKE_FLAGS $METRICS_FLAG > /dev/null
         echo "(smoke: OK)"
       else
-        "$b"
+        "$b" $METRICS_FLAG
       fi
       ;;
   esac
+  if [ -n "$METRICS_DIR" ] && [ ! -s "$METRICS_DIR/$NAME.jsonl" ]; then
+    echo "error: $NAME ignored --metrics-out ($METRICS_DIR/$NAME.jsonl missing or empty)" >&2
+    exit 1
+  fi
   echo
 done
 

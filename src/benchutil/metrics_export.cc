@@ -1,0 +1,47 @@
+#include "benchutil/metrics_export.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace intcomp {
+
+BenchMetrics::BenchMetrics(std::string bench_name, const Flags& flags)
+    : bench_name_(std::move(bench_name)),
+      out_path_(flags.GetString("metrics-out", "")),
+      format_(flags.GetString("metrics-format", "jsonl")) {
+  const uint32_t sample =
+      static_cast<uint32_t>(flags.GetInt("trace-sample", 0));
+  if (sample != 0) {
+    obs::SetTraceSeed(
+        static_cast<uint64_t>(flags.GetInt("trace-seed", 42)));
+    obs::SetTraceSampling(sample);
+  }
+  if (!enabled()) return;
+  if (format_ != "jsonl" && format_ != "prom") {
+    std::fprintf(stderr, "bad --metrics-format=%s (want jsonl|prom)\n",
+                 format_.c_str());
+    std::exit(2);
+  }
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.Reset();
+  reg.SetEnabled(true);
+}
+
+BenchMetrics::~BenchMetrics() {
+  obs::SetTraceSampling(0);
+  if (!enabled()) return;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.SetEnabled(false);
+  if (!reg.ExportToFile(out_path_, format_, bench_name_)) {
+    std::fprintf(stderr, "error: failed to write metrics to %s\n",
+                 out_path_.c_str());
+    std::exit(1);
+  }
+  std::printf("# metrics written to %s (%s)\n", out_path_.c_str(),
+              format_.c_str());
+}
+
+}  // namespace intcomp

@@ -1,0 +1,41 @@
+#include "common/fast_clock.h"
+
+#include <mutex>
+
+namespace intcomp {
+namespace {
+
+double Calibrate() {
+#if defined(__x86_64__) || defined(_M_X64)
+  // Measure the TSC against steady_clock over ~1 ms. Modern x86 has
+  // constant_tsc, so one measurement holds for the process lifetime; 1 ms is
+  // long enough that the two clock reads' own latency is noise.
+  const uint64_t ns0 = NowNs();
+  const uint64_t t0 = CycleTicks();
+  while (NowNs() - ns0 < 1000000) {
+  }
+  const uint64_t t1 = CycleTicks();
+  const uint64_t ns1 = NowNs();
+  const uint64_t dns = ns1 - ns0;
+  if (dns == 0 || t1 <= t0) return 1.0;  // broken TSC: treat ticks as ns
+  return static_cast<double>(t1 - t0) / static_cast<double>(dns);
+#else
+  return 1.0;
+#endif
+}
+
+std::once_flag g_calibrate_once;
+double g_ticks_per_ns = 1.0;
+
+}  // namespace
+
+double TicksPerNs() {
+  std::call_once(g_calibrate_once, [] { g_ticks_per_ns = Calibrate(); });
+  return g_ticks_per_ns;
+}
+
+uint64_t TicksToNs(uint64_t ticks) {
+  return static_cast<uint64_t>(static_cast<double>(ticks) / TicksPerNs());
+}
+
+}  // namespace intcomp

@@ -1,0 +1,50 @@
+// Low-overhead timestamp sources for the observability layer.
+//
+// Two tiers:
+//   - NowNs(): steady_clock nanoseconds (vDSO clock_gettime, ~20 ns). The
+//     unit every histogram and exported metric uses.
+//   - CycleTicks(): raw TSC on x86-64 (~7 ns, no serialization), falling
+//     back to NowNs() elsewhere. Trace spans record ticks on the hot path
+//     and convert to nanoseconds lazily at snapshot time via TicksToNs(),
+//     which calibrates the tick rate against steady_clock exactly once.
+
+#ifndef INTCOMP_COMMON_FAST_CLOCK_H_
+#define INTCOMP_COMMON_FAST_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
+
+namespace intcomp {
+
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline uint64_t CycleTicks() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __rdtsc();
+#else
+  return NowNs();
+#endif
+}
+
+// Calibrated ticks-per-nanosecond ratio (1.0 on non-x86, where CycleTicks is
+// already nanoseconds). The first call spins for ~1 ms to measure the TSC
+// against steady_clock; subsequent calls are a load. Never call on a latency-
+// critical path — record ticks there and convert when reporting.
+double TicksPerNs();
+
+// Converts a tick *interval* (or a tick timestamp whose epoch does not
+// matter) to nanoseconds using the calibrated ratio.
+uint64_t TicksToNs(uint64_t ticks);
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_COMMON_FAST_CLOCK_H_

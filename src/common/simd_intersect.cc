@@ -4,6 +4,8 @@
 #include <bit>
 #include <cassert>
 
+#include "obs/trace.h"
+
 #if defined(__SSE4_1__)
 #include <immintrin.h>
 #define INTCOMP_SIMD_SETOPS 1
@@ -446,6 +448,7 @@ void SimdMergeUnionInto(std::span<const uint32_t> a,
 void IntersectKernelInto(std::span<const uint32_t> a,
                          std::span<const uint32_t> b,
                          std::vector<uint32_t>* out) {
+  TRACE_SPAN("kernel_dispatch");
   if (a.size() > b.size()) std::swap(a, b);
   if (a.empty()) return;
   const bool simd = UseSimdKernels(GetKernelMode());
@@ -467,6 +470,7 @@ void IntersectKernelInto(std::span<const uint32_t> a,
 
 void UnionKernelInto(std::span<const uint32_t> a, std::span<const uint32_t> b,
                      std::vector<uint32_t>* out) {
+  TRACE_SPAN("kernel_dispatch");
   if (UseSimdKernels(GetKernelMode())) {
     SimdMergeUnionInto(a, b, out);
   } else {

@@ -1,11 +1,16 @@
 #include "core/codec.h"
 
 #include "common/simd_intersect.h"
+#include "obs/metrics.h"
+#include "obs/op_counters.h"
+#include "obs/trace.h"
 
 namespace intcomp {
 
 StatusOr<std::unique_ptr<CompressedSet>> Codec::DeserializeChecked(
     std::span<const uint8_t> image, uint64_t domain) const {
+  TRACE_SPAN("deserialize_checked");
+  obs::ScopedOpTimer timer(Name(), obs::OpKind::kDeserializeChecked);
   std::unique_ptr<CompressedSet> set = Deserialize(image.data(), image.size());
   if (set == nullptr) {
     return Status::Corrupt("unparseable image (truncated or bad lengths)");
@@ -19,6 +24,7 @@ void Codec::IntersectWithList(const CompressedSet& a,
                               std::span<const uint32_t> probe,
                               std::vector<uint32_t>* out) const {
   std::vector<uint32_t> decoded;
+  obs::ThreadOpCounters().bytes_decoded += a.SizeInBytes();
   Decode(a, &decoded);
   IntersectLists(decoded, probe, out);
 }

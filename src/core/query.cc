@@ -4,9 +4,18 @@
 
 #include "core/set_ops.h"
 #include "invlist/plain_list.h"
+#include "obs/op_counters.h"
+#include "obs/trace.h"
 
 namespace intcomp {
 namespace {
+
+// Observability hooks below are inserted at the same points of Evaluate and
+// EvaluateChecked: they never branch on results, so the checked mirror stays
+// algorithmically line-for-line identical to the trusted path.
+inline void CountDecodedSet(const CompressedSet& set) {
+  obs::ThreadOpCounters().bytes_decoded += set.SizeInBytes();
+}
 
 // Writes the plan's result into *out (cleared first). Temporaries are
 // leased from `arena`; `out` itself is caller storage so results can
@@ -17,6 +26,9 @@ void Evaluate(const Codec& codec, const QueryPlan& plan,
   out->clear();
   switch (plan.op) {
     case QueryPlan::Op::kLeaf: {
+      TRACE_SPAN("decode");
+      ++obs::ThreadOpCounters().lists_touched;
+      CountDecodedSet(*sets[plan.leaf]);
       codec.Decode(*sets[plan.leaf], out);
       return;
     }
@@ -39,6 +51,7 @@ void Evaluate(const Codec& codec, const QueryPlan& plan,
                 });
       std::sort(materialized.begin(), materialized.end(),
                 [](const auto& a, const auto& b) { return a->size() < b->size(); });
+      obs::ThreadOpCounters().lists_touched += leaves.size();
 
       ScratchArena::Lease next = arena.Acquire();
       size_t li = 0;
@@ -50,12 +63,14 @@ void Evaluate(const Codec& codec, const QueryPlan& plan,
           out->swap(*next);
         }
       } else if (leaves.size() == 1) {
+        CountDecodedSet(*leaves[0]);
         codec.Decode(*leaves[0], out);
         li = 1;
       } else {
         codec.Intersect(*leaves[0], *leaves[1], out);
         li = 2;
       }
+      TRACE_SPAN("svs_probe");
       for (; li < leaves.size() && !out->empty(); ++li) {
         // Probe the smaller side: when the running result is much larger
         // than the leaf (e.g. a wide union ANDed with a selective
@@ -63,6 +78,7 @@ void Evaluate(const Codec& codec, const QueryPlan& plan,
         // of pushing every result element through the leaf's skip index.
         if (leaves[li]->Cardinality() * 8 < out->size()) {
           ScratchArena::Lease decoded = arena.Acquire();
+          CountDecodedSet(*leaves[li]);
           codec.Decode(*leaves[li], decoded.get());
           GallopIntersect(*decoded, *out, next.get());
         } else {
@@ -117,6 +133,9 @@ Status EvaluateChecked(const Codec& codec, const QueryPlan& plan,
         return Status::InvalidArgument("plan leaf index out of range");
       if (sets[plan.leaf] == nullptr)
         return Status::InvalidArgument("plan references missing input set");
+      TRACE_SPAN("decode");
+      ++obs::ThreadOpCounters().lists_touched;
+      CountDecodedSet(*sets[plan.leaf]);
       codec.Decode(*sets[plan.leaf], out);
       return Status::Ok();
     }
@@ -146,6 +165,7 @@ Status EvaluateChecked(const Codec& codec, const QueryPlan& plan,
                 });
       std::sort(materialized.begin(), materialized.end(),
                 [](const auto& a, const auto& b) { return a->size() < b->size(); });
+      obs::ThreadOpCounters().lists_touched += leaves.size();
 
       ScratchArena::Lease next = arena.Acquire();
       size_t li = 0;
@@ -156,12 +176,14 @@ Status EvaluateChecked(const Codec& codec, const QueryPlan& plan,
           out->swap(*next);
         }
       } else if (leaves.size() == 1) {
+        CountDecodedSet(*leaves[0]);
         codec.Decode(*leaves[0], out);
         li = 1;
       } else {
         codec.Intersect(*leaves[0], *leaves[1], out);
         li = 2;
       }
+      TRACE_SPAN("svs_probe");
       for (; li < leaves.size() && !out->empty(); ++li) {
         if (token != nullptr) {
           Status st = token->Check();
@@ -169,6 +191,7 @@ Status EvaluateChecked(const Codec& codec, const QueryPlan& plan,
         }
         if (leaves[li]->Cardinality() * 8 < out->size()) {
           ScratchArena::Lease decoded = arena.Acquire();
+          CountDecodedSet(*leaves[li]);
           codec.Decode(*leaves[li], decoded.get());
           GallopIntersect(*decoded, *out, next.get());
         } else {

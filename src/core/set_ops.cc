@@ -2,11 +2,18 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/op_counters.h"
+#include "obs/trace.h"
+
 namespace intcomp {
 
 void IntersectSets(const Codec& codec,
                    std::span<const CompressedSet* const> sets,
                    ScratchArena* arena, std::vector<uint32_t>* out) {
+  TRACE_SPAN("intersect_sets");
+  obs::ScopedOpTimer timer(codec.Name(), obs::OpKind::kIntersect);
+  obs::ThreadOpCounters().lists_touched += sets.size();
   out->clear();
   if (sets.empty()) return;
   if (sets.size() == 1) {
@@ -20,6 +27,7 @@ void IntersectSets(const Codec& codec,
             });
   codec.Intersect(*order[0], *order[1], out);
   ScratchArena::Lease next = arena->Acquire();
+  TRACE_SPAN("svs_probe");
   for (size_t i = 2; i < order.size() && !out->empty(); ++i) {
     codec.IntersectWithList(*order[i], *out, next.get());
     out->swap(*next);
@@ -28,6 +36,9 @@ void IntersectSets(const Codec& codec,
 
 void UnionSets(const Codec& codec, std::span<const CompressedSet* const> sets,
                ScratchArena* arena, std::vector<uint32_t>* out) {
+  TRACE_SPAN("union_sets");
+  obs::ScopedOpTimer timer(codec.Name(), obs::OpKind::kUnion);
+  obs::ThreadOpCounters().lists_touched += sets.size();
   out->clear();
   if (sets.empty()) return;
   if (sets.size() == 1) {
@@ -43,10 +54,15 @@ void UnionSets(const Codec& codec, std::span<const CompressedSet* const> sets,
   std::vector<ScratchArena::Lease> decoded;
   decoded.reserve(sets.size());
   size_t total = 0;
-  for (size_t i = 0; i < sets.size(); ++i) {
-    decoded.push_back(arena->Acquire());
-    codec.Decode(*sets[i], decoded.back().get());
-    total += decoded.back()->size();
+  {
+    TRACE_SPAN("decode");
+    obs::OpCounters& oc = obs::ThreadOpCounters();
+    for (size_t i = 0; i < sets.size(); ++i) {
+      decoded.push_back(arena->Acquire());
+      codec.Decode(*sets[i], decoded.back().get());
+      oc.bytes_decoded += sets[i]->SizeInBytes();
+      total += decoded.back()->size();
+    }
   }
   out->reserve(total);
   struct Cursor {

@@ -1,6 +1,10 @@
 #include "engine/batch_executor.h"
 
 #include "benchutil/timer.h"
+#include "common/fast_clock.h"
+#include "obs/metrics.h"
+#include "obs/op_counters.h"
+#include "obs/trace.h"
 
 namespace intcomp {
 
@@ -13,6 +17,9 @@ BatchExecutor::BatchExecutor(ThreadPool* pool) : pool_(pool) {
 
 std::vector<std::vector<uint32_t>> BatchExecutor::Execute(
     const QueryBatch& batch, BatchReport* report) {
+  // Root span on the submitting thread; ThreadPool::Enqueue forwards the
+  // context so every per-query span below nests under it.
+  TRACE_SPAN("batch");
   const size_t nworkers = pool_->NumWorkers();
   const size_t nplans = batch.plans.size();
   std::vector<std::vector<uint32_t>> results(nplans);
@@ -36,6 +43,7 @@ std::vector<std::vector<uint32_t>> BatchExecutor::Execute(
     uint64_t cancelled = 0;
     uint64_t failed = 0;
     KernelCounters kernels;
+    obs::OpCounters ops;
   };
   std::vector<Tally> tallies(nworkers);
   // One Status / kernel-label slot per query; each slot is written by exactly
@@ -43,6 +51,14 @@ std::vector<std::vector<uint32_t>> BatchExecutor::Execute(
   // needed.
   std::vector<Status> statuses(nplans);
   std::vector<std::string_view> kernel_labels(nplans);
+
+  // Hoist the metrics decision (and the histogram pointer it needs) out of
+  // the per-query tasks: disabled-path cost is this one relaxed load.
+  obs::LatencyHistogram* query_hist =
+      obs::MetricsRegistry::Global().Enabled()
+          ? obs::MetricsRegistry::Global().OpLatency(batch.codec->Name(),
+                                                     obs::OpKind::kQuery)
+          : nullptr;
 
   WallTimer timer;
   const Codec* codec = batch.codec;
@@ -56,8 +72,9 @@ std::vector<std::vector<uint32_t>> BatchExecutor::Execute(
         (q < deadlines.size() && deadlines[q] != 0) ? deadlines[q]
                                                     : default_deadline_ns;
     pool_->Submit([this, codec, plans, sets, &results, &tallies, &statuses,
-                   &kernel_labels, q, deadline_ns,
-                   batch_cancel](size_t worker) {
+                   &kernel_labels, q, deadline_ns, batch_cancel,
+                   query_hist](size_t worker) {
+      TRACE_SPAN("query");
       std::vector<uint32_t>& out = results[q];
       // The deadline clock starts when the query starts executing, so a
       // query queued behind a long batch is not penalized for the wait.
@@ -66,17 +83,21 @@ std::vector<std::vector<uint32_t>> BatchExecutor::Execute(
       token.SetDeadlineAfterNs(deadline_ns);
       const CancellationToken* tok =
           (deadline_ns != 0 || batch_cancel != nullptr) ? &token : nullptr;
-      // Delta of the thread-local kernel tallies across the evaluation
-      // attributes the executed kernels to this query.
+      // Deltas of the thread-local kernel / op tallies across the evaluation
+      // attribute the executed kernels and touched data to this query.
       const KernelCounters kernels_before = ThreadKernelCounters();
+      const obs::OpCounters ops_before = obs::ThreadOpCounters();
+      const uint64_t t0 = query_hist != nullptr ? NowNs() : 0;
       Status st = EvaluatePlanChecked(*codec, plans[q], sets, tok,
                                       arenas_[worker].get(), &out);
+      if (query_hist != nullptr) query_hist->Record(NowNs() - t0);
       const KernelCounters delta = ThreadKernelCounters() - kernels_before;
       kernel_labels[q] = delta.Dominant();
       Tally& t = tallies[worker];
       t.queries += 1;
       t.result_ints += out.size();
       t.kernels += delta;
+      t.ops += obs::ThreadOpCounters() - ops_before;
       switch (st.code()) {
         case StatusCode::kOk: t.ok += 1; break;
         case StatusCode::kInvalidArgument: t.rejected += 1; break;
@@ -89,6 +110,21 @@ std::vector<std::vector<uint32_t>> BatchExecutor::Execute(
   }
   pool_->Wait();
   const double wall_ms = timer.ElapsedMs();
+
+  if (query_hist != nullptr) {
+    KernelCounters batch_kernels;
+    obs::OpCounters batch_ops;
+    for (const Tally& t : tallies) {
+      batch_kernels += t.kernels;
+      batch_ops += t.ops;
+    }
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    reg.RecordKernelCounters(codec->Name(), batch_kernels);
+    reg.AddCounter("engine.lists_touched", batch_ops.lists_touched);
+    reg.AddCounter("engine.bytes_decoded", batch_ops.bytes_decoded);
+    reg.AddCounter("engine.blocks_loaded", batch_ops.blocks_loaded);
+    reg.AddCounter("engine.blocks_skipped", batch_ops.blocks_skipped);
+  }
 
   if (report != nullptr) {
     report->per_worker.assign(nworkers, WorkerCounters{});
@@ -108,6 +144,7 @@ std::vector<std::vector<uint32_t>> BatchExecutor::Execute(
       c.cancelled = tallies[w].cancelled;
       c.failed = tallies[w].failed;
       c.kernels = tallies[w].kernels;
+      c.ops = tallies[w].ops;
     }
   }
   return results;

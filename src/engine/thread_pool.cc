@@ -1,19 +1,11 @@
 #include "engine/thread_pool.h"
 
 #include <algorithm>
-#include <chrono>
+
+#include "common/fast_clock.h"
+#include "obs/trace.h"
 
 namespace intcomp {
-namespace {
-
-uint64_t NowNs() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
-}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = std::thread::hardware_concurrency();
@@ -40,6 +32,19 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Enqueue(size_t w, PoolTask task) {
+  // Carry the submitter's open span (and its sampling decision) across the
+  // thread boundary, so worker-side spans nest under it no matter which
+  // worker ends up stealing the task. Checked only when tracing is on, so
+  // the untraced enqueue path pays one relaxed load.
+  if (obs::TraceEnabled()) {
+    const obs::TraceContext ctx = obs::CurrentTraceContext();
+    if (ctx.inherited) {
+      task = [ctx, inner = std::move(task)](size_t worker) {
+        obs::ScopedTraceContext scope(ctx);
+        inner(worker);
+      };
+    }
+  }
   pending_.fetch_add(1, std::memory_order_acq_rel);
   {
     std::lock_guard<std::mutex> lock(workers_[w]->mu);

@@ -1,0 +1,59 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace intcomp {
+namespace obs {
+
+uint64_t LatencyHistogram::ValueAtPercentile(double p) const {
+  const uint64_t total = Count();
+  if (total == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the target observation, 1-based; p=0 maps to the first.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(p / 100.0 * total)));
+  uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cum += BucketCount(i);
+    if (cum >= rank) return BucketUpperBound(i);
+  }
+  // Concurrent recording can leave count_ ahead of the bucket sums; fall
+  // back to the highest non-empty bucket.
+  for (int i = kBuckets - 1; i >= 0; --i) {
+    if (BucketCount(i) != 0) return BucketUpperBound(i);
+  }
+  return 0;
+}
+
+void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
+  for (int i = 0; i < kBuckets; ++i) {
+    const uint64_t c = other.BucketCount(i);
+    if (c != 0) buckets_[i].fetch_add(c, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.Count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.Sum(), std::memory_order_relaxed);
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::string LatencyHistogram::ToString() const {
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "count=%llu mean=%.1fus p50=%.1fus p90=%.1fus p99=%.1fus "
+                "p999=%.1fus",
+                static_cast<unsigned long long>(Count()), Mean() / 1e3,
+                static_cast<double>(P50()) / 1e3,
+                static_cast<double>(P90()) / 1e3,
+                static_cast<double>(P99()) / 1e3,
+                static_cast<double>(P999()) / 1e3);
+  return line;
+}
+
+}  // namespace obs
+}  // namespace intcomp

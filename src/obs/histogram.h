@@ -1,0 +1,99 @@
+// Lock-free fixed-bucket latency histogram.
+//
+// Log2 buckets with 8 linear sub-buckets per power of two (HdrHistogram-
+// style): values below 8 get exact unit buckets; above, the relative
+// quantile error is bounded by 1/8 = 12.5%. 496 buckets cover the full
+// uint64 nanosecond range in ~4 KB of counters.
+//
+// Record() is three relaxed fetch_adds — safe from any number of threads,
+// no locks, no allocation. Readers (quantiles, merge, export) take relaxed
+// snapshots: under concurrent recording the result is a consistent-enough
+// approximation (each bucket internally exact, cross-bucket skew bounded by
+// the records in flight), which is the standard contract for monitoring
+// histograms.
+
+#ifndef INTCOMP_OBS_HISTOGRAM_H_
+#define INTCOMP_OBS_HISTOGRAM_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace intcomp {
+namespace obs {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 3;                 // 8 sub-buckets / octave
+  static constexpr int kSubBuckets = 1 << kSubBits;
+  static constexpr int kBuckets = (64 - kSubBits) * kSubBuckets + kSubBuckets;
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  static int BucketIndex(uint64_t v) {
+    if (v < static_cast<uint64_t>(kSubBuckets)) return static_cast<int>(v);
+    const int e = 63 - std::countl_zero(v);
+    const int sub =
+        static_cast<int>((v >> (e - kSubBits)) & (kSubBuckets - 1));
+    return (e - kSubBits + 1) * kSubBuckets + sub;
+  }
+
+  // Largest value mapping to bucket `idx` (quantiles report this bound, so
+  // estimates never understate the true quantile and are monotone in p).
+  static uint64_t BucketUpperBound(int idx) {
+    if (idx < kSubBuckets) return static_cast<uint64_t>(idx);
+    const int e = idx / kSubBuckets + kSubBits - 1;
+    const int sub = idx % kSubBuckets;
+    const uint64_t low =
+        (uint64_t{1} << e) + (static_cast<uint64_t>(sub) << (e - kSubBits));
+    return low + ((uint64_t{1} << (e - kSubBits)) - 1);
+  }
+
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const {
+    const uint64_t n = Count();
+    return n == 0 ? 0.0 : static_cast<double>(Sum()) / static_cast<double>(n);
+  }
+  uint64_t BucketCount(int idx) const {
+    return buckets_[idx].load(std::memory_order_relaxed);
+  }
+
+  // Upper bound of the bucket containing the p-th percentile (p in
+  // [0, 100]); 0 when empty. Monotone non-decreasing in p by construction.
+  uint64_t ValueAtPercentile(double p) const;
+
+  uint64_t P50() const { return ValueAtPercentile(50.0); }
+  uint64_t P90() const { return ValueAtPercentile(90.0); }
+  uint64_t P99() const { return ValueAtPercentile(99.0); }
+  uint64_t P999() const { return ValueAtPercentile(99.9); }
+
+  // Adds `other`'s counts into this histogram (commutative / associative up
+  // to relaxed-snapshot skew; exact under quiescence).
+  void MergeFrom(const LatencyHistogram& other);
+
+  void Reset();
+
+  // "count=12 mean=1.2ms p50=0.9ms p99=4.1ms" — for logs and bench output.
+  std::string ToString() const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+}  // namespace obs
+}  // namespace intcomp
+
+#endif  // INTCOMP_OBS_HISTOGRAM_H_

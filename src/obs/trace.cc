@@ -1,0 +1,210 @@
+#include "obs/trace.h"
+
+#include <memory>
+#include <mutex>
+
+#include "common/fast_clock.h"
+#include "common/prng.h"
+
+namespace intcomp {
+namespace obs {
+
+namespace detail {
+std::atomic<uint32_t> g_trace_period{0};
+}  // namespace detail
+
+namespace {
+
+constexpr size_t kDefaultRingCapacity = 4096;
+
+// Single-writer ring: only the owning thread touches head/written/slots
+// while recording; readers synchronize externally (quiescence contract).
+struct Ring {
+  Ring(size_t capacity, uint32_t index)
+      : slots(capacity), thread_index(index) {}
+
+  std::vector<SpanRecord> slots;
+  size_t head = 0;        // next write position
+  uint64_t written = 0;   // total spans ever written (>= capacity => wrapped)
+  uint32_t thread_index;
+};
+
+struct RingRegistry {
+  std::mutex mu;
+  // Rings are owned here and never destroyed: a pool thread may exit while
+  // its spans are still waiting to be snapshotted. Bounded by the number of
+  // distinct recording threads over the process lifetime.
+  std::vector<std::unique_ptr<Ring>> rings;
+  size_t capacity = kDefaultRingCapacity;
+};
+
+RingRegistry& Registry() {
+  static RingRegistry* r = new RingRegistry();  // intentionally leaked
+  return *r;
+}
+
+std::atomic<uint64_t> g_next_span_id{1};
+std::atomic<uint64_t> g_seed{0};
+std::atomic<uint64_t> g_seed_epoch{1};
+
+struct ThreadTraceState {
+  Ring* ring = nullptr;
+  uint64_t current_parent = 0;
+  uint32_t depth = 0;       // open spans (incl. an applied ScopedTraceContext)
+  bool sampled = false;     // decision of the current root
+  uint64_t seed_epoch = 0;  // last SetTraceSeed generation seen
+  Prng rng{0};
+};
+
+thread_local ThreadTraceState t_state;
+
+void EnsureRing(ThreadTraceState& ts) {
+  if (ts.ring != nullptr) return;
+  RingRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const uint32_t index = static_cast<uint32_t>(reg.rings.size());
+  reg.rings.push_back(std::make_unique<Ring>(reg.capacity, index));
+  ts.ring = reg.rings.back().get();
+}
+
+}  // namespace
+
+void SetTraceSampling(uint32_t period) {
+  detail::g_trace_period.store(period, std::memory_order_relaxed);
+}
+
+uint32_t GetTraceSampling() {
+  return detail::g_trace_period.load(std::memory_order_relaxed);
+}
+
+void SetTraceSeed(uint64_t seed) {
+  g_seed.store(seed, std::memory_order_relaxed);
+  g_seed_epoch.fetch_add(1, std::memory_order_release);
+}
+
+void SetTraceRingCapacity(size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  RingRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.capacity = capacity;
+  for (auto& ring : reg.rings) {
+    ring->slots.assign(capacity, SpanRecord{});
+    ring->head = 0;
+    ring->written = 0;
+  }
+}
+
+std::vector<SpanRecord> SnapshotSpans() {
+  RingRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<SpanRecord> out;
+  for (const auto& ring : reg.rings) {
+    const size_t cap = ring->slots.size();
+    const size_t n = ring->written < cap ? static_cast<size_t>(ring->written)
+                                         : cap;
+    // Oldest-first: when wrapped, the oldest live span sits at head.
+    const size_t start = ring->written < cap ? 0 : ring->head;
+    for (size_t i = 0; i < n; ++i) {
+      SpanRecord r = ring->slots[(start + i) % cap];
+      r.start_ns = TicksToNs(r.start_ns);
+      r.dur_ns = TicksToNs(r.dur_ns);
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+void ClearSpans() {
+  RingRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& ring : reg.rings) {
+    ring->head = 0;
+    ring->written = 0;
+  }
+}
+
+uint64_t DroppedSpans() {
+  RingRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  uint64_t dropped = 0;
+  for (const auto& ring : reg.rings) {
+    const uint64_t cap = ring->slots.size();
+    if (ring->written > cap) dropped += ring->written - cap;
+  }
+  return dropped;
+}
+
+TraceContext CurrentTraceContext() {
+  const ThreadTraceState& ts = t_state;
+  if (!TraceEnabled() || ts.depth == 0) return TraceContext{};
+  return TraceContext{ts.current_parent, ts.sampled, true};
+}
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx) {
+  if (!ctx.inherited || !TraceEnabled()) return;
+  ThreadTraceState& ts = t_state;
+  saved_parent_ = ts.current_parent;
+  saved_depth_ = ts.depth;
+  saved_sampled_ = ts.sampled;
+  ts.current_parent = ctx.parent_id;
+  ts.depth = 1;  // nested spans are non-roots and inherit ctx's sampling
+  ts.sampled = ctx.sampled;
+  applied_ = true;
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  if (!applied_) return;
+  ThreadTraceState& ts = t_state;
+  ts.current_parent = saved_parent_;
+  ts.depth = saved_depth_;
+  ts.sampled = saved_sampled_;
+}
+
+void TraceSpan::Begin(const char* name) {
+  ThreadTraceState& ts = t_state;
+  if (ts.depth == 0) {
+    // Root span: refresh the sampler if the seed changed, then decide.
+    const uint64_t epoch = g_seed_epoch.load(std::memory_order_acquire);
+    if (ts.seed_epoch != epoch) {
+      EnsureRing(ts);  // assigns the thread index the seed is mixed with
+      ts.rng = Prng(g_seed.load(std::memory_order_relaxed) ^
+                    (0x9e3779b97f4a7c15ULL * (ts.ring->thread_index + 1)));
+      ts.seed_epoch = epoch;
+    }
+    const uint32_t period = detail::g_trace_period.load(std::memory_order_relaxed);
+    ts.sampled = period == 1 || (period > 1 && ts.rng.NextBounded(period) == 0);
+  }
+  ++ts.depth;
+  if (!ts.sampled) {
+    state_ = State::kSuppressed;
+    return;
+  }
+  EnsureRing(ts);
+  name_ = name;
+  span_id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  saved_parent_ = ts.current_parent;
+  ts.current_parent = span_id_;
+  state_ = State::kRecording;
+  start_ticks_ = CycleTicks();
+}
+
+void TraceSpan::End() {
+  const uint64_t end_ticks = CycleTicks();
+  ThreadTraceState& ts = t_state;
+  --ts.depth;
+  if (state_ != State::kRecording) return;
+  ts.current_parent = saved_parent_;
+  Ring& ring = *ts.ring;
+  SpanRecord& slot = ring.slots[ring.head];
+  slot.name = name_;
+  slot.span_id = span_id_;
+  slot.parent_id = saved_parent_;
+  slot.start_ns = start_ticks_;          // raw ticks; converted at snapshot
+  slot.dur_ns = end_ticks - start_ticks_;
+  slot.thread_index = ring.thread_index;
+  ring.head = (ring.head + 1) % ring.slots.size();
+  ++ring.written;
+}
+
+}  // namespace obs
+}  // namespace intcomp

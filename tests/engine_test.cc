@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <memory>
 #include <numeric>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -17,6 +19,8 @@
 #include "core/registry.h"
 #include "engine/batch_executor.h"
 #include "engine/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "test_util.h"
 #include "workload/synthetic.h"
 
@@ -416,10 +420,11 @@ TEST(FaultContainmentTest, BadQueriesFailAloneAndHealthyResultsAreIdentical) {
   }
   // Bit-identical across thread counts, including the failed slots.
   EXPECT_EQ(per_thread_results[0], per_thread_results[1]);
-  EXPECT_EQ(stats.batches, 2u);
-  EXPECT_EQ(stats.totals.ok, 2 * healthy.size());
-  EXPECT_EQ(stats.totals.rejected, 4u);
-  EXPECT_EQ(stats.totals.timed_out, 2u);
+  EXPECT_EQ(stats.Batches(), 2u);
+  EXPECT_EQ(stats.Ok(), 2 * healthy.size());
+  EXPECT_EQ(stats.Rejected(), 4u);
+  EXPECT_EQ(stats.TimedOut(), 2u);
+  EXPECT_EQ(stats.BatchWallNs().Count(), 2u);
   EXPECT_NE(stats.ToString().find("2 batches"), std::string::npos);
 }
 
@@ -448,6 +453,167 @@ TEST(FaultContainmentTest, BatchWideCancellationStopsEveryQuery) {
   BatchReport clean;
   exec.Execute({.codec = &codec, .plans = w.plans, .sets = e.ptrs}, &clean);
   EXPECT_EQ(clean.Totals().ok, w.plans.size());
+}
+
+TEST(EngineStatsTest, AccumulateRacesSafelyWithReaders) {
+  // EngineStats promises lock-free Accumulate concurrent with ToString and
+  // every accessor. This binary is the INTCOMP_SANITIZE=thread CI job, so
+  // hammering the two sides here is the proof of that contract.
+  BatchReport report;
+  report.per_worker.assign(2, WorkerCounters{});
+  report.per_worker[0].queries = 3;
+  report.per_worker[0].result_ints = 10;
+  report.per_worker[0].ok = 2;
+  report.per_worker[0].rejected = 1;
+  report.per_worker[0].kernels.simd_merge = 5;
+  report.per_worker[1].queries = 1;
+  report.per_worker[1].ok = 1;
+  report.per_worker[1].kernels.block_probes = 2;
+  report.wall_ms = 0.25;
+
+  EngineStats stats;
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 4;
+  constexpr int kRounds = 250;
+  std::atomic<uint64_t> sink{0};  // keep reader results observable
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kRounds; ++i) stats.Accumulate(report);
+    });
+  }
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kRounds; ++i) {
+        sink.fetch_add(stats.ToString().size() + stats.Ok() +
+                       stats.Kernels().simd_merge +
+                       stats.BatchWallNs().P99());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const uint64_t n = kWriters * kRounds;
+  EXPECT_EQ(stats.Batches(), n);
+  EXPECT_EQ(stats.Queries(), 4 * n);
+  EXPECT_EQ(stats.ResultInts(), 10 * n);
+  EXPECT_EQ(stats.Ok(), 3 * n);
+  EXPECT_EQ(stats.Rejected(), n);
+  EXPECT_EQ(stats.Kernels().simd_merge, 5 * n);
+  EXPECT_EQ(stats.Kernels().block_probes, 2 * n);
+  EXPECT_EQ(stats.BatchWallNs().Count(), n);
+  EXPECT_GT(sink.load(), 0u);
+}
+
+TEST(EngineStatsTest, QueryProfileCapturesWorkShape) {
+  // PforDelta is a blocked codec: the 3-leaf ANDs push their SvS tail
+  // through the skip cursor, so the profile must see block traffic, and the
+  // plain-leaf decodes feed bytes_decoded.
+  const Codec* codec = FindCodec("PforDelta");
+  ASSERT_NE(codec, nullptr);
+  const uint64_t domain = 1 << 20;
+  std::vector<std::vector<uint32_t>> lists;
+  for (size_t i = 0; i < 6; ++i) {
+    lists.push_back(RandomSortedList(5000 + 3000 * i, domain, 900 + i));
+  }
+  std::vector<std::unique_ptr<CompressedSet>> sets;
+  std::vector<const CompressedSet*> ptrs;
+  for (const auto& l : lists) {
+    sets.push_back(codec->Encode(l, domain));
+    ptrs.push_back(sets.back().get());
+  }
+  std::vector<QueryPlan> plans;
+  constexpr size_t kAnd3 = 12;
+  constexpr size_t kLeafQ = 4;
+  Prng rng(5);
+  for (size_t q = 0; q < kAnd3; ++q) {
+    plans.push_back(QueryPlan::And({QueryPlan::Leaf(rng.NextBounded(6)),
+                                    QueryPlan::Leaf(rng.NextBounded(6)),
+                                    QueryPlan::Leaf(rng.NextBounded(6))}));
+  }
+  for (size_t q = 0; q < kLeafQ; ++q) {
+    plans.push_back(QueryPlan::Leaf(q));
+  }
+
+  ThreadPool pool(4);
+  BatchExecutor exec(&pool);
+  BatchReport report;
+  exec.Execute({.codec = codec, .plans = plans, .sets = ptrs}, &report);
+
+  const QueryProfile p = report.Profile();
+  EXPECT_EQ(p.queries, plans.size());
+  EXPECT_EQ(p.ok, plans.size());
+  EXPECT_EQ(p.lists_touched, 3 * kAnd3 + kLeafQ);
+  EXPECT_GT(p.bytes_decoded, 0u);
+  EXPECT_GT(p.blocks_loaded, 0u);
+  EXPECT_GE(p.SkipHitRate(), 0.0);
+  EXPECT_LE(p.SkipHitRate(), 1.0);
+  EXPECT_NE(p.dominant_kernel, "none");
+  EXPECT_GT(p.wall_ms, 0.0);
+  const std::string line = p.ToString();
+  EXPECT_NE(line.find("queries"), std::string::npos);
+  EXPECT_NE(line.find("skip-hit"), std::string::npos);
+  // The empty profile keeps the rate well-defined.
+  EXPECT_EQ(QueryProfile{}.SkipHitRate(), 0.0);
+}
+
+TEST(ObservabilityTest, TracingAndMetricsDoNotPerturbResults) {
+  // The determinism guarantee must survive observability: sampled tracing
+  // plus the metrics registry enabled, at 1 and N threads, bit-identical to
+  // the reference computed with everything off.
+  const Codec* codec = FindCodec("PforDelta");
+  ASSERT_NE(codec, nullptr);
+  const Workload w = MakeWorkload("zipf", 10, 60);
+  const EncodedWorkload e = Encode(*codec, w);
+
+  obs::SetTraceSampling(0);
+  obs::MetricsRegistry::Global().SetEnabled(false);
+  std::vector<std::vector<uint32_t>> ref;
+  ref.reserve(w.plans.size());
+  for (const QueryPlan& p : w.plans) {
+    ref.push_back(EvaluatePlan(*codec, p, e.ptrs));
+  }
+
+  obs::SetTraceSeed(42);
+  obs::SetTraceSampling(4);
+  obs::MetricsRegistry::Global().Reset();
+  obs::MetricsRegistry::Global().SetEnabled(true);
+  for (size_t threads : {size_t{1}, kStressThreads}) {
+    SCOPED_TRACE(threads);
+    ThreadPool pool(threads);
+    BatchExecutor exec(&pool);
+    const auto got =
+        exec.Execute({.codec = codec, .plans = w.plans, .sets = e.ptrs});
+    ASSERT_EQ(got.size(), ref.size());
+    for (size_t q = 0; q < ref.size(); ++q) {
+      ASSERT_EQ(got[q], ref[q]) << "query " << q;
+    }
+  }
+  // One more run with every root sampled: still bit-identical, and now the
+  // rings are guaranteed to hold spans (at 1/4 both batch roots may lose
+  // the sampling draw).
+  obs::SetTraceSampling(1);
+  {
+    ThreadPool pool(kStressThreads);
+    BatchExecutor exec(&pool);
+    const auto got =
+        exec.Execute({.codec = codec, .plans = w.plans, .sets = e.ptrs});
+    ASSERT_EQ(got.size(), ref.size());
+    for (size_t q = 0; q < ref.size(); ++q) {
+      ASSERT_EQ(got[q], ref[q]) << "query " << q;
+    }
+  }
+  // The instrumented runs actually recorded: per-codec query latencies in
+  // the registry and spans in the rings.
+  EXPECT_EQ(obs::MetricsRegistry::Global()
+                .OpLatency(codec->Name(), obs::OpKind::kQuery)
+                ->Count(),
+            3 * w.plans.size());
+  obs::SetTraceSampling(0);  // quiesce before reading the rings
+  EXPECT_FALSE(obs::SnapshotSpans().empty());
+  obs::ClearSpans();
+  obs::MetricsRegistry::Global().SetEnabled(false);
+  obs::MetricsRegistry::Global().Reset();
 }
 
 TEST(EngineStatsTest, BusyFractionIsBounded) {

@@ -1,0 +1,193 @@
+// Tests for the lock-free latency histogram: bucket geometry, quantile
+// estimates against a sorted-vector oracle (single- and multi-threaded),
+// merge associativity/commutativity, and quantile monotonicity on bimodal
+// input.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "obs/histogram.h"
+
+namespace intcomp {
+namespace {
+
+using obs::LatencyHistogram;
+
+TEST(LatencyHistogramTest, SmallValuesGetExactUnitBuckets) {
+  for (uint64_t v = 0; v < LatencyHistogram::kSubBuckets; ++v) {
+    EXPECT_EQ(LatencyHistogram::BucketIndex(v), static_cast<int>(v));
+    EXPECT_EQ(LatencyHistogram::BucketUpperBound(static_cast<int>(v)), v);
+  }
+}
+
+TEST(LatencyHistogramTest, BucketBoundsTileTheValueRange) {
+  // Every bucket's upper bound maps back into that bucket, and the next
+  // value starts the next bucket — the buckets tile [0, 2^63) with no gaps
+  // or overlaps.
+  for (int idx = 0; idx < LatencyHistogram::kBuckets - 1; ++idx) {
+    const uint64_t hi = LatencyHistogram::BucketUpperBound(idx);
+    EXPECT_EQ(LatencyHistogram::BucketIndex(hi), idx) << "idx " << idx;
+    if (hi != UINT64_MAX) {
+      EXPECT_EQ(LatencyHistogram::BucketIndex(hi + 1), idx + 1)
+          << "idx " << idx;
+    }
+    EXPECT_GT(LatencyHistogram::BucketUpperBound(idx + 1), hi);
+  }
+}
+
+TEST(LatencyHistogramTest, RelativeBucketErrorIsBoundedByOneEighth) {
+  Prng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    // Spread across magnitudes: a random bit width, then a random value.
+    const int bits = 1 + static_cast<int>(rng.NextBounded(50));
+    const uint64_t v = rng.Next() >> (64 - bits);
+    const int idx = LatencyHistogram::BucketIndex(v);
+    const uint64_t hi = LatencyHistogram::BucketUpperBound(idx);
+    ASSERT_GE(hi, v);
+    // Upper bound overshoots the true value by at most 1/8 (plus the -1
+    // integer truncation slack for tiny values).
+    EXPECT_LE(hi, v + v / 8 + 1) << "v " << v;
+  }
+}
+
+// Oracle: the histogram promises its estimate is the upper bound of the
+// bucket containing the rank-ceil(p/100*n) observation — so it must be >=
+// the exact order statistic and within the 1/8 relative error of it.
+void CheckAgainstOracle(const LatencyHistogram& h,
+                        std::vector<uint64_t> values) {
+  std::sort(values.begin(), values.end());
+  ASSERT_EQ(h.Count(), values.size());
+  for (double p : {0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    const size_t rank = std::max<size_t>(
+        1, static_cast<size_t>(
+               std::ceil(p / 100.0 * static_cast<double>(values.size()))));
+    const uint64_t exact = values[rank - 1];
+    const uint64_t est = h.ValueAtPercentile(p);
+    EXPECT_GE(est, exact) << "p " << p;
+    EXPECT_LE(est, exact + exact / 8 + 1) << "p " << p;
+  }
+}
+
+std::vector<uint64_t> MixedMagnitudeValues(size_t n, uint64_t seed) {
+  Prng rng(seed);
+  std::vector<uint64_t> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int bits = 4 + static_cast<int>(rng.NextBounded(28));
+    values.push_back(rng.Next() >> (64 - bits));
+  }
+  return values;
+}
+
+TEST(LatencyHistogramTest, QuantilesMatchSortedOracleSingleThread) {
+  const auto values = MixedMagnitudeValues(50000, 2);
+  LatencyHistogram h;
+  for (uint64_t v : values) h.Record(v);
+  CheckAgainstOracle(h, values);
+  uint64_t sum = 0;
+  for (uint64_t v : values) sum += v;
+  EXPECT_EQ(h.Sum(), sum);
+}
+
+TEST(LatencyHistogramTest, QuantilesMatchSortedOracleManyThreads) {
+  // N threads record disjoint slices of the same value set; after joining,
+  // the histogram must agree with the oracle over the union exactly (the
+  // relaxed contract only matters for readers concurrent with writers).
+  constexpr size_t kThreads = 8;
+  const auto values = MixedMagnitudeValues(80000, 3);
+  LatencyHistogram h;
+  std::vector<std::thread> threads;
+  const size_t chunk = values.size() / kThreads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    const size_t begin = t * chunk;
+    const size_t end = t + 1 == kThreads ? values.size() : begin + chunk;
+    threads.emplace_back([&h, &values, begin, end] {
+      for (size_t i = begin; i < end; ++i) h.Record(values[i]);
+    });
+  }
+  for (auto& th : threads) th.join();
+  CheckAgainstOracle(h, values);
+}
+
+TEST(LatencyHistogramTest, MergeIsAssociativeAndCommutative) {
+  LatencyHistogram h1, h2, h3;
+  const auto v1 = MixedMagnitudeValues(5000, 4);
+  const auto v2 = MixedMagnitudeValues(7000, 5);
+  const auto v3 = MixedMagnitudeValues(3000, 6);
+  for (uint64_t v : v1) h1.Record(v);
+  for (uint64_t v : v2) h2.Record(v);
+  for (uint64_t v : v3) h3.Record(v);
+
+  LatencyHistogram left;  // (h1 + h2) + h3
+  left.MergeFrom(h1);
+  left.MergeFrom(h2);
+  left.MergeFrom(h3);
+  LatencyHistogram right;  // h3 + (h1 + h2), built in another order
+  LatencyHistogram mid;
+  mid.MergeFrom(h2);
+  mid.MergeFrom(h1);
+  right.MergeFrom(h3);
+  right.MergeFrom(mid);
+
+  EXPECT_EQ(left.Count(), right.Count());
+  EXPECT_EQ(left.Sum(), right.Sum());
+  for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    ASSERT_EQ(left.BucketCount(i), right.BucketCount(i)) << "bucket " << i;
+  }
+  EXPECT_EQ(left.Count(), v1.size() + v2.size() + v3.size());
+  // Merging an empty histogram changes nothing.
+  LatencyHistogram empty;
+  left.MergeFrom(empty);
+  EXPECT_EQ(left.Count(), right.Count());
+}
+
+TEST(LatencyHistogramTest, BimodalQuantilesAreMonotoneAndSplitTheModes) {
+  // 90% fast mode (~1us), 10% slow mode (~1ms): the shape that breaks
+  // scalar means. p50 must sit in the fast mode, p99/p999 in the slow mode,
+  // and the quantile curve must never decrease.
+  LatencyHistogram h;
+  Prng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.NextBounded(10) == 0) {
+      h.Record(1000000 + rng.NextBounded(100000));  // ~1ms
+    } else {
+      h.Record(1000 + rng.NextBounded(200));  // ~1us
+    }
+  }
+  EXPECT_LT(h.P50(), 2000u);
+  EXPECT_GT(h.P99(), 900000u);
+  EXPECT_GE(h.P999(), h.P99());
+  uint64_t prev = 0;
+  for (double p = 0.0; p <= 100.0; p += 0.25) {
+    const uint64_t v = h.ValueAtPercentile(p);
+    EXPECT_GE(v, prev) << "p " << p;
+    prev = v;
+  }
+  // Mean lands between the modes — the number the histogram replaces.
+  EXPECT_GT(h.Mean(), 2000.0);
+  EXPECT_LT(h.Mean(), 900000.0);
+}
+
+TEST(LatencyHistogramTest, ResetAndEmptyBehave) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.ValueAtPercentile(50.0), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  h.Record(123);
+  h.Record(456);
+  EXPECT_EQ(h.Count(), 2u);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Sum(), 0u);
+  EXPECT_EQ(h.P99(), 0u);
+  EXPECT_NE(h.ToString().find("count=0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace intcomp

@@ -1,0 +1,213 @@
+// Tests for the metrics registry: histogram/counter lifecycle, the
+// disabled-path no-op guarantees, kernel-counter folding, and the JSONL /
+// Prometheus export formats (the contract tools/perf_check.py parses).
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/simd_intersect.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace intcomp {
+namespace {
+
+using obs::LatencyHistogram;
+using obs::MetricsRegistry;
+using obs::OpKind;
+
+std::vector<std::string> Lines(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+TEST(MetricsRegistryTest, OpLatencyPointersAreStableAndKeyed) {
+  MetricsRegistry reg;
+  LatencyHistogram* h1 = reg.OpLatency("WAH", OpKind::kIntersect);
+  LatencyHistogram* h2 = reg.OpLatency("WAH", OpKind::kIntersect);
+  LatencyHistogram* h3 = reg.OpLatency("WAH", OpKind::kUnion);
+  LatencyHistogram* h4 = reg.OpLatency("Roaring", OpKind::kIntersect);
+  EXPECT_EQ(h1, h2);
+  EXPECT_NE(h1, h3);
+  EXPECT_NE(h1, h4);
+  h1->Record(100);
+  h1->Record(200);
+  EXPECT_EQ(reg.OpLatency("WAH", OpKind::kIntersect)->Count(), 2u);
+  EXPECT_EQ(h3->Count(), 0u);
+
+  reg.RecordOpLatency("WAH", OpKind::kUnion, 50);
+  EXPECT_EQ(h3->Count(), 1u);
+}
+
+TEST(MetricsRegistryTest, CountersAccumulateAcrossThreads) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.CounterValue("missing"), 0u);
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < kAdds; ++i) reg.AddCounter("shared", 2);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.CounterValue("shared"), 2ull * kThreads * kAdds);
+}
+
+TEST(MetricsRegistryTest, KernelCountersFoldIntoNamedCounters) {
+  MetricsRegistry reg;
+  KernelCounters k;
+  k.simd_merge = 7;
+  k.block_probes = 3;
+  reg.RecordKernelCounters("PforDelta", k);
+  reg.RecordKernelCounters("PforDelta", k);
+  EXPECT_EQ(reg.CounterValue("kernel.PforDelta.simd_merge"), 14u);
+  EXPECT_EQ(reg.CounterValue("kernel.PforDelta.block_probes"), 6u);
+  // Zero fields never materialize a counter (keeps exports sparse).
+  EXPECT_EQ(reg.CounterValue("kernel.PforDelta.scalar_merge"), 0u);
+  const std::string jsonl = reg.ExportJsonl("t");
+  EXPECT_EQ(jsonl.find("scalar_merge"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, GlobalRegistryIsDisabledByDefault) {
+  // ScopedOpTimer against the disabled global must record nothing (the
+  // near-zero disabled cost claim rests on this early-out).
+  MetricsRegistry& global = MetricsRegistry::Global();
+  const bool was_enabled = global.Enabled();
+  global.SetEnabled(false);
+  global.Reset();
+  {
+    obs::ScopedOpTimer timer("NoSuchCodec", OpKind::kDecode);
+  }
+  EXPECT_EQ(global.ExportJsonl("t").find("NoSuchCodec"), std::string::npos);
+
+  global.SetEnabled(true);
+  {
+    obs::ScopedOpTimer timer("NoSuchCodec", OpKind::kDecode);
+  }
+  EXPECT_EQ(global.OpLatency("NoSuchCodec", OpKind::kDecode)->Count(), 1u);
+  global.Reset();
+  global.SetEnabled(was_enabled);
+}
+
+TEST(MetricsRegistryTest, JsonlExportIsWellFormedAndDeterministic) {
+  MetricsRegistry reg;
+  reg.OpLatency("WAH", OpKind::kIntersect)->Record(1500);
+  reg.OpLatency("WAH", OpKind::kIntersect)->Record(2500);
+  reg.OpLatency("Roaring", OpKind::kQuery)->Record(900);
+  reg.AddCounter("engine.lists_touched", 42);
+
+  const std::string jsonl = reg.ExportJsonl("unit_bench");
+  const auto lines = Lines(jsonl);
+  ASSERT_EQ(lines.size(), 4u);  // meta + 2 op_latency + 1 counter
+  for (const std::string& line : lines) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_NE(lines[0].find("\"metric\":\"meta\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"bench\":\"unit_bench\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"trace_sampling\":"), std::string::npos);
+  // Codec keys iterate in map order: Roaring before WAH, deterministically.
+  EXPECT_NE(lines[1].find("\"codec\":\"Roaring\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"op\":\"query\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"codec\":\"WAH\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"op\":\"intersect\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"count\":2"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"mean_ns\":2000.0"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"p50_ns\":"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"p999_ns\":"), std::string::npos);
+  EXPECT_NE(lines[3].find(
+                "{\"metric\":\"counter\",\"name\":\"engine.lists_touched\","
+                "\"value\":42}"),
+            std::string::npos);
+  // Same registry state, same bytes: the diffability perf_check.py needs.
+  EXPECT_EQ(jsonl, reg.ExportJsonl("unit_bench"));
+  // Hostile names can't break the framing.
+  reg.AddCounter("evil\"name\nwith\\stuff", 1);
+  for (const std::string& line : Lines(reg.ExportJsonl("unit_bench"))) {
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+}
+
+TEST(MetricsRegistryTest, PrometheusExportFollowsTextExposition) {
+  MetricsRegistry reg;
+  for (int i = 1; i <= 100; ++i) {
+    reg.OpLatency("EWAH", OpKind::kDecode)->Record(1000 * i);
+  }
+  reg.AddCounter("engine.bytes_decoded", 7);
+  const std::string prom = reg.ExportPrometheus();
+  EXPECT_NE(prom.find("# TYPE intcomp_op_latency_ns summary"),
+            std::string::npos);
+  for (const char* q : {"0.5", "0.9", "0.99", "0.999"}) {
+    std::string needle = "intcomp_op_latency_ns{codec=\"EWAH\",op=\"decode\","
+                         "quantile=\"";
+    needle += q;
+    needle += "\"}";
+    EXPECT_NE(prom.find(needle), std::string::npos) << needle;
+  }
+  EXPECT_NE(prom.find("intcomp_op_latency_ns_count{codec=\"EWAH\","
+                      "op=\"decode\"} 100"),
+            std::string::npos);
+  EXPECT_NE(prom.find("intcomp_op_latency_ns_sum{codec=\"EWAH\","
+                      "op=\"decode\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE intcomp_counter counter"), std::string::npos);
+  EXPECT_NE(
+      prom.find("intcomp_counter{name=\"engine.bytes_decoded\"} 7"),
+      std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ExportToFileWritesBothFormatsAndRejectsUnknown) {
+  MetricsRegistry reg;
+  reg.OpLatency("VB", OpKind::kIntersect)->Record(500);
+  const std::string dir = ::testing::TempDir();
+  const std::string jsonl_path = dir + "/metrics_test.jsonl";
+  const std::string prom_path = dir + "/metrics_test.prom";
+
+  ASSERT_TRUE(reg.ExportToFile(jsonl_path, "jsonl", "file_bench"));
+  ASSERT_TRUE(reg.ExportToFile(prom_path, "prom", "file_bench"));
+  EXPECT_FALSE(reg.ExportToFile(jsonl_path, "xml", "file_bench"));
+  EXPECT_FALSE(
+      reg.ExportToFile(dir + "/no/such/dir/x.jsonl", "jsonl", "file_bench"));
+
+  std::ifstream jf(jsonl_path);
+  std::stringstream jbuf;
+  jbuf << jf.rdbuf();
+  EXPECT_EQ(jbuf.str(), reg.ExportJsonl("file_bench"));
+  std::ifstream pf(prom_path);
+  std::stringstream pbuf;
+  pbuf << pf.rdbuf();
+  EXPECT_EQ(pbuf.str(), reg.ExportPrometheus());
+  std::remove(jsonl_path.c_str());
+  std::remove(prom_path.c_str());
+}
+
+TEST(MetricsRegistryTest, ResetDropsEverything) {
+  MetricsRegistry reg;
+  reg.OpLatency("SBH", OpKind::kUnion)->Record(10);
+  reg.AddCounter("c", 1);
+  reg.Reset();
+  EXPECT_EQ(reg.CounterValue("c"), 0u);
+  // Only the meta line survives a reset.
+  EXPECT_EQ(Lines(reg.ExportJsonl("t")).size(), 1u);
+  // Post-reset recording works (fresh histograms get created).
+  reg.RecordOpLatency("SBH", OpKind::kUnion, 20);
+  EXPECT_EQ(reg.OpLatency("SBH", OpKind::kUnion)->Count(), 1u);
+}
+
+}  // namespace
+}  // namespace intcomp
