@@ -158,11 +158,12 @@ KernelCounters EngineStats::Kernels() const {
 
 std::string EngineStats::ToString() const {
   const KernelCounters k = Kernels();
-  char line[400];
+  char line[512];
   std::snprintf(line, sizeof(line),
                 "%llu batches, %llu queries (%llu ok, %llu rejected, "
                 "%llu timed out, %llu cancelled, %llu failed), %llu ints, "
-                "dominant kernel %.*s, batch wall p50 %.2f ms p99 %.2f ms",
+                "dominant kernel %.*s, batch wall p50 %.2f ms p99 %.2f ms"
+                ", cache %llu hit / %llu miss / %llu bypass",
                 static_cast<unsigned long long>(Batches()),
                 static_cast<unsigned long long>(Queries()),
                 static_cast<unsigned long long>(Ok()),
@@ -173,7 +174,10 @@ std::string EngineStats::ToString() const {
                 static_cast<unsigned long long>(ResultInts()),
                 static_cast<int>(k.Dominant().size()), k.Dominant().data(),
                 static_cast<double>(batch_wall_ns_.P50()) / 1e6,
-                static_cast<double>(batch_wall_ns_.P99()) / 1e6);
+                static_cast<double>(batch_wall_ns_.P99()) / 1e6,
+                static_cast<unsigned long long>(CacheHits()),
+                static_cast<unsigned long long>(CacheMisses()),
+                static_cast<unsigned long long>(CacheBypass()));
   return line;
 }
 

@@ -143,6 +143,26 @@ class EngineStats {
   }
   uint64_t Failed() const { return failed_.load(std::memory_order_relaxed); }
 
+  // Result-cache outcomes from the index service (src/service): hit =
+  // served from the cache, miss = evaluated and offered to the cache,
+  // bypass = evaluated with caching disabled.
+  void AddCacheHit() { cache_hits_.fetch_add(1, std::memory_order_relaxed); }
+  void AddCacheMiss() {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddCacheBypass() {
+    cache_bypass_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t CacheHits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t CacheMisses() const {
+    return cache_misses_.load(std::memory_order_relaxed);
+  }
+  uint64_t CacheBypass() const {
+    return cache_bypass_.load(std::memory_order_relaxed);
+  }
+
   // Snapshot of the kernel tallies across all accumulated batches.
   KernelCounters Kernels() const;
 
@@ -161,6 +181,9 @@ class EngineStats {
   std::atomic<uint64_t> timed_out_{0};
   std::atomic<uint64_t> cancelled_{0};
   std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> cache_bypass_{0};
   // KernelCounters field order: scalar_merge, simd_merge, scalar_gallop,
   // simd_gallop, scalar_union, simd_union, block_probes.
   std::atomic<uint64_t> kernels_[7] = {};

@@ -1,6 +1,7 @@
 #include "index/bitmap_index.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "core/set_ops.h"
 
@@ -19,6 +20,21 @@ BitmapIndex BitmapIndex::Build(const Codec& codec,
     index.sets_.push_back(codec.Encode(rows, column_codes.size()));
   }
   return index;
+}
+
+BitmapIndex BitmapIndex::BuildRange(const Codec& codec,
+                                    std::span<const uint32_t> column_codes,
+                                    uint32_t cardinality, uint64_t row_begin,
+                                    uint64_t row_end) {
+  assert(row_begin <= row_end && row_end <= column_codes.size());
+  // A sub-range build is a full build over the slice: local row ids are
+  // exactly the slice offsets, and the encode domain is the slice length.
+  return Build(codec, column_codes.subspan(row_begin, row_end - row_begin),
+               cardinality);
+}
+
+std::vector<std::unique_ptr<CompressedSet>> BitmapIndex::ReleaseSets() && {
+  return std::move(sets_);
 }
 
 size_t BitmapIndex::SizeInBytes() const {

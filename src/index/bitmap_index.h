@@ -26,6 +26,18 @@ class BitmapIndex {
                            std::span<const uint32_t> column_codes,
                            uint32_t cardinality);
 
+  // Builds an index over the row sub-range [row_begin, row_end) only: the
+  // per-value sets hold *local* row ids (global row r appears as r -
+  // row_begin), and NumRows() is the sub-range length. This is the shard
+  // build of the sharded index service (src/service): each shard is an
+  // independent BitmapIndex over its slice of the row space, and the
+  // service rebases local ids back to global ones when stitching shard
+  // results (ShardRouter::Rebase).
+  static BitmapIndex BuildRange(const Codec& codec,
+                                std::span<const uint32_t> column_codes,
+                                uint32_t cardinality, uint64_t row_begin,
+                                uint64_t row_end);
+
   // Number of distinct value codes.
   uint32_t Cardinality() const {
     return static_cast<uint32_t>(sets_.size());
@@ -55,6 +67,11 @@ class BitmapIndex {
   // (conjunction step across columns; probes the compressed set).
   void EqAndFilter(uint32_t code, std::span<const uint32_t> candidates,
                    std::vector<uint32_t>* rows) const;
+
+  // Transfers ownership of the per-value sets out of the index (which is
+  // left empty). Used by the sharded index service to absorb a shard built
+  // with BuildRange without re-encoding.
+  std::vector<std::unique_ptr<CompressedSet>> ReleaseSets() &&;
 
  private:
   BitmapIndex(const Codec* codec, uint64_t num_rows)

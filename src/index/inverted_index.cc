@@ -41,6 +41,18 @@ size_t InvertedIndex::DocumentFrequency(std::string_view term) const {
   return it == postings_.end() ? 0 : it->second->Cardinality();
 }
 
+const CompressedSet* InvertedIndex::PostingFor(std::string_view term) const {
+  auto it = postings_.find(term);
+  return it == postings_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string_view> InvertedIndex::Terms() const {
+  std::vector<std::string_view> terms;
+  terms.reserve(postings_.size());
+  for (const auto& [term, set] : postings_) terms.push_back(term);
+  return terms;
+}
+
 bool InvertedIndex::Conjunctive(std::span<const std::string_view> terms,
                                 std::vector<uint32_t>* docs) const {
   docs->clear();

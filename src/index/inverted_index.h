@@ -39,6 +39,13 @@ class InvertedIndex {
   // Document frequency of a term (0 if absent).
   size_t DocumentFrequency(std::string_view term) const;
 
+  // The compressed posting list of a term (nullptr if absent). Used by the
+  // sharded index service to re-partition postings across doc-range shards.
+  const CompressedSet* PostingFor(std::string_view term) const;
+
+  // All indexed terms, in lexicographic order.
+  std::vector<std::string_view> Terms() const;
+
   // docs containing ALL terms (SvS intersection). Unknown terms make the
   // result empty. Returns false if any term is unknown.
   bool Conjunctive(std::span<const std::string_view> terms,

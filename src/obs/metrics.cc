@@ -58,6 +58,7 @@ std::string_view OpKindName(OpKind op) {
     case OpKind::kDecode: return "decode";
     case OpKind::kDeserializeChecked: return "deserialize_checked";
     case OpKind::kQuery: return "query";
+    case OpKind::kServiceQuery: return "service_query";
   }
   return "unknown";
 }

@@ -38,8 +38,9 @@ enum class OpKind : uint8_t {
   kDecode,
   kDeserializeChecked,
   kQuery,
+  kServiceQuery,  // whole sharded-service query: cache probe + fan-out
 };
-inline constexpr size_t kNumOpKinds = 5;
+inline constexpr size_t kNumOpKinds = 6;
 
 std::string_view OpKindName(OpKind op);
 

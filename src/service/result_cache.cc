@@ -1,0 +1,248 @@
+#include "service/result_cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <utility>
+
+namespace intcomp {
+namespace {
+
+constexpr size_t kDoorkeeperSlots = 1024;
+// Fixed per-entry overhead charged against capacity on top of the image and
+// key bytes (list/map node, Entry fields).
+constexpr size_t kEntryOverhead = 64;
+
+uint64_t Fnv1a64(std::string_view s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t MixGeneration(uint64_t h, uint64_t gen) {
+  // splitmix64 finalizer over the running mix: any single-counter bump
+  // changes the stamp.
+  h += gen + 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+
+// Canonicalizes `plan` and returns its text encoding; `*out` (when non-null)
+// receives the canonical tree. Leaves encode as their index; operator nodes
+// as "&(...)" / "|(...)" over sorted, deduplicated child encodings.
+std::string CanonEncode(const QueryPlan& plan, QueryPlan* out) {
+  if (plan.op == QueryPlan::Op::kLeaf) {
+    if (out != nullptr) *out = QueryPlan::Leaf(plan.leaf);
+    return std::to_string(plan.leaf);
+  }
+  std::vector<std::pair<std::string, QueryPlan>> kids;
+  kids.reserve(plan.children.size());
+  for (const QueryPlan& child : plan.children) {
+    QueryPlan canon;
+    std::string enc = CanonEncode(child, &canon);
+    if (canon.op == plan.op) {
+      // Associativity: splice an identical operator's children in directly.
+      for (QueryPlan& grand : canon.children) {
+        kids.emplace_back(CanonEncode(grand, nullptr), std::move(grand));
+      }
+    } else {
+      kids.emplace_back(std::move(enc), std::move(canon));
+    }
+  }
+  // Commutativity + idempotence: sort by encoding, drop duplicates.
+  std::sort(kids.begin(), kids.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  kids.erase(std::unique(kids.begin(), kids.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.first == b.first;
+                         }),
+             kids.end());
+  if (kids.size() == 1) {
+    if (out != nullptr) *out = std::move(kids[0].second);
+    return std::move(kids[0].first);
+  }
+  std::string enc(plan.op == QueryPlan::Op::kAnd ? "&(" : "|(");
+  QueryPlan node;
+  node.op = plan.op;
+  node.children.reserve(kids.size());
+  for (size_t i = 0; i < kids.size(); ++i) {
+    if (i > 0) enc.push_back(',');
+    enc += kids[i].first;
+    node.children.push_back(std::move(kids[i].second));
+  }
+  enc.push_back(')');
+  if (out != nullptr) *out = std::move(node);
+  return enc;
+}
+
+}  // namespace
+
+QueryPlan CanonicalizePlan(const QueryPlan& plan) {
+  QueryPlan out;
+  CanonEncode(plan, &out);
+  return out;
+}
+
+std::string PlanCacheKey(std::string_view codec_name, const QueryPlan& plan) {
+  std::string key(codec_name);
+  key.push_back(':');
+  key += CanonEncode(plan, nullptr);
+  return key;
+}
+
+ResultCache::ResultCache(const ResultCacheOptions& options,
+                         size_t num_index_shards)
+    : options_(options),
+      generations_(std::max<size_t>(num_index_shards, 1)) {
+  const size_t n = std::bit_ceil(std::max<size_t>(options.shards, 1));
+  subs_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    subs_.push_back(std::make_unique<SubCache>());
+    subs_.back()->doorkeeper.assign(kDoorkeeperSlots, 0);
+  }
+  per_shard_capacity_ = std::max<size_t>(options.capacity_bytes / n, 1);
+  for (auto& g : generations_) g.store(0, std::memory_order_relaxed);
+}
+
+uint64_t ResultCache::Stamp() const {
+  uint64_t h = 0x6a09e667f3bcc908ull;
+  for (const auto& g : generations_) {
+    h = MixGeneration(h, g.load(std::memory_order_seq_cst));
+  }
+  return h;
+}
+
+bool ResultCache::Get(std::string_view key, std::vector<uint32_t>* out) {
+  out->clear();
+  const uint64_t hash = Fnv1a64(key);
+  const uint64_t stamp = Stamp();
+  SubCache& sub = Shard(hash);
+  std::lock_guard<std::mutex> lock(sub.mu);
+  auto it = sub.map.find(hash);
+  if (it == sub.map.end() || it->second->key != key) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Entry& entry = *it->second;
+  if (entry.stamp != stamp) {
+    // A shard generation moved since this result was computed: the entry
+    // can never be served again, so drop it on the spot.
+    sub.bytes -= entry.bytes;
+    sub.lru.erase(it->second);
+    sub.map.erase(it);
+    stale_dropped_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  sub.lru.splice(sub.lru.begin(), sub.lru, it->second);  // refresh LRU
+  entry.codec->Decode(*entry.set, out);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ResultCache::Put(std::string_view key, const Codec& codec,
+                      std::span<const uint32_t> result, uint64_t domain) {
+  const uint64_t hash = Fnv1a64(key);
+  const uint64_t stamp = Stamp();
+  SubCache& sub = Shard(hash);
+  {
+    std::lock_guard<std::mutex> lock(sub.mu);
+    auto it = sub.map.find(hash);
+    if (it != sub.map.end() && it->second->key == key &&
+        it->second->stamp == stamp) {
+      return true;  // a racing Put already cached this result
+    }
+    if (options_.require_second_touch && it == sub.map.end()) {
+      uint64_t& slot = sub.doorkeeper[hash % kDoorkeeperSlots];
+      if (slot != hash) {
+        slot = hash;  // first touch: register, admit on the next one
+        rejected_doorkeeper_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    }
+  }
+  // Compress outside the lock; the entry holds the result at codec size.
+  std::unique_ptr<CompressedSet> set = codec.Encode(result, domain);
+  const size_t bytes = set->SizeInBytes() + key.size() + kEntryOverhead;
+  if (set->SizeInBytes() > options_.max_entry_bytes) {
+    rejected_size_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  std::lock_guard<std::mutex> lock(sub.mu);
+  auto it = sub.map.find(hash);
+  if (it != sub.map.end()) {
+    // Replace (stale entry, hash collision, or a racing Put): drop the old
+    // entry and fall through to a fresh insert.
+    sub.bytes -= it->second->bytes;
+    sub.lru.erase(it->second);
+    sub.map.erase(it);
+  }
+  sub.lru.push_front(Entry{std::string(key), hash, stamp, &codec,
+                           std::move(set), domain, bytes});
+  sub.map.emplace(hash, sub.lru.begin());
+  sub.bytes += bytes;
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  while (sub.bytes > per_shard_capacity_ && sub.lru.size() > 1) {
+    const Entry& victim = sub.lru.back();
+    sub.bytes -= victim.bytes;
+    sub.map.erase(victim.hash);
+    sub.lru.pop_back();
+    evicted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+void ResultCache::BumpGeneration(size_t s) {
+  assert(s < generations_.size());
+  generations_[s].fetch_add(1, std::memory_order_seq_cst);
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ResultCacheStats ResultCache::Snapshot() const {
+  ResultCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.stale_dropped = stale_dropped_.load(std::memory_order_relaxed);
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.rejected_size = rejected_size_.load(std::memory_order_relaxed);
+  s.rejected_doorkeeper =
+      rejected_doorkeeper_.load(std::memory_order_relaxed);
+  s.evicted = evicted_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  return s;
+}
+
+size_t ResultCache::Entries() const {
+  size_t n = 0;
+  for (const auto& sub : subs_) {
+    std::lock_guard<std::mutex> lock(sub->mu);
+    n += sub->map.size();
+  }
+  return n;
+}
+
+size_t ResultCache::SizeInBytes() const {
+  size_t n = 0;
+  for (const auto& sub : subs_) {
+    std::lock_guard<std::mutex> lock(sub->mu);
+    n += sub->bytes;
+  }
+  return n;
+}
+
+void ResultCache::Clear() {
+  for (const auto& sub : subs_) {
+    std::lock_guard<std::mutex> lock(sub->mu);
+    sub->lru.clear();
+    sub->map.clear();
+    sub->bytes = 0;
+    sub->doorkeeper.assign(kDoorkeeperSlots, 0);
+  }
+}
+
+}  // namespace intcomp

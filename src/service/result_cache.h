@@ -1,0 +1,169 @@
+// ResultCache — an admission-controlled, sharded LRU cache of compressed
+// query results for the sharded index service (DESIGN.md §5.9).
+//
+// Keying. Entries are keyed by the *canonical* form of a query plan
+// (commutative operands flattened, sorted, and deduplicated — see
+// CanonicalizePlan) prefixed with the codec name, so algebraically equal
+// queries like (A AND B) and (B AND A) share one entry. The canonical key
+// string itself is stored in the entry and compared on lookup; the 64-bit
+// FNV hash only picks the cache shard and the map bucket, so a hash
+// collision can never serve the wrong result.
+//
+// Values. Hits must be bit-identical to fresh evaluation, so the cache
+// stores the result *compressed with the index's own codec* (Encode is
+// lossless over sorted unique lists) and decodes on hit. This keeps hot
+// results resident at compressed size — the cache holds 10-50x more entries
+// than a raw uint32 store for typical codecs.
+//
+// Invalidation. The cache owns one generation counter per index shard. A
+// lookup/insert stamps entries with a mix of *all* generations (every query
+// fans out to every shard); BumpGeneration(s) changes the stamp, so every
+// pre-bump entry mismatches on its next probe and is dropped there (and
+// otherwise ages out through the LRU). Entries never need to be found and
+// erased eagerly, which keeps invalidation O(1) and lock-free.
+//
+// Admission. Two gates keep one-shot scans and oversized results from
+// flushing the hot set: (1) results whose compressed image exceeds
+// max_entry_bytes are never cached; (2) with require_second_touch, a key is
+// only admitted when a small per-shard doorkeeper (a direct-mapped table of
+// recent key hashes) has seen it before — the first touch registers, the
+// second admits, so only re-requested plans occupy LRU space.
+//
+// Concurrency. The cache is internally sharded by key hash; each sub-cache
+// has its own mutex, and the stat/generation counters are atomics, so
+// Get/Put/BumpGeneration may be called from any number of threads.
+
+#ifndef INTCOMP_SERVICE_RESULT_CACHE_H_
+#define INTCOMP_SERVICE_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/codec.h"
+#include "core/query.h"
+
+namespace intcomp {
+
+// Canonical form of `plan` under the set-algebra identities the cache may
+// exploit: nested same-op nodes are flattened (associativity), children of
+// AND/OR are sorted by their canonical encoding (commutativity), and equal
+// children are deduplicated (idempotence). Single-child operator nodes
+// collapse to the child. Evaluating the canonical plan yields the same set
+// as the original.
+QueryPlan CanonicalizePlan(const QueryPlan& plan);
+
+// Deterministic text encoding of the canonical form of `plan`, prefixed
+// with the codec name: "Roaring:&(|(1,2),5)". Two (codec, plan) pairs get
+// the same key iff the plans are equal under the identities above.
+std::string PlanCacheKey(std::string_view codec_name, const QueryPlan& plan);
+
+struct ResultCacheOptions {
+  // Sub-caches (each with its own lock and LRU list); rounded up to a
+  // power of two, so the shard pick is a mask.
+  size_t shards = 8;
+  // Total budget across all sub-caches, counting compressed entry images
+  // plus key strings.
+  size_t capacity_bytes = 64u << 20;
+  // Admission: results whose compressed image is larger than this are
+  // returned to the caller but never cached.
+  size_t max_entry_bytes = 4u << 20;
+  // Admission: require a key to be seen twice before it occupies LRU
+  // space (doorkeeper). Disable for tiny caches in tests.
+  bool require_second_touch = true;
+};
+
+// Monotonic event counters (relaxed atomics; Snapshot gives a consistent-
+// enough view for monitoring, not an atomic cut).
+struct ResultCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;           // probed, not found (or found stale)
+  uint64_t stale_dropped = 0;    // found but generation stamp mismatched
+  uint64_t admitted = 0;         // entries inserted
+  uint64_t rejected_size = 0;    // Put refused: image > max_entry_bytes
+  uint64_t rejected_doorkeeper = 0;  // Put deferred: first touch of the key
+  uint64_t evicted = 0;          // LRU evictions to fit capacity
+  uint64_t invalidations = 0;    // BumpGeneration calls
+};
+
+class ResultCache {
+ public:
+  // `num_index_shards` is the number of generation counters (one per index
+  // shard, all starting at 0).
+  ResultCache(const ResultCacheOptions& options, size_t num_index_shards);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // Probes `key`; on hit decodes the cached compressed result into `*out`
+  // (cleared first) and refreshes LRU order. A stale entry (generation
+  // stamp mismatch) is dropped and reported as a miss.
+  bool Get(std::string_view key, std::vector<uint32_t>* out);
+
+  // Offers a freshly computed result for caching. `codec` must be the
+  // codec named in the key and must outlive the cache; `domain` is the row
+  // domain of the result (the index's NumRows()). Applies the admission
+  // gates; returns true iff the entry was admitted.
+  bool Put(std::string_view key, const Codec& codec,
+           std::span<const uint32_t> result, uint64_t domain);
+
+  // Marks index shard `s`'s data as changed: every entry stamped before
+  // this call can no longer be served.
+  void BumpGeneration(size_t s);
+
+  uint64_t Generation(size_t s) const {
+    return generations_[s].load(std::memory_order_seq_cst);
+  }
+  size_t NumGenerations() const { return generations_.size(); }
+
+  ResultCacheStats Snapshot() const;
+  size_t Entries() const;
+  size_t SizeInBytes() const;
+
+  // Drops every entry (keeps generations and stats).
+  void Clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    uint64_t hash = 0;
+    uint64_t stamp = 0;  // generation mix at insert time
+    const Codec* codec = nullptr;
+    std::unique_ptr<CompressedSet> set;
+    uint64_t domain = 0;
+    size_t bytes = 0;  // image + key, the capacity accounting unit
+  };
+
+  struct SubCache {
+    std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> map;
+    std::vector<uint64_t> doorkeeper;  // direct-mapped recent key hashes
+    size_t bytes = 0;
+  };
+
+  uint64_t Stamp() const;  // mix of all generation counters
+  SubCache& Shard(uint64_t hash) {
+    return *subs_[hash & (subs_.size() - 1)];
+  }
+
+  ResultCacheOptions options_;
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<SubCache>> subs_;
+  std::vector<std::atomic<uint64_t>> generations_;
+
+  mutable std::atomic<uint64_t> hits_{0}, misses_{0}, stale_dropped_{0},
+      admitted_{0}, rejected_size_{0}, rejected_doorkeeper_{0}, evicted_{0},
+      invalidations_{0};
+};
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_SERVICE_RESULT_CACHE_H_

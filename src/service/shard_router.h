@@ -1,0 +1,86 @@
+// ShardRouter — the row-space partitioning scheme of the sharded index
+// service (DESIGN.md §5.9).
+//
+// A column's row space [0, num_rows) is split into S contiguous range
+// shards; shard s owns [Begin(s), End(s)). Contiguous ranges (rather than
+// hash striping) keep two properties the service leans on:
+//   1. every per-shard evaluation produces locally-sorted row ids, so the
+//      global result is the plain concatenation of the rebased shard
+//      results — no merge step, and bit-identical to the unsharded path;
+//   2. run-length-coded bitmap codecs (WAH/EWAH/...) see the same run
+//      structure inside a shard that they would see in the full column,
+//      so sharding never degrades their compression model.
+// Ranges are balanced to within one row: the first num_rows % S shards get
+// one extra row.
+
+#ifndef INTCOMP_SERVICE_SHARD_ROUTER_H_
+#define INTCOMP_SERVICE_SHARD_ROUTER_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace intcomp {
+
+class ShardRouter {
+ public:
+  ShardRouter() = default;
+
+  // Splits [0, num_rows) into `num_shards` balanced ranges. The shard count
+  // is clamped to [1, max(1, num_rows)] so no shard is ever empty (an empty
+  // shard would force domain-0 encodes on every codec for no benefit).
+  ShardRouter(uint64_t num_rows, size_t num_shards)
+      : num_rows_(num_rows),
+        num_shards_(std::clamp<size_t>(num_shards, 1,
+                                       static_cast<size_t>(std::max<uint64_t>(
+                                           num_rows, 1)))) {}
+
+  uint64_t NumRows() const { return num_rows_; }
+  size_t NumShards() const { return num_shards_; }
+
+  // First global row of shard s.
+  uint64_t Begin(size_t s) const {
+    assert(s < num_shards_);
+    const uint64_t base = num_rows_ / num_shards_;
+    const uint64_t extra = num_rows_ % num_shards_;
+    return base * s + std::min<uint64_t>(s, extra);
+  }
+
+  // One past the last global row of shard s.
+  uint64_t End(size_t s) const {
+    return s + 1 == num_shards_ ? num_rows_ : Begin(s + 1);
+  }
+
+  // Rows owned by shard s.
+  uint64_t ShardRows(size_t s) const { return End(s) - Begin(s); }
+
+  // The shard owning global row `row` (row must be < NumRows()).
+  size_t ShardOf(uint64_t row) const {
+    assert(row < num_rows_);
+    const uint64_t base = num_rows_ / num_shards_;
+    const uint64_t extra = num_rows_ % num_shards_;
+    // The first `extra` shards hold base+1 rows each.
+    const uint64_t fat_rows = (base + 1) * extra;
+    if (row < fat_rows) return static_cast<size_t>(row / (base + 1));
+    return static_cast<size_t>(extra + (row - fat_rows) / base);
+  }
+
+  // Appends shard s's local row ids onto `out` as global row ids.
+  void Rebase(size_t s, std::span<const uint32_t> local,
+              std::vector<uint32_t>* out) const {
+    const uint64_t base = Begin(s);
+    for (uint32_t v : local) {
+      out->push_back(static_cast<uint32_t>(base + v));
+    }
+  }
+
+ private:
+  uint64_t num_rows_ = 0;
+  size_t num_shards_ = 1;
+};
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_SERVICE_SHARD_ROUTER_H_

@@ -1,0 +1,204 @@
+#include "service/sharded_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "index/bitmap_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace intcomp {
+
+void ShardedIndex::AdoptShard(
+    std::vector<std::unique_ptr<CompressedSet>> sets) {
+  assert(sets.size() == num_lists_);
+  std::vector<const CompressedSet*> ptrs;
+  ptrs.reserve(sets.size());
+  for (const auto& s : sets) ptrs.push_back(s.get());
+  sets_.push_back(std::move(sets));
+  ptrs_.push_back(std::move(ptrs));
+}
+
+ShardedIndex ShardedIndex::Build(const Codec& codec,
+                                 std::span<const std::vector<uint32_t>> lists,
+                                 uint64_t num_rows, size_t num_shards) {
+  assert(num_rows >= 1 && num_rows <= (uint64_t{1} << 32));
+  const ShardRouter router(num_rows, num_shards);
+  ShardedIndex index(&codec, router, lists.size());
+  std::vector<uint32_t> local;
+  for (size_t s = 0; s < router.NumShards(); ++s) {
+    const uint32_t begin = static_cast<uint32_t>(router.Begin(s));
+    const uint64_t domain = router.ShardRows(s);
+    std::vector<std::unique_ptr<CompressedSet>> sets;
+    sets.reserve(lists.size());
+    for (const auto& list : lists) {
+      // The shard's slice of the list, rebased to local ids.
+      auto lo = std::lower_bound(list.begin(), list.end(), begin);
+      auto hi = std::lower_bound(lo, list.end(),
+                                 static_cast<uint64_t>(router.End(s)));
+      local.clear();
+      local.reserve(static_cast<size_t>(hi - lo));
+      for (auto it = lo; it != hi; ++it) local.push_back(*it - begin);
+      sets.push_back(codec.Encode(local, domain));
+    }
+    index.AdoptShard(std::move(sets));
+  }
+  return index;
+}
+
+ShardedIndex ShardedIndex::BuildFromColumn(
+    const Codec& codec, std::span<const uint32_t> column_codes,
+    uint32_t cardinality, size_t num_shards) {
+  assert(!column_codes.empty());
+  const ShardRouter router(column_codes.size(), num_shards);
+  ShardedIndex index(&codec, router, cardinality);
+  for (size_t s = 0; s < router.NumShards(); ++s) {
+    index.AdoptShard(BitmapIndex::BuildRange(codec, column_codes, cardinality,
+                                             router.Begin(s), router.End(s))
+                         .ReleaseSets());
+  }
+  return index;
+}
+
+ShardedIndex ShardedIndex::BuildFromPostings(
+    const Codec& codec, const InvertedIndex& index,
+    std::span<const std::string_view> terms, size_t num_shards) {
+  std::vector<std::vector<uint32_t>> lists;
+  lists.reserve(terms.size());
+  for (std::string_view term : terms) {
+    const CompressedSet* posting = index.PostingFor(term);
+    assert(posting != nullptr);
+    lists.emplace_back();
+    codec.Decode(*posting, &lists.back());
+  }
+  return Build(codec, lists, index.NumDocuments(), num_shards);
+}
+
+size_t ShardedIndex::SizeInBytes() const {
+  size_t total = 0;
+  for (const auto& shard : sets_) {
+    for (const auto& set : shard) total += set->SizeInBytes();
+  }
+  return total;
+}
+
+namespace {
+
+Status ValidatePlanShape(const QueryPlan& plan, size_t num_lists) {
+  if (plan.op == QueryPlan::Op::kLeaf) {
+    if (plan.leaf >= num_lists) {
+      return Status::InvalidArgument("plan leaf out of range");
+    }
+    return Status::Ok();
+  }
+  if (plan.children.empty()) {
+    return Status::InvalidArgument("operator node with no children");
+  }
+  for (const QueryPlan& child : plan.children) {
+    Status st = ValidatePlanShape(child, num_lists);
+    if (!st.ok()) return st;
+  }
+  return Status::Ok();
+}
+
+void BumpServiceCounter(const char* name) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  if (reg.Enabled()) reg.AddCounter(name, 1);
+}
+
+}  // namespace
+
+IndexService::IndexService(const ShardedIndex* index, ThreadPool* pool,
+                           const IndexServiceOptions& options,
+                           EngineStats* stats)
+    : index_(index), pool_(pool), stats_(stats) {
+  if (options.cache_enabled) {
+    cache_ = std::make_unique<ResultCache>(options.cache, index->NumShards());
+  }
+  arenas_.reserve(pool->NumWorkers());
+  for (size_t w = 0; w < pool->NumWorkers(); ++w) {
+    arenas_.push_back(std::make_unique<ScratchArena>());
+  }
+}
+
+Status IndexService::Query(const QueryPlan& plan, std::vector<uint32_t>* out) {
+  TRACE_SPAN("service.query");
+  obs::ScopedOpTimer timer(index_->codec().Name(),
+                           obs::OpKind::kServiceQuery);
+  out->clear();
+  queries_.fetch_add(1, std::memory_order_relaxed);
+
+  // Plan once: shape validation plus the canonical cache key; the fan-out
+  // below reuses the original plan (same algebra, so the cache entry is
+  // valid for every commutation of it).
+  Status shape = ValidatePlanShape(plan, index_->NumLists());
+  if (!shape.ok()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return shape;
+  }
+  std::string key;
+  if (cache_ != nullptr) {
+    key = PlanCacheKey(index_->codec().Name(), plan);
+    if (cache_->Get(key, out)) {
+      if (stats_ != nullptr) stats_->AddCacheHit();
+      BumpServiceCounter("service.cache.hit");
+      return Status::Ok();
+    }
+  }
+
+  const size_t num_shards = index_->NumShards();
+  std::vector<std::vector<uint32_t>> parts(num_shards);
+  std::vector<Status> statuses(num_shards);
+  {
+    TRACE_SPAN("service.fanout");
+    pool_->ParallelFor(0, num_shards, [&](size_t s, size_t worker) {
+      TRACE_SPAN("service.shard");
+      statuses[s] =
+          EvaluatePlanChecked(index_->codec(), plan, index_->ShardSets(s),
+                              nullptr, arenas_[worker].get(), &parts[s]);
+    });
+  }
+  for (const Status& st : statuses) {
+    if (!st.ok()) {
+      out->clear();
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return st;
+    }
+  }
+
+  {
+    TRACE_SPAN("service.stitch");
+    size_t total = 0;
+    for (const auto& part : parts) total += part.size();
+    out->reserve(total);
+    const ShardRouter& router = index_->Router();
+    for (size_t s = 0; s < num_shards; ++s) {
+      router.Rebase(s, parts[s], out);
+    }
+  }
+
+  if (cache_ != nullptr) {
+    cache_->Put(key, index_->codec(), *out, index_->NumRows());
+    if (stats_ != nullptr) stats_->AddCacheMiss();
+    BumpServiceCounter("service.cache.miss");
+  } else {
+    if (stats_ != nullptr) stats_->AddCacheBypass();
+    BumpServiceCounter("service.cache.bypass");
+  }
+  return Status::Ok();
+}
+
+void IndexService::Invalidate(size_t shard) {
+  if (cache_ != nullptr) cache_->BumpGeneration(shard);
+  BumpServiceCounter("service.cache.invalidation");
+}
+
+ServiceStats IndexService::Stats() const {
+  ServiceStats s;
+  if (cache_ != nullptr) s.cache = cache_->Snapshot();
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace intcomp

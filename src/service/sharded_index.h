@@ -1,0 +1,157 @@
+// ShardedIndex + IndexService — the multi-index orchestration layer of the
+// sharded snapshot index service (DESIGN.md §5.9).
+//
+// ShardedIndex partitions a column's row space into S contiguous range
+// shards (ShardRouter); each shard is an independent per-value compressed
+// index over its sub-range, holding *local* row ids so every codec encodes
+// the same dense id space it would see in a standalone index. Column shards
+// are literally BitmapIndex::BuildRange products; list- and posting-built
+// shards use the identical per-range split.
+//
+// IndexService is the query front end:
+//   1. plan once   — validate leaf references, compute the canonical cache
+//                    key (commutative operands sorted — result_cache.h);
+//   2. probe cache — a hit decodes the stored compressed result and returns
+//                    (bit-identical to fresh evaluation: codecs are
+//                    lossless);
+//   3. fan out     — one task per shard on the shared ThreadPool, each
+//                    evaluating the plan over its shard's sets through
+//                    EvaluatePlanChecked with the executing worker's
+//                    ScratchArena;
+//   4. stitch      — rebase each shard's local row ids by the shard's range
+//                    base and concatenate in shard order (ranges are
+//                    ordered, so the concatenation is the globally sorted
+//                    result — no merge);
+//   5. admit       — offer the result to the cache (admission gates inside).
+//
+// Determinism: per-shard evaluation runs the untouched serial algorithm and
+// the stitch order is fixed by the router, so the service result is
+// bit-identical to unsharded serial EvaluatePlan for every codec at every
+// shard/thread count — the invariant the service tests pin down.
+//
+// Concurrency: the index is an immutable snapshot; Query may be called from
+// several threads at once (per-worker arenas are only touched by the worker
+// that owns them, the cache locks internally, stats are atomics). Data
+// changes are modeled by swapping in a new snapshot and calling
+// Invalidate(shard), which bumps the cache's generation counter so every
+// stale entry mismatches on its next probe.
+
+#ifndef INTCOMP_SERVICE_SHARDED_INDEX_H_
+#define INTCOMP_SERVICE_SHARDED_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/codec.h"
+#include "core/query.h"
+#include "core/scratch.h"
+#include "engine/engine_stats.h"
+#include "engine/thread_pool.h"
+#include "index/inverted_index.h"
+#include "service/result_cache.h"
+#include "service/shard_router.h"
+
+namespace intcomp {
+
+class ShardedIndex {
+ public:
+  // Builds from per-list sorted row-id lists (values < num_rows): list l of
+  // shard s holds lists[l] ∩ [Begin(s), End(s)), rebased to local ids.
+  // num_rows must be >= 1 and <= 2^32.
+  static ShardedIndex Build(const Codec& codec,
+                            std::span<const std::vector<uint32_t>> lists,
+                            uint64_t num_rows, size_t num_shards);
+
+  // Builds from a column of value codes (0 .. cardinality-1) in row order:
+  // list l is the row set of value l. Each shard is produced by
+  // BitmapIndex::BuildRange over its sub-range.
+  static ShardedIndex BuildFromColumn(const Codec& codec,
+                                      std::span<const uint32_t> column_codes,
+                                      uint32_t cardinality, size_t num_shards);
+
+  // Builds from a finalized InvertedIndex: list l is the posting list of
+  // terms[l] (which must all exist in `index`), re-partitioned across
+  // doc-range shards.
+  static ShardedIndex BuildFromPostings(
+      const Codec& codec, const InvertedIndex& index,
+      std::span<const std::string_view> terms, size_t num_shards);
+
+  const Codec& codec() const { return *codec_; }
+  const ShardRouter& Router() const { return router_; }
+  size_t NumShards() const { return router_.NumShards(); }
+  size_t NumLists() const { return num_lists_; }
+  uint64_t NumRows() const { return router_.NumRows(); }
+
+  // Total compressed footprint across all shards.
+  size_t SizeInBytes() const;
+
+  // Shard s's compressed sets, indexed by list id (plan leaves index into
+  // this span).
+  std::span<const CompressedSet* const> ShardSets(size_t s) const {
+    return ptrs_[s];
+  }
+
+ private:
+  ShardedIndex(const Codec* codec, ShardRouter router, size_t num_lists)
+      : codec_(codec), router_(router), num_lists_(num_lists) {}
+
+  void AdoptShard(std::vector<std::unique_ptr<CompressedSet>> sets);
+
+  const Codec* codec_;
+  ShardRouter router_;
+  size_t num_lists_;
+  std::vector<std::vector<std::unique_ptr<CompressedSet>>> sets_;  // [shard]
+  std::vector<std::vector<const CompressedSet*>> ptrs_;            // [shard]
+};
+
+struct IndexServiceOptions {
+  // Result cache; set enabled=false to evaluate every query.
+  bool cache_enabled = true;
+  ResultCacheOptions cache;
+};
+
+// Point-in-time cache counters the service exposes next to EngineStats.
+struct ServiceStats {
+  ResultCacheStats cache;
+  uint64_t queries = 0;
+  uint64_t rejected = 0;  // invalid plans (bad leaf, empty operator node)
+};
+
+class IndexService {
+ public:
+  // `index` and `pool` are borrowed and must outlive the service; `stats`
+  // (optional) receives cache hit/miss/bypass and query-outcome counts.
+  IndexService(const ShardedIndex* index, ThreadPool* pool,
+               const IndexServiceOptions& options, EngineStats* stats = nullptr);
+
+  // Evaluates `plan` (leaves are list ids of the index) and writes the
+  // matching global row ids, sorted ascending, into *out. Returns
+  // kInvalidArgument for malformed plans (leaf out of range, empty operator
+  // node); on any non-OK status *out is empty.
+  Status Query(const QueryPlan& plan, std::vector<uint32_t>* out);
+
+  // Marks shard s's underlying data as changed: bumps the cache generation
+  // so no result computed before this call can be served again.
+  void Invalidate(size_t shard);
+
+  const ShardedIndex& Index() const { return *index_; }
+  ResultCache* Cache() { return cache_.get(); }
+  ServiceStats Stats() const;
+
+ private:
+  const ShardedIndex* index_;
+  ThreadPool* pool_;
+  EngineStats* stats_;
+  std::unique_ptr<ResultCache> cache_;  // null when disabled
+  std::vector<std::unique_ptr<ScratchArena>> arenas_;  // one per pool worker
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> rejected_{0};
+};
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_SERVICE_SHARDED_INDEX_H_

@@ -1,0 +1,167 @@
+// Golden serialized-image regression vectors: one committed byte image per
+// codec × distribution under tests/data/golden/. The test re-encodes the
+// fixed workload and byte-compares against the committed image, so any
+// accidental change to a codec's wire format fails loudly, then round-trips
+// the committed image through DeserializeChecked + Decode to prove old
+// persisted data stays readable.
+//
+// When a format change is INTENTIONAL, regenerate and commit the vectors:
+//
+//   ./tests/golden_image_test --regen-golden
+//
+// (also re-verifies every vector after writing it). The generator inputs
+// are fixed constants on purpose — golden data must not depend on
+// INTCOMP_TEST_SEED.
+
+#include <cctype>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "workload/synthetic.h"
+
+namespace intcomp {
+namespace {
+
+#ifndef INTCOMP_GOLDEN_DIR
+#error "build must define INTCOMP_GOLDEN_DIR (see tests/CMakeLists.txt)"
+#endif
+
+bool g_regen = false;
+
+constexpr uint64_t kDomain = 1 << 16;
+constexpr size_t kN = 1000;
+
+struct Distribution {
+  const char* name;
+  std::vector<uint32_t> (*generate)(uint64_t seed);
+};
+
+std::vector<uint32_t> GoldenUniform(uint64_t seed) {
+  return GenerateUniform(kN, kDomain, seed);
+}
+std::vector<uint32_t> GoldenZipf(uint64_t seed) {
+  return GenerateZipf(kN, kDomain, kPaperZipfSkew, seed);
+}
+std::vector<uint32_t> GoldenMarkov(uint64_t seed) {
+  return GenerateMarkov(kN, kDomain, kPaperMarkovClustering, seed);
+}
+
+const Distribution kDistributions[] = {
+    {"uniform", GoldenUniform},
+    {"zipf", GoldenZipf},
+    {"markov", GoldenMarkov},
+};
+
+std::string SanitizedName(std::string_view codec_name) {
+  std::string out;
+  for (char c : codec_name) {
+    if (c == '*') {
+      out += 'S';
+    } else if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+               c == '-') {
+      out += c;
+    } else {
+      out += '_';
+    }
+  }
+  return out;
+}
+
+std::string GoldenPath(const Codec& codec, const char* dist) {
+  return std::string(INTCOMP_GOLDEN_DIR) + "/" + SanitizedName(codec.Name()) +
+         "_" + dist + ".bin";
+}
+
+bool ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+bool WriteFileBytes(const std::string& path,
+                    const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out.flush());
+}
+
+class GoldenImageTest : public ::testing::TestWithParam<const Codec*> {};
+
+TEST_P(GoldenImageTest, SerializedImagesMatchCommittedVectors) {
+  const Codec& codec = *GetParam();
+  for (size_t d = 0; d < std::size(kDistributions); ++d) {
+    const Distribution& dist = kDistributions[d];
+    SCOPED_TRACE(dist.name);
+    // Seed is a fixed function of the distribution slot only, so vectors
+    // are stable across codec-list reorderings.
+    const std::vector<uint32_t> list = dist.generate(4242 + d);
+    const auto set = codec.Encode(list, kDomain);
+    std::vector<uint8_t> image;
+    codec.Serialize(*set, &image);
+    ASSERT_FALSE(image.empty());
+
+    const std::string path = GoldenPath(codec, dist.name);
+    if (g_regen) {
+      ASSERT_TRUE(WriteFileBytes(path, image)) << "cannot write " << path;
+    }
+    std::vector<uint8_t> golden;
+    ASSERT_TRUE(ReadFileBytes(path, &golden))
+        << "missing golden vector " << path
+        << " — run ./tests/golden_image_test --regen-golden and commit "
+           "tests/data/golden/";
+    // Byte-exact wire-format pin.
+    ASSERT_EQ(golden.size(), image.size()) << "serialized size drifted";
+    ASSERT_TRUE(std::memcmp(golden.data(), image.data(), image.size()) == 0)
+        << "serialized image drifted from " << path
+        << " — if the format change is intentional, regenerate with "
+           "--regen-golden";
+
+    // The committed image must stay readable through the untrusted path.
+    auto restored = codec.DeserializeChecked(golden, kDomain);
+    ASSERT_TRUE(restored.ok()) << restored.status().message();
+    std::vector<uint32_t> decoded;
+    codec.Decode(**restored, &decoded);
+    EXPECT_EQ(decoded, list);
+  }
+}
+
+std::string CodecName(const ::testing::TestParamInfo<const Codec*>& info) {
+  return SanitizedName(info.param->Name());
+}
+
+std::vector<const Codec*> AllPlusExtensions() {
+  std::vector<const Codec*> codecs(AllCodecs().begin(), AllCodecs().end());
+  codecs.insert(codecs.end(), ExtensionCodecs().begin(),
+                ExtensionCodecs().end());
+  return codecs;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, GoldenImageTest,
+                         ::testing::ValuesIn(AllPlusExtensions()), CodecName);
+
+}  // namespace
+}  // namespace intcomp
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--regen-golden") == 0) {
+      intcomp::g_regen = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

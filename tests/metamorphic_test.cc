@@ -1,0 +1,175 @@
+// Metamorphic suite: set-algebra identities that must hold for every codec
+// on every input distribution, independent of any reference implementation.
+// Each identity is checked through BOTH evaluation paths — the direct
+// serial EvaluatePlan and the sharded IndexService (1, 2, and 8 shards,
+// with the result cache on, so the second round exercises cache hits):
+//
+//   commutativity   A∩B = B∩A, A∪B = B∪A
+//   associativity   (A∩B)∩C = A∩(B∩C), same for ∪
+//   distributivity  A∩(B∪C) = (A∩B)∪(A∩C)
+//   idempotence     A∩A = A, A∪A = A
+//   complement      A∩Aᶜ = ∅, A∪Aᶜ = [0, domain)
+//   De Morgan       (A∪B)ᶜ = Aᶜ∩Bᶜ, (A∩B)ᶜ = Aᶜ∪Bᶜ
+//
+// Complements are materialized as ordinary input lists (the codec layer has
+// no complement operator), so De Morgan is phrased over the complement
+// lists: evaluate Aᶜ∩Bᶜ with the codec and compare against the
+// domain-complement of the codec's own A∪B.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "engine/thread_pool.h"
+#include "service/sharded_index.h"
+#include "test_util.h"
+#include "workload/synthetic.h"
+
+namespace intcomp {
+namespace {
+
+constexpr uint64_t kDomain = 1 << 13;
+constexpr size_t kN = 350;
+
+// Leaf ids into the five input lists.
+enum : size_t { kA = 0, kB = 1, kC = 2, kAc = 3, kBc = 4 };
+
+struct Inputs {
+  std::string name;
+  std::vector<std::vector<uint32_t>> lists;  // A, B, C, Ac, Bc
+};
+
+std::vector<Inputs> MakeInputs() {
+  const uint64_t seed = TestSeed(7);
+  std::vector<Inputs> all;
+  // The markov generator may overshoot the domain to reach exactly n values
+  // (it walks a chain of mean density n/domain); the identities are over
+  // [0, kDomain), so clamp every list to that universe.
+  const auto clamp = [](std::vector<uint32_t> v) {
+    while (!v.empty() && v.back() >= kDomain) v.pop_back();
+    return v;
+  };
+  const auto add = [&](std::string name,
+                       std::vector<uint32_t> a, std::vector<uint32_t> b,
+                       std::vector<uint32_t> c) {
+    Inputs in;
+    in.name = std::move(name);
+    in.lists.push_back(clamp(std::move(a)));
+    in.lists.push_back(clamp(std::move(b)));
+    in.lists.push_back(clamp(std::move(c)));
+    in.lists.push_back(RefComplement(in.lists[kA], kDomain));
+    in.lists.push_back(RefComplement(in.lists[kB], kDomain));
+    all.push_back(std::move(in));
+  };
+  add("uniform", GenerateUniform(kN, kDomain, seed + 1),
+      GenerateUniform(kN, kDomain, seed + 2),
+      GenerateUniform(kN, kDomain, seed + 3));
+  add("zipf", GenerateZipf(kN, kDomain, kPaperZipfSkew, seed + 4),
+      GenerateZipf(kN, kDomain, kPaperZipfSkew, seed + 5),
+      GenerateZipf(kN, kDomain, kPaperZipfSkew, seed + 6));
+  add("markov", GenerateMarkov(kN, kDomain, kPaperMarkovClustering, seed + 7),
+      GenerateMarkov(kN, kDomain, kPaperMarkovClustering, seed + 8),
+      GenerateMarkov(kN, kDomain, kPaperMarkovClustering, seed + 9));
+  return all;
+}
+
+using Eval = std::function<std::vector<uint32_t>(const QueryPlan&)>;
+
+QueryPlan L(size_t i) { return QueryPlan::Leaf(i); }
+
+// Runs the full identity battery through one evaluation path.
+void CheckIdentities(const Inputs& in, const Eval& eval) {
+  SCOPED_TRACE(in.name);
+  // Commutativity.
+  EXPECT_EQ(eval(QueryPlan::And({L(kA), L(kB)})),
+            eval(QueryPlan::And({L(kB), L(kA)})));
+  EXPECT_EQ(eval(QueryPlan::Or({L(kA), L(kB)})),
+            eval(QueryPlan::Or({L(kB), L(kA)})));
+  // Associativity.
+  EXPECT_EQ(eval(QueryPlan::And({QueryPlan::And({L(kA), L(kB)}), L(kC)})),
+            eval(QueryPlan::And({L(kA), QueryPlan::And({L(kB), L(kC)})})));
+  EXPECT_EQ(eval(QueryPlan::Or({QueryPlan::Or({L(kA), L(kB)}), L(kC)})),
+            eval(QueryPlan::Or({L(kA), QueryPlan::Or({L(kB), L(kC)})})));
+  // Distributivity of ∩ over ∪.
+  EXPECT_EQ(eval(QueryPlan::And({L(kA), QueryPlan::Or({L(kB), L(kC)})})),
+            eval(QueryPlan::Or({QueryPlan::And({L(kA), L(kB)}),
+                                QueryPlan::And({L(kA), L(kC)})})));
+  // Idempotence.
+  EXPECT_EQ(eval(QueryPlan::And({L(kA), L(kA)})), in.lists[kA]);
+  EXPECT_EQ(eval(QueryPlan::Or({L(kA), L(kA)})), in.lists[kA]);
+  // Complement laws.
+  EXPECT_TRUE(eval(QueryPlan::And({L(kA), L(kAc)})).empty());
+  EXPECT_EQ(eval(QueryPlan::Or({L(kA), L(kAc)})).size(), kDomain);
+  // De Morgan, phrased over the materialized complement lists.
+  EXPECT_EQ(RefComplement(eval(QueryPlan::Or({L(kA), L(kB)})), kDomain),
+            eval(QueryPlan::And({L(kAc), L(kBc)})));
+  EXPECT_EQ(RefComplement(eval(QueryPlan::And({L(kA), L(kB)})), kDomain),
+            eval(QueryPlan::Or({L(kAc), L(kBc)})));
+}
+
+class MetamorphicTest : public ::testing::TestWithParam<const Codec*> {};
+
+TEST_P(MetamorphicTest, DirectPathSatisfiesSetAlgebra) {
+  const Codec& codec = *GetParam();
+  for (const Inputs& in : MakeInputs()) {
+    std::vector<std::unique_ptr<CompressedSet>> sets;
+    std::vector<const CompressedSet*> ptrs;
+    for (const auto& list : in.lists) {
+      sets.push_back(codec.Encode(list, kDomain));
+      ptrs.push_back(sets.back().get());
+    }
+    CheckIdentities(in, [&](const QueryPlan& plan) {
+      return EvaluatePlan(codec, plan, ptrs);
+    });
+  }
+}
+
+TEST_P(MetamorphicTest, ShardedServicePathSatisfiesSetAlgebra) {
+  const Codec& codec = *GetParam();
+  ThreadPool pool(2);
+  for (const Inputs& in : MakeInputs()) {
+    for (size_t shards : {size_t{1}, size_t{2}, size_t{8}}) {
+      SCOPED_TRACE(shards);
+      const ShardedIndex index =
+          ShardedIndex::Build(codec, in.lists, kDomain, shards);
+      IndexServiceOptions options;
+      options.cache.require_second_touch = false;
+      IndexService service(&index, &pool, options);
+      const Eval eval = [&](const QueryPlan& plan) {
+        std::vector<uint32_t> rows;
+        EXPECT_TRUE(service.Query(plan, &rows).ok());
+        return rows;
+      };
+      // Round 0 computes and fills the cache; round 1 re-checks every
+      // identity through the cache-hit path.
+      CheckIdentities(in, eval);
+      CheckIdentities(in, eval);
+      EXPECT_GT(service.Stats().cache.hits, 0u);
+    }
+  }
+}
+
+std::string CodecName(const ::testing::TestParamInfo<const Codec*>& info) {
+  std::string name(info.param->Name());
+  for (char& c : name) {
+    if (c == '*') c = 'S';
+  }
+  return name;
+}
+
+std::vector<const Codec*> AllPlusExtensions() {
+  std::vector<const Codec*> codecs(AllCodecs().begin(), AllCodecs().end());
+  codecs.insert(codecs.end(), ExtensionCodecs().begin(),
+                ExtensionCodecs().end());
+  return codecs;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, MetamorphicTest,
+                         ::testing::ValuesIn(AllPlusExtensions()), CodecName);
+
+}  // namespace
+}  // namespace intcomp

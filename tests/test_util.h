@@ -1,22 +1,95 @@
 // Shared helpers for the intcomp test suite.
+//
+// Seed reproducibility: every helper that consumes a PRNG seed records it,
+// and a test-event listener (registered once per binary from this header)
+// prints the most recently used seed whenever an assertion fails, so any
+// randomized/property failure is replayable. Tests that derive their seeds
+// from TestSeed() additionally honor the INTCOMP_TEST_SEED environment
+// variable, which overrides the base seed for a replay run:
+//
+//   INTCOMP_TEST_SEED=12345 ./tests/metamorphic_test
 
 #ifndef INTCOMP_TESTS_TEST_UTIL_H_
 #define INTCOMP_TESTS_TEST_UTIL_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <iterator>
 #include <vector>
+
+#include <gtest/gtest.h>
 
 #include "common/prng.h"
 
 namespace intcomp {
 
+namespace test_internal {
+
+inline std::atomic<uint64_t>& LastSeed() {
+  static std::atomic<uint64_t> seed{0};
+  return seed;
+}
+inline std::atomic<bool>& SeedUsed() {
+  static std::atomic<bool> used{false};
+  return used;
+}
+
+// Prints the last recorded seed next to any assertion failure. Registered
+// once per test binary by the inline global below; safe to register before
+// InitGoogleTest (listeners are only consulted while tests run).
+class SeedFailureReporter : public ::testing::EmptyTestEventListener {
+ public:
+  void OnTestPartResult(const ::testing::TestPartResult& result) override {
+    if (!result.failed() || !SeedUsed().load(std::memory_order_relaxed)) {
+      return;
+    }
+    const unsigned long long seed =
+        LastSeed().load(std::memory_order_relaxed);
+    std::fprintf(stderr,
+                 "[test_util] last PRNG seed before this failure: %llu "
+                 "(replay with INTCOMP_TEST_SEED=%llu where the test uses "
+                 "TestSeed())\n",
+                 seed, seed);
+  }
+};
+
+inline bool RegisterSeedFailureReporter() {
+  ::testing::UnitTest::GetInstance()->listeners().Append(
+      new SeedFailureReporter);  // gtest takes ownership
+  return true;
+}
+
+inline const bool kSeedReporterRegistered = RegisterSeedFailureReporter();
+
+}  // namespace test_internal
+
+// Records `seed` as the most recently used one (shown on assertion failure).
+inline uint64_t NoteSeed(uint64_t seed) {
+  test_internal::LastSeed().store(seed, std::memory_order_relaxed);
+  test_internal::SeedUsed().store(true, std::memory_order_relaxed);
+  return seed;
+}
+
+// Base seed for randomized tests: `default_seed` unless the
+// INTCOMP_TEST_SEED environment variable overrides it (for replaying a
+// reported failure). Records the chosen seed.
+inline uint64_t TestSeed(uint64_t default_seed) {
+  static const char* env = std::getenv("INTCOMP_TEST_SEED");
+  uint64_t seed = default_seed;
+  if (env != nullptr && *env != '\0') {
+    seed = std::strtoull(env, nullptr, 0);
+  }
+  return NoteSeed(seed);
+}
+
 // Sorted duplicate-free list of n values < domain (reference generator,
 // independent of workload/synthetic.h).
 inline std::vector<uint32_t> RandomSortedList(size_t n, uint64_t domain,
                                               uint64_t seed) {
-  Prng rng(seed);
+  Prng rng(NoteSeed(seed));
   std::vector<uint32_t> v;
   v.reserve(n + 8);
   while (v.size() < n) {
@@ -42,6 +115,23 @@ inline std::vector<uint32_t> RefUnion(const std::vector<uint32_t>& a,
   std::vector<uint32_t> out;
   std::set_union(a.begin(), a.end(), b.begin(), b.end(),
                  std::back_inserter(out));
+  return out;
+}
+
+// out = [0, domain) \ a — the complement list the metamorphic identities
+// (De Morgan, A ∩ A^c = ∅) are phrased over.
+inline std::vector<uint32_t> RefComplement(const std::vector<uint32_t>& a,
+                                           uint64_t domain) {
+  std::vector<uint32_t> out;
+  out.reserve(static_cast<size_t>(domain) - a.size());
+  size_t i = 0;
+  for (uint64_t v = 0; v < domain; ++v) {
+    if (i < a.size() && a[i] == v) {
+      ++i;
+    } else {
+      out.push_back(static_cast<uint32_t>(v));
+    }
+  }
   return out;
 }
 

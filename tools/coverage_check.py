@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Line-coverage gate over gcov JSON output — no gcovr/lcov dependency.
+
+Walks a coverage-instrumented build tree (cmake -DINTCOMP_COVERAGE=ON, then
+ctest) for .gcda files, runs `gcov --json-format --stdout` on each, merges
+the per-line execution counts (max across translation units, so a header
+line counts as covered if ANY includer executed it), and reports line
+coverage for the gated source prefixes.
+
+    python3 tools/coverage_check.py --build-dir build-cov --fail-under 80
+
+Exits non-zero when the combined coverage of the gated prefixes (default
+src/core and src/service) is below the threshold, or when no coverage data
+was found at all (a silently-empty gate must fail, not pass).
+"""
+
+import argparse
+import collections
+import json
+import os
+import subprocess
+import sys
+
+
+def find_gcda(build_dir):
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                yield os.path.join(root, name)
+
+
+def run_gcov(gcda, build_dir):
+    """Yields gcov JSON documents (one per source file) for one .gcda."""
+    proc = subprocess.run(
+        ["gcov", "--json-format", "--stdout", os.path.abspath(gcda)],
+        cwd=build_dir,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        print(f"warning: gcov failed on {gcda}: {proc.stderr.strip()}",
+              file=sys.stderr)
+        return
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError:
+            continue
+
+
+def normalize(path, repo_root, build_dir):
+    """Repo-relative form of a gcov 'file' field, or None if external."""
+    if not os.path.isabs(path):
+        path = os.path.join(build_dir, path)
+    path = os.path.realpath(path)
+    root = os.path.realpath(repo_root)
+    if not path.startswith(root + os.sep):
+        return None
+    return os.path.relpath(path, root)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build-cov",
+                        help="coverage-instrumented build tree")
+    parser.add_argument("--repo-root",
+                        default=os.path.dirname(os.path.dirname(
+                            os.path.abspath(__file__))),
+                        help="repository root the prefixes are relative to")
+    parser.add_argument("--prefix", action="append", default=None,
+                        help="gated source prefix (repeatable; default "
+                             "src/core and src/service)")
+    parser.add_argument("--fail-under", type=float, default=80.0,
+                        help="minimum combined line coverage percent")
+    parser.add_argument("--summary-out", default=None,
+                        help="also write the summary table to this file")
+    args = parser.parse_args()
+    prefixes = args.prefix or ["src/core", "src/service"]
+
+    if not os.path.isdir(args.build_dir):
+        print(f"error: build dir {args.build_dir} does not exist",
+              file=sys.stderr)
+        return 2
+
+    # (file -> line -> max count). Max across TUs: headers appear in many.
+    lines = collections.defaultdict(dict)
+    gcda_count = 0
+    for gcda in find_gcda(args.build_dir):
+        gcda_count += 1
+        for doc in run_gcov(gcda, args.build_dir):
+            for f in doc.get("files", []):
+                rel = normalize(f.get("file", ""), args.repo_root,
+                                args.build_dir)
+                if rel is None:
+                    continue
+                per_file = lines[rel]
+                for ln in f.get("lines", []):
+                    no = ln.get("line_number")
+                    count = ln.get("count", 0)
+                    if no is None:
+                        continue
+                    per_file[no] = max(per_file.get(no, 0), count)
+    if gcda_count == 0:
+        print(f"error: no .gcda files under {args.build_dir} — build with "
+              "-DINTCOMP_COVERAGE=ON and run the tests first",
+              file=sys.stderr)
+        return 2
+
+    def gated(rel):
+        return any(rel == p or rel.startswith(p.rstrip("/") + "/")
+                   for p in prefixes)
+
+    rows = []
+    total_lines = 0
+    total_covered = 0
+    for rel in sorted(lines):
+        if not gated(rel):
+            continue
+        per_file = lines[rel]
+        n = len(per_file)
+        covered = sum(1 for c in per_file.values() if c > 0)
+        total_lines += n
+        total_covered += covered
+        rows.append((rel, covered, n))
+
+    out = []
+    out.append(f"{'file':<44} {'covered':>8} {'lines':>6} {'pct':>7}")
+    for rel, covered, n in rows:
+        pct = 100.0 * covered / n if n else 100.0
+        out.append(f"{rel:<44} {covered:>8} {n:>6} {pct:>6.1f}%")
+    combined = 100.0 * total_covered / total_lines if total_lines else 0.0
+    out.append(f"{'TOTAL (' + ', '.join(prefixes) + ')':<44} "
+               f"{total_covered:>8} {total_lines:>6} {combined:>6.1f}%")
+    summary = "\n".join(out)
+    print(summary)
+    if args.summary_out:
+        with open(args.summary_out, "w") as fh:
+            fh.write(summary + "\n")
+
+    if total_lines == 0:
+        print("error: no executable lines matched the gated prefixes",
+              file=sys.stderr)
+        return 2
+    if combined < args.fail_under:
+        print(f"FAIL: combined coverage {combined:.1f}% "
+              f"< required {args.fail_under:.1f}%", file=sys.stderr)
+        return 1
+    print(f"OK: combined coverage {combined:.1f}% "
+          f">= {args.fail_under:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
