@@ -4,6 +4,7 @@
 
 #include "common/bits.h"
 #include "common/serialize_util.h"
+#include "common/status.h"
 
 namespace intcomp {
 
@@ -13,8 +14,9 @@ std::unique_ptr<CompressedSet> BitsetCodec::Encode(
   set->cardinality = sorted.size();
   if (!sorted.empty()) {
     // Size tracks the maximal element: trailing zero words are not stored.
-    set->words.resize(static_cast<size_t>(sorted.back()) / 64 + 1, 0);
-    for (uint32_t v : sorted) set->words[v >> 6] |= uint64_t{1} << (v & 63);
+    std::vector<uint64_t> words(static_cast<size_t>(sorted.back()) / 64 + 1, 0);
+    for (uint32_t v : sorted) words[v >> 6] |= uint64_t{1} << (v & 63);
+    set->words = VArray<uint64_t>(std::move(words));
   }
   return set;
 }
@@ -79,7 +81,7 @@ void BitsetCodec::Serialize(const CompressedSet& set,
                             std::vector<uint8_t>* out) const {
   const auto& s = static_cast<const Set&>(set);
   ByteWriter(out).PutU64(s.cardinality);
-  WriteVector(s.words, out);
+  WriteSpan<uint64_t>(s.words, out);
 }
 
 std::unique_ptr<CompressedSet> BitsetCodec::Deserialize(const uint8_t* data,
@@ -88,7 +90,29 @@ std::unique_ptr<CompressedSet> BitsetCodec::Deserialize(const uint8_t* data,
   if (reader.Remaining() < 8) return nullptr;
   auto set = std::make_unique<Set>();
   set->cardinality = reader.GetU64();
-  if (!ReadVector(&reader, &set->words)) return nullptr;
+  std::vector<uint64_t> words;
+  if (!ReadVector(&reader, &words)) return nullptr;
+  set->words = VArray<uint64_t>(std::move(words));
+  return set;
+}
+
+std::unique_ptr<CompressedSet> BitsetCodec::DeserializeView(
+    std::span<const uint8_t> image) const {
+  // [u64 cardinality][u64 nwords][words...] — words start 16 bytes in, so an
+  // 8-byte-aligned image borrows in place; misaligned images fall back.
+  CheckedByteReader reader(image.data(), image.size());
+  uint64_t cardinality = 0;
+  uint64_t n = 0;
+  if (!reader.GetU64(&cardinality) || !reader.GetU64(&n)) return nullptr;
+  if (n > reader.Remaining() / sizeof(uint64_t)) return nullptr;
+  const uint8_t* p = image.data() + reader.Position();
+  if (reinterpret_cast<uintptr_t>(p) % alignof(uint64_t) != 0) {
+    return Deserialize(image.data(), image.size());
+  }
+  auto set = std::make_unique<Set>();
+  set->cardinality = cardinality;
+  set->words = VArray<uint64_t>::View(
+      {reinterpret_cast<const uint64_t*>(p), static_cast<size_t>(n)});
   return set;
 }
 

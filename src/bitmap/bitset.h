@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "common/varray.h"
 #include "core/codec.h"
 
 namespace intcomp {
@@ -17,7 +18,8 @@ namespace intcomp {
 class BitsetCodec final : public Codec {
  public:
   struct Set final : CompressedSet {
-    std::vector<uint64_t> words;  // bit i of word w = value 64*w + i
+    // bit i of word w = value 64*w + i; a borrowed view when mmap-backed.
+    VArray<uint64_t> words;
     size_t cardinality = 0;
 
     size_t SizeInBytes() const override { return words.size() * 8; }
@@ -44,6 +46,9 @@ class BitsetCodec final : public Codec {
                  std::vector<uint8_t>* out) const override;
   std::unique_ptr<CompressedSet> Deserialize(const uint8_t* data,
                                              size_t size) const override;
+  std::unique_ptr<CompressedSet> DeserializeView(
+      std::span<const uint8_t> image) const override;
+  bool SupportsViewDeserialize() const override { return true; }
   Status ValidateSet(const CompressedSet& set,
                      uint64_t domain) const override;
 };

@@ -30,6 +30,8 @@
 #include "bitmap/runstream.h"
 #include "common/bits.h"
 #include "common/serialize_util.h"
+#include "common/status.h"
+#include "common/varray.h"
 #include "core/codec.h"
 
 namespace intcomp {
@@ -41,7 +43,9 @@ class RleBitmapCodec final : public Codec {
   using Decoder = typename Traits::Decoder;
 
   struct Set final : CompressedSet {
-    std::vector<Word> words;
+    // Owned when built by Encode/Deserialize; a borrowed view of the mapped
+    // file when built by DeserializeView (common/varray.h).
+    VArray<Word> words;
     size_t cardinality = 0;
 
     size_t SizeInBytes() const override { return words.size() * sizeof(Word); }
@@ -57,7 +61,9 @@ class RleBitmapCodec final : public Codec {
                                         uint64_t /*domain*/) const override {
     auto set = std::make_unique<Set>();
     set->cardinality = sorted.size();
-    Traits::EncodeWords(sorted, &set->words);
+    std::vector<Word> words;
+    Traits::EncodeWords(sorted, &words);
+    set->words = VArray<Word>(std::move(words));
     return set;
   }
 
@@ -98,7 +104,7 @@ class RleBitmapCodec final : public Codec {
                  std::vector<uint8_t>* out) const override {
     const auto& s = static_cast<const Set&>(set);
     ByteWriter(out).PutU64(s.cardinality);
-    WriteVector(s.words, out);
+    WriteSpan<Word>(s.words, out);
   }
 
   std::unique_ptr<CompressedSet> Deserialize(const uint8_t* data,
@@ -107,16 +113,42 @@ class RleBitmapCodec final : public Codec {
     if (reader.Remaining() < 8) return nullptr;
     auto set = std::make_unique<Set>();
     set->cardinality = reader.GetU64();
-    if (!ReadVector(&reader, &set->words)) return nullptr;
+    std::vector<Word> words;
+    if (!ReadVector(&reader, &words)) return nullptr;
+    set->words = VArray<Word>(std::move(words));
     return set;
   }
+
+  // Wire layout is [u64 cardinality][u64 nwords][words...]: the word array
+  // begins 16 bytes in, so any 8-byte-aligned image (the container format
+  // aligns every payload) yields an aligned borrow. Misaligned images fall
+  // back to the copying parse rather than fault.
+  std::unique_ptr<CompressedSet> DeserializeView(
+      std::span<const uint8_t> image) const override {
+    CheckedByteReader reader(image.data(), image.size());
+    uint64_t cardinality = 0;
+    uint64_t n = 0;
+    if (!reader.GetU64(&cardinality) || !reader.GetU64(&n)) return nullptr;
+    if (n > reader.Remaining() / sizeof(Word)) return nullptr;
+    const uint8_t* p = image.data() + reader.Position();
+    if (reinterpret_cast<uintptr_t>(p) % alignof(Word) != 0) {
+      return Deserialize(image.data(), image.size());
+    }
+    auto set = std::make_unique<Set>();
+    set->cardinality = cardinality;
+    set->words = VArray<Word>::View(
+        {reinterpret_cast<const Word*>(p), static_cast<size_t>(n)});
+    return set;
+  }
+
+  bool SupportsViewDeserialize() const override { return true; }
 
   Status ValidateSet(const CompressedSet& set,
                      uint64_t domain) const override {
     const auto& s = static_cast<const Set&>(set);
     constexpr uint64_t kW = Decoder::kGroupBits;
     const uint64_t dmax = std::min<uint64_t>(domain, uint64_t{1} << 32);
-    const std::span<const Word> words(s.words);
+    const std::span<const Word> words = s.words;
     if constexpr (requires { Traits::CheckStream(words); }) {
       // Codecs whose decoders take data-dependent strides (EWAH marker
       // literal counts, BBC variable-length headers) must prove the word

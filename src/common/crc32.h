@@ -1,0 +1,68 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+// checksum of the on-disk container format (src/storage).
+//
+// The container stores one CRC per section and one per payload, so a reader
+// can localize corruption ("offset table damaged" vs "payload 17 damaged")
+// instead of reporting a single whole-file mismatch. Software table lookup
+// only: the checksum sits on the cold open/materialize path, never on the
+// per-query hot path, so portability beats hardware CRC instructions here.
+
+#ifndef INTCOMP_COMMON_CRC32_H_
+#define INTCOMP_COMMON_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace intcomp {
+
+namespace crc32_internal {
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace crc32_internal
+
+// Incremental CRC-32 over a byte stream; Value() may be read at any point
+// (it finalizes a copy, so Update may continue afterwards). The streaming
+// form is what lets IndexWriter checksum a section while writing it, without
+// buffering the section in memory.
+class Crc32 {
+ public:
+  void Update(const void* data, size_t n) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    uint32_t c = state_;
+    for (size_t i = 0; i < n; ++i) {
+      c = crc32_internal::kTable[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    }
+    state_ = c;
+  }
+  uint32_t Value() const { return state_ ^ 0xffffffffu; }
+  void Reset() { state_ = 0xffffffffu; }
+
+ private:
+  uint32_t state_ = 0xffffffffu;
+};
+
+// One-shot form.
+inline uint32_t Crc32Of(std::span<const uint8_t> bytes) {
+  Crc32 crc;
+  crc.Update(bytes.data(), bytes.size());
+  return crc.Value();
+}
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_COMMON_CRC32_H_

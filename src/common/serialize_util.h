@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <type_traits>
 #include <vector>
 
@@ -13,8 +14,10 @@
 
 namespace intcomp {
 
+// Span form: the writer for sets whose storage may be a borrowed view
+// (common/varray.h) rather than a vector.
 template <typename T>
-void WriteVector(const std::vector<T>& v, std::vector<uint8_t>* out) {
+void WriteSpan(std::span<const T> v, std::vector<uint8_t>* out) {
   static_assert(std::is_trivially_copyable_v<T>);
   ByteWriter writer(out);
   writer.PutU64(v.size());
@@ -22,6 +25,11 @@ void WriteVector(const std::vector<T>& v, std::vector<uint8_t>* out) {
     writer.PutBytes(reinterpret_cast<const uint8_t*>(v.data()),
                     v.size() * sizeof(T));
   }
+}
+
+template <typename T>
+void WriteVector(const std::vector<T>& v, std::vector<uint8_t>* out) {
+  WriteSpan(std::span<const T>(v), out);
 }
 
 // Returns false (leaving *v unspecified) if the buffer is truncated.

@@ -1,0 +1,79 @@
+// VArray<T> — a read-only contiguous array that either owns its elements
+// (std::vector) or borrows them from memory someone else keeps alive.
+//
+// This is the ownership boundary of the persistent index path: a codec Set
+// parsed from a heap buffer owns its words, while the same Set parsed from
+// an mmap'ed container file (storage/mapped_index.h) only *views* the file
+// bytes — zero copy, zero allocation proportional to payload size. All read
+// accessors are identical in both states, so codec operator code (decode /
+// intersect / union / validate) cannot tell the difference; only the
+// construction site chooses.
+//
+// Lifetime contract for views: the borrowed memory must stay mapped and
+// unmodified for the VArray's lifetime. MappedIndex guarantees this by
+// owning both the mapping and every Set parsed from it.
+
+#ifndef INTCOMP_COMMON_VARRAY_H_
+#define INTCOMP_COMMON_VARRAY_H_
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace intcomp {
+
+template <typename T>
+class VArray {
+ public:
+  VArray() = default;
+
+  // Owning: adopts the vector's buffer.
+  VArray(std::vector<T>&& owned)  // NOLINT: implicit from the encode path
+      : owned_(std::move(owned)), data_(owned_.data()), size_(owned_.size()) {}
+
+  // Borrowing: references `view` without copying.
+  static VArray View(std::span<const T> view) {
+    VArray a;
+    a.data_ = view.data();
+    a.size_ = view.size();
+    return a;
+  }
+
+  // Moves rebind the pointer when owning (vector moves keep the heap buffer,
+  // but the vector object itself relocates). Copies are deliberately absent:
+  // copying a view would silently extend a lifetime contract.
+  VArray(VArray&& other) noexcept { *this = std::move(other); }
+  VArray& operator=(VArray&& other) noexcept {
+    const bool owned = other.IsOwned();
+    owned_ = std::move(other.owned_);
+    data_ = owned ? owned_.data() : other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    return *this;
+  }
+  VArray(const VArray&) = delete;
+  VArray& operator=(const VArray&) = delete;
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  const T& back() const { return data_[size_ - 1]; }
+  operator std::span<const T>() const { return {data_, size_}; }  // NOLINT
+
+  // True when this array owns its storage (false for mmap-backed views).
+  bool IsOwned() const { return data_ == owned_.data() && data_ != nullptr; }
+
+ private:
+  std::vector<T> owned_;
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_COMMON_VARRAY_H_

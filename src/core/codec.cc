@@ -20,6 +20,19 @@ StatusOr<std::unique_ptr<CompressedSet>> Codec::DeserializeChecked(
   return StatusOr<std::unique_ptr<CompressedSet>>(std::move(set));
 }
 
+StatusOr<std::unique_ptr<CompressedSet>> Codec::DeserializeCheckedView(
+    std::span<const uint8_t> image, uint64_t domain) const {
+  TRACE_SPAN("deserialize_checked_view");
+  obs::ScopedOpTimer timer(Name(), obs::OpKind::kDeserializeChecked);
+  std::unique_ptr<CompressedSet> set = DeserializeView(image);
+  if (set == nullptr) {
+    return Status::Corrupt("unparseable image (truncated or bad lengths)");
+  }
+  Status valid = ValidateSet(*set, domain);
+  if (!valid.ok()) return valid;
+  return StatusOr<std::unique_ptr<CompressedSet>>(std::move(set));
+}
+
 void Codec::IntersectWithList(const CompressedSet& a,
                               std::span<const uint32_t> probe,
                               std::vector<uint32_t>* out) const {

@@ -102,6 +102,23 @@ class Codec {
   virtual std::unique_ptr<CompressedSet> Deserialize(const uint8_t* data,
                                                      size_t size) const = 0;
 
+  // Zero-copy twin of Deserialize: the returned set may reference `image`'s
+  // bytes directly instead of copying them into owned buffers. The caller
+  // must keep `image` alive, mapped, and unmodified for the set's lifetime
+  // (the mmap-backed index reader, storage/mapped_index.h, owns both). Codecs
+  // whose in-memory representation is a flat word array opt in by overriding
+  // this (and SupportsViewDeserialize); the default falls back to the owning
+  // Deserialize, which is always correct, just not zero-copy. Carries the
+  // same trust contract as Deserialize — untrusted images go through
+  // DeserializeCheckedView.
+  virtual std::unique_ptr<CompressedSet> DeserializeView(
+      std::span<const uint8_t> image) const {
+    return Deserialize(image.data(), image.size());
+  }
+
+  // True when DeserializeView borrows from the image (false = it copies).
+  virtual bool SupportsViewDeserialize() const { return false; }
+
   // Checked ingestion path for untrusted byte images: parses like Deserialize
   // and then deep-validates every structural invariant Decode/Intersect/Union
   // rely on (word-stream shape, block headers and selector legality, skip
@@ -110,6 +127,13 @@ class Codec {
   // operation of this codec; on failure returns kCorruptData. `domain` is the
   // same domain the set was encoded with (values must be < domain).
   virtual StatusOr<std::unique_ptr<CompressedSet>> DeserializeChecked(
+      std::span<const uint8_t> image, uint64_t domain) const;
+
+  // DeserializeChecked over the zero-copy parse: DeserializeView + the same
+  // deep ValidateSet. On success the returned set is safe for every
+  // operation of this codec but may borrow from `image` — the caller owns
+  // the lifetime contract of DeserializeView.
+  StatusOr<std::unique_ptr<CompressedSet>> DeserializeCheckedView(
       std::span<const uint8_t> image, uint64_t domain) const;
 
   // Deep structural validation of an already-parsed set (the second half of

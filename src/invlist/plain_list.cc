@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/serialize_util.h"
+#include "common/status.h"
 
 namespace intcomp {
 
@@ -30,7 +31,8 @@ void GallopIntersect(std::span<const uint32_t> small_list,
 std::unique_ptr<CompressedSet> PlainListCodec::Encode(
     std::span<const uint32_t> sorted, uint64_t /*domain*/) const {
   auto set = std::make_unique<Set>();
-  set->values.assign(sorted.begin(), sorted.end());
+  set->values = VArray<uint32_t>(
+      std::vector<uint32_t>(sorted.begin(), sorted.end()));
   return set;
 }
 
@@ -75,14 +77,34 @@ void PlainListCodec::IntersectWithList(const CompressedSet& a,
 
 void PlainListCodec::Serialize(const CompressedSet& set,
                                std::vector<uint8_t>* out) const {
-  WriteVector(static_cast<const Set&>(set).values, out);
+  WriteSpan<uint32_t>(static_cast<const Set&>(set).values, out);
 }
 
 std::unique_ptr<CompressedSet> PlainListCodec::Deserialize(
     const uint8_t* data, size_t size) const {
   ByteReader reader(data, size);
   auto set = std::make_unique<Set>();
-  if (!ReadVector(&reader, &set->values)) return nullptr;
+  std::vector<uint32_t> values;
+  if (!ReadVector(&reader, &values)) return nullptr;
+  set->values = VArray<uint32_t>(std::move(values));
+  return set;
+}
+
+std::unique_ptr<CompressedSet> PlainListCodec::DeserializeView(
+    std::span<const uint8_t> image) const {
+  // [u64 count][values...] — values start 8 bytes in; misaligned images
+  // fall back to the copying parse.
+  CheckedByteReader reader(image.data(), image.size());
+  uint64_t n = 0;
+  if (!reader.GetU64(&n)) return nullptr;
+  if (n > reader.Remaining() / sizeof(uint32_t)) return nullptr;
+  const uint8_t* p = image.data() + reader.Position();
+  if (reinterpret_cast<uintptr_t>(p) % alignof(uint32_t) != 0) {
+    return Deserialize(image.data(), image.size());
+  }
+  auto set = std::make_unique<Set>();
+  set->values = VArray<uint32_t>::View(
+      {reinterpret_cast<const uint32_t*>(p), static_cast<size_t>(n)});
   return set;
 }
 

@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "common/varray.h"
 #include "core/codec.h"
 
 namespace intcomp {
@@ -17,7 +18,8 @@ namespace intcomp {
 class PlainListCodec final : public Codec {
  public:
   struct Set final : CompressedSet {
-    std::vector<uint32_t> values;
+    // Owned when encoded in memory; a borrowed view when mmap-backed.
+    VArray<uint32_t> values;
 
     size_t SizeInBytes() const override { return values.size() * 4; }
     size_t Cardinality() const override { return values.size(); }
@@ -43,6 +45,9 @@ class PlainListCodec final : public Codec {
                  std::vector<uint8_t>* out) const override;
   std::unique_ptr<CompressedSet> Deserialize(const uint8_t* data,
                                              size_t size) const override;
+  std::unique_ptr<CompressedSet> DeserializeView(
+      std::span<const uint8_t> image) const override;
+  bool SupportsViewDeserialize() const override { return true; }
   Status ValidateSet(const CompressedSet& set,
                      uint64_t domain) const override;
 };

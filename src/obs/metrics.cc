@@ -59,6 +59,7 @@ std::string_view OpKindName(OpKind op) {
     case OpKind::kDeserializeChecked: return "deserialize_checked";
     case OpKind::kQuery: return "query";
     case OpKind::kServiceQuery: return "service_query";
+    case OpKind::kStorageOpen: return "storage_open";
   }
   return "unknown";
 }

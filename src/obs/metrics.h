@@ -39,8 +39,9 @@ enum class OpKind : uint8_t {
   kDeserializeChecked,
   kQuery,
   kServiceQuery,  // whole sharded-service query: cache probe + fan-out
+  kStorageOpen,   // container open: header/directory parse + validation
 };
-inline constexpr size_t kNumOpKinds = 6;
+inline constexpr size_t kNumOpKinds = 7;
 
 std::string_view OpKindName(OpKind op);
 

@@ -84,18 +84,22 @@ size_t ShardedIndex::SizeInBytes() const {
 
 namespace {
 
-Status ValidatePlanShape(const QueryPlan& plan, size_t num_lists) {
+// Shape validation fused with leaf collection: the sorted, deduplicated
+// leaf list is what lazily-materialized snapshots need from PlanSets.
+Status CollectPlanLeaves(const QueryPlan& plan, size_t num_lists,
+                         std::vector<size_t>* leaves) {
   if (plan.op == QueryPlan::Op::kLeaf) {
     if (plan.leaf >= num_lists) {
       return Status::InvalidArgument("plan leaf out of range");
     }
+    leaves->push_back(plan.leaf);
     return Status::Ok();
   }
   if (plan.children.empty()) {
     return Status::InvalidArgument("operator node with no children");
   }
   for (const QueryPlan& child : plan.children) {
-    Status st = ValidatePlanShape(child, num_lists);
+    Status st = CollectPlanLeaves(child, num_lists, leaves);
     if (!st.ok()) return st;
   }
   return Status::Ok();
@@ -108,7 +112,7 @@ void BumpServiceCounter(const char* name) {
 
 }  // namespace
 
-IndexService::IndexService(const ShardedIndex* index, ThreadPool* pool,
+IndexService::IndexService(const IndexSnapshot* index, ThreadPool* pool,
                            const IndexServiceOptions& options,
                            EngineStats* stats)
     : index_(index), pool_(pool), stats_(stats) {
@@ -131,11 +135,14 @@ Status IndexService::Query(const QueryPlan& plan, std::vector<uint32_t>* out) {
   // Plan once: shape validation plus the canonical cache key; the fan-out
   // below reuses the original plan (same algebra, so the cache entry is
   // valid for every commutation of it).
-  Status shape = ValidatePlanShape(plan, index_->NumLists());
+  std::vector<size_t> leaves;
+  Status shape = CollectPlanLeaves(plan, index_->NumLists(), &leaves);
   if (!shape.ok()) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     return shape;
   }
+  std::sort(leaves.begin(), leaves.end());
+  leaves.erase(std::unique(leaves.begin(), leaves.end()), leaves.end());
   std::string key;
   if (cache_ != nullptr) {
     key = PlanCacheKey(index_->codec().Name(), plan);
@@ -153,8 +160,16 @@ Status IndexService::Query(const QueryPlan& plan, std::vector<uint32_t>* out) {
     TRACE_SPAN("service.fanout");
     pool_->ParallelFor(0, num_shards, [&](size_t s, size_t worker) {
       TRACE_SPAN("service.shard");
+      // Materialization failures (lazy mapped snapshots) fail just this
+      // query, with the snapshot's kCorruptData status.
+      StatusOr<std::span<const CompressedSet* const>> sets =
+          index_->PlanSets(s, leaves);
+      if (!sets.ok()) {
+        statuses[s] = sets.status();
+        return;
+      }
       statuses[s] =
-          EvaluatePlanChecked(index_->codec(), plan, index_->ShardSets(s),
+          EvaluatePlanChecked(index_->codec(), plan, sets.value(),
                               nullptr, arenas_[worker].get(), &parts[s]);
     });
   }
@@ -191,6 +206,20 @@ Status IndexService::Query(const QueryPlan& plan, std::vector<uint32_t>* out) {
 void IndexService::Invalidate(size_t shard) {
   if (cache_ != nullptr) cache_->BumpGeneration(shard);
   BumpServiceCounter("service.cache.invalidation");
+}
+
+Status IndexService::SwapSnapshot(const IndexSnapshot* next) {
+  if (next == nullptr) {
+    return Status::InvalidArgument("null snapshot");
+  }
+  if (next->NumShards() != index_->NumShards()) {
+    return Status::InvalidArgument(
+        "snapshot shard count mismatch (cache generations are per shard)");
+  }
+  index_ = next;
+  for (size_t s = 0; s < next->NumShards(); ++s) Invalidate(s);
+  BumpServiceCounter("service.snapshot.swap");
+  return Status::Ok();
 }
 
 ServiceStats IndexService::Stats() const {

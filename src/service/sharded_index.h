@@ -32,9 +32,15 @@
 // Concurrency: the index is an immutable snapshot; Query may be called from
 // several threads at once (per-worker arenas are only touched by the worker
 // that owns them, the cache locks internally, stats are atomics). Data
-// changes are modeled by swapping in a new snapshot and calling
-// Invalidate(shard), which bumps the cache's generation counter so every
+// changes are modeled by swapping in a new snapshot — SwapSnapshot, which
+// also invalidates every shard — or, for in-place shard rebuilds, calling
+// Invalidate(shard); both bump the cache's generation counters so every
 // stale entry mismatches on its next probe.
+//
+// The service queries any IndexSnapshot (service/snapshot.h): ShardedIndex
+// here, or storage/mapped_index.h's MappedIndex serving a container file
+// zero-copy. A lazily-validated snapshot can fail PlanSets with
+// kCorruptData; the service surfaces that as the query's Status.
 
 #ifndef INTCOMP_SERVICE_SHARDED_INDEX_H_
 #define INTCOMP_SERVICE_SHARDED_INDEX_H_
@@ -54,10 +60,11 @@
 #include "index/inverted_index.h"
 #include "service/result_cache.h"
 #include "service/shard_router.h"
+#include "service/snapshot.h"
 
 namespace intcomp {
 
-class ShardedIndex {
+class ShardedIndex final : public IndexSnapshot {
  public:
   // Builds from per-list sorted row-id lists (values < num_rows): list l of
   // shard s holds lists[l] ∩ [Begin(s), End(s)), rebased to local ids.
@@ -80,19 +87,26 @@ class ShardedIndex {
       const Codec& codec, const InvertedIndex& index,
       std::span<const std::string_view> terms, size_t num_shards);
 
-  const Codec& codec() const { return *codec_; }
-  const ShardRouter& Router() const { return router_; }
-  size_t NumShards() const { return router_.NumShards(); }
-  size_t NumLists() const { return num_lists_; }
-  uint64_t NumRows() const { return router_.NumRows(); }
+  ShardedIndex(ShardedIndex&&) = default;
+  ShardedIndex& operator=(ShardedIndex&&) = default;
+
+  const Codec& codec() const override { return *codec_; }
+  const ShardRouter& Router() const override { return router_; }
+  size_t NumLists() const override { return num_lists_; }
 
   // Total compressed footprint across all shards.
-  size_t SizeInBytes() const;
+  size_t SizeInBytes() const override;
 
   // Shard s's compressed sets, indexed by list id (plan leaves index into
   // this span).
   std::span<const CompressedSet* const> ShardSets(size_t s) const {
     return ptrs_[s];
+  }
+
+  // Everything is materialized at build time, so this never fails.
+  StatusOr<std::span<const CompressedSet* const>> PlanSets(
+      size_t s, std::span<const size_t> /*leaves*/) const override {
+    return StatusOr<std::span<const CompressedSet* const>>(ShardSets(s));
   }
 
  private:
@@ -125,25 +139,34 @@ class IndexService {
  public:
   // `index` and `pool` are borrowed and must outlive the service; `stats`
   // (optional) receives cache hit/miss/bypass and query-outcome counts.
-  IndexService(const ShardedIndex* index, ThreadPool* pool,
+  IndexService(const IndexSnapshot* index, ThreadPool* pool,
                const IndexServiceOptions& options, EngineStats* stats = nullptr);
 
   // Evaluates `plan` (leaves are list ids of the index) and writes the
   // matching global row ids, sorted ascending, into *out. Returns
   // kInvalidArgument for malformed plans (leaf out of range, empty operator
-  // node); on any non-OK status *out is empty.
+  // node), kCorruptData when a lazily-validated snapshot rejects a payload;
+  // on any non-OK status *out is empty.
   Status Query(const QueryPlan& plan, std::vector<uint32_t>* out);
 
   // Marks shard s's underlying data as changed: bumps the cache generation
   // so no result computed before this call can be served again.
   void Invalidate(size_t shard);
 
-  const ShardedIndex& Index() const { return *index_; }
+  // Replaces the served snapshot (e.g. remapping a rewritten container
+  // file). `next` must agree with the current snapshot on shard count —
+  // the cache's generation table is sized per shard — and is borrowed like
+  // the constructor's `index`. Every shard is invalidated, so no result
+  // computed against the old snapshot can be served again. Not safe
+  // concurrently with Query.
+  Status SwapSnapshot(const IndexSnapshot* next);
+
+  const IndexSnapshot& Index() const { return *index_; }
   ResultCache* Cache() { return cache_.get(); }
   ServiceStats Stats() const;
 
  private:
-  const ShardedIndex* index_;
+  const IndexSnapshot* index_;
   ThreadPool* pool_;
   EngineStats* stats_;
   std::unique_ptr<ResultCache> cache_;  // null when disabled

@@ -1,0 +1,55 @@
+// IndexSnapshot — the read interface the IndexService fans out over: an
+// immutable, sharded collection of per-list compressed sets.
+//
+// Two implementations exist:
+//   * ShardedIndex (service/sharded_index.h) — sets built and owned in RAM;
+//   * MappedIndex (storage/mapped_index.h)   — sets parsed from an mmap'ed
+//     container file, materialized eagerly at open or lazily per list.
+// The service treats both identically, which is what makes the persistent
+// path's results bit-identical to the in-memory path: the same plans run
+// through the same EvaluatePlanChecked over sets that decode to the same
+// values.
+//
+// PlanSets returns a StatusOr because a lazily-validated snapshot can
+// discover corruption on first touch of a payload: the service converts
+// that into a failed query (kCorruptData) instead of a crash.
+
+#ifndef INTCOMP_SERVICE_SNAPSHOT_H_
+#define INTCOMP_SERVICE_SNAPSHOT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/status.h"
+#include "core/codec.h"
+#include "service/shard_router.h"
+
+namespace intcomp {
+
+class IndexSnapshot {
+ public:
+  virtual ~IndexSnapshot() = default;
+
+  virtual const Codec& codec() const = 0;
+  virtual const ShardRouter& Router() const = 0;
+  virtual size_t NumLists() const = 0;
+
+  // Total compressed footprint across all shards.
+  virtual size_t SizeInBytes() const = 0;
+
+  size_t NumShards() const { return Router().NumShards(); }
+  uint64_t NumRows() const { return Router().NumRows(); }
+
+  // Shard `shard`'s sets, indexed by list id, ready for a plan whose leaves
+  // are `leaves` (sorted, deduplicated, all < NumLists()). Entries outside
+  // `leaves` may be null for lazily-materialized snapshots — the evaluator
+  // only dereferences the leaves of its plan. The span stays valid for the
+  // snapshot's lifetime; materialization is thread-safe.
+  virtual StatusOr<std::span<const CompressedSet* const>> PlanSets(
+      size_t shard, std::span<const size_t> leaves) const = 0;
+};
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_SERVICE_SNAPSHOT_H_

@@ -1,0 +1,91 @@
+// On-disk container format for a persisted ShardedIndex (DESIGN.md §5.10).
+//
+// File layout (all integers little-endian, all sections 8-byte aligned):
+//
+//   [ header, 64 bytes, patched in Finalize() ]
+//   [ meta section        ]  rows/lists/shards + codec name
+//   [ payload section     ]  shard-major codec images, each 8-byte aligned
+//   [ offset-table section]  one 24-byte entry per (shard, list) payload
+//   [ ...opaque sections  ]  optional extensions; unknown ids are skipped
+//   [ directory           ]  32-byte entries locating every section
+//
+// Header (offsets in bytes):
+//    0  u64 magic            "ICSTOR01"
+//    8  u16 version_major    readers reject unknown majors
+//   10  u16 version_minor    informational; minor bumps stay readable
+//   12  u32 header_bytes     64 in v1
+//   16  u64 file_bytes       total size; != actual size ⇒ torn write
+//   24  u64 directory_offset
+//   32  u32 directory_entries
+//   36  u32 directory_crc    CRC-32 of the directory bytes
+//   40  u32 header_crc       CRC-32 of header bytes [0, 40)
+//   44  .. zero padding to 64
+//
+// The writer streams sections first and patches the header last, so every
+// strict prefix of the write stream is an invalid file (bad magic, bad
+// header CRC, or a file-size mismatch) — the crash-consistency property the
+// torn-write tests replay byte by byte.
+//
+// Directory entry (32 bytes): u32 section_id, u32 reserved, u64 offset,
+// u64 length, u32 crc (CRC-32 of the section's `length` bytes),
+// u32 reserved. Length excludes inter-section padding except inside the
+// payload section, whose internal alignment padding is part of the section
+// (so its CRC covers exactly the streamed bytes).
+//
+// Offset-table entry (24 bytes): u64 offset (relative to the payload
+// section start, 8-byte aligned), u64 length, u32 crc (CRC-32 of that
+// payload image), u32 reserved. Per-payload CRCs let lazy validation check
+// only the lists a query touches. Entries are shard-major:
+// entry(shard, list) = shard * num_lists + list.
+//
+// Meta section: u64 num_rows, u64 num_lists, u64 num_shards,
+// u32 codec_name_length, codec name bytes (not NUL-terminated).
+
+#ifndef INTCOMP_STORAGE_FORMAT_H_
+#define INTCOMP_STORAGE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace intcomp::storage {
+
+// "ICSTOR01" read as a little-endian u64.
+inline constexpr uint64_t kMagic = 0x3130524F54534349ull;
+
+inline constexpr uint16_t kVersionMajor = 1;
+inline constexpr uint16_t kVersionMinor = 0;
+
+inline constexpr size_t kHeaderBytes = 64;
+inline constexpr size_t kHeaderCrcOffset = 40;  // header_crc covers [0, 40)
+inline constexpr size_t kDirEntryBytes = 32;
+inline constexpr size_t kPayloadEntryBytes = 24;
+inline constexpr size_t kSectionAlign = 8;
+
+// Section ids the v1 reader understands. Ids outside this set are legal
+// (forward compatibility): readers skip them.
+inline constexpr uint32_t kSectionMeta = 1;
+inline constexpr uint32_t kSectionOffsets = 2;
+inline constexpr uint32_t kSectionPayloads = 3;
+// First id available to extensions / tests; never interpreted by v1.
+inline constexpr uint32_t kFirstUnassignedSectionId = 1000;
+
+// Parsed forms (the wire encoding is the packed layouts described above,
+// written field by field — these structs are never memcpy'd to disk).
+struct SectionEntry {
+  uint32_t id = 0;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  uint32_t crc = 0;
+};
+
+struct PayloadEntry {
+  uint64_t offset = 0;  // relative to the payload section start
+  uint64_t length = 0;
+  uint32_t crc = 0;
+};
+
+inline constexpr uint64_t AlignUp8(uint64_t n) { return (n + 7) & ~uint64_t{7}; }
+
+}  // namespace intcomp::storage
+
+#endif  // INTCOMP_STORAGE_FORMAT_H_

@@ -1,0 +1,264 @@
+#include "storage/index_writer.h"
+
+#include <cstring>
+
+#include "common/bufio.h"
+#include "common/crc32.h"
+
+namespace intcomp::storage {
+
+// ---------------------------------------------------------------- FileSink
+
+FileSink::~FileSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileSink::Create(const std::string& path) {
+  if (file_ != nullptr) return Status::Internal("FileSink already open");
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::InvalidArgument("cannot create file: " + path);
+  }
+  end_ = 0;
+  return Status::Ok();
+}
+
+Status FileSink::Append(std::span<const uint8_t> bytes) {
+  if (file_ == nullptr) return Status::Internal("FileSink not open");
+  if (!bytes.empty() &&
+      std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    return Status::Internal("short write");
+  }
+  end_ += bytes.size();
+  return Status::Ok();
+}
+
+Status FileSink::WriteAt(uint64_t offset, std::span<const uint8_t> bytes) {
+  if (file_ == nullptr) return Status::Internal("FileSink not open");
+  if (offset + bytes.size() > end_) {
+    return Status::Internal("WriteAt past end of stream");
+  }
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    return Status::Internal("seek failed");
+  }
+  if (!bytes.empty() &&
+      std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    return Status::Internal("short write");
+  }
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    return Status::Internal("seek failed");
+  }
+  return Status::Ok();
+}
+
+Status FileSink::Flush() {
+  if (file_ != nullptr && std::fflush(file_) != 0) {
+    return Status::Internal("flush failed");
+  }
+  return Status::Ok();
+}
+
+Status FileSink::Close() {
+  if (file_ == nullptr) return Status::Ok();
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  return rc == 0 ? Status::Ok() : Status::Internal("close failed");
+}
+
+// -------------------------------------------------------------- VectorSink
+
+Status VectorSink::Append(std::span<const uint8_t> bytes) {
+  out_->insert(out_->end(), bytes.begin(), bytes.end());
+  return Status::Ok();
+}
+
+Status VectorSink::WriteAt(uint64_t offset, std::span<const uint8_t> bytes) {
+  if (offset + bytes.size() > out_->size()) {
+    return Status::Internal("WriteAt past end of stream");
+  }
+  if (!bytes.empty()) {
+    std::memcpy(out_->data() + offset, bytes.data(), bytes.size());
+  }
+  return Status::Ok();
+}
+
+// ------------------------------------------------------------- IndexWriter
+
+Status IndexWriter::AppendRaw(std::span<const uint8_t> bytes) {
+  Status st = sink_->Append(bytes);
+  if (st.ok()) pos_ += bytes.size();
+  return st;
+}
+
+Status IndexWriter::PadToAlignment() {
+  static constexpr uint8_t kZeros[kSectionAlign] = {};
+  const uint64_t padded = AlignUp8(pos_);
+  if (padded == pos_) return Status::Ok();
+  return AppendRaw({kZeros, static_cast<size_t>(padded - pos_)});
+}
+
+Status IndexWriter::WriteShardedIndex(const ShardedIndex& index) {
+  if (wrote_index_ || finalized_) {
+    return Status::Internal("WriteShardedIndex called twice");
+  }
+  wrote_index_ = true;
+
+  // Header placeholder: all zeros (invalid magic) until Finalize patches it.
+  const std::vector<uint8_t> zeros(kHeaderBytes, 0);
+  Status st = AppendRaw(zeros);
+  if (!st.ok()) return st;
+
+  const size_t num_shards = index.NumShards();
+  const size_t num_lists = index.NumLists();
+
+  // Meta section.
+  {
+    std::vector<uint8_t> meta;
+    ByteWriter w(&meta);
+    w.PutU64(index.NumRows());
+    w.PutU64(num_lists);
+    w.PutU64(num_shards);
+    const std::string_view name = index.codec().Name();
+    w.PutU32(static_cast<uint32_t>(name.size()));
+    w.PutBytes(reinterpret_cast<const uint8_t*>(name.data()), name.size());
+    directory_.push_back(
+        {kSectionMeta, pos_, meta.size(), Crc32Of(meta)});
+    st = AppendRaw(meta);
+    if (!st.ok()) return st;
+    st = PadToAlignment();
+    if (!st.ok()) return st;
+  }
+
+  // Payload section: shard-major images, each padded to 8 bytes so mapped
+  // readers can borrow word arrays in place. The section CRC covers the
+  // streamed bytes including internal padding.
+  std::vector<PayloadEntry> offsets;
+  offsets.reserve(num_shards * num_lists);
+  const uint64_t payload_start = pos_;
+  Crc32 payload_crc;
+  std::vector<uint8_t> image;
+  for (size_t s = 0; s < num_shards; ++s) {
+    std::span<const CompressedSet* const> sets = index.ShardSets(s);
+    for (size_t l = 0; l < num_lists; ++l) {
+      image.clear();
+      index.codec().Serialize(*sets[l], &image);
+      offsets.push_back({pos_ - payload_start, image.size(), Crc32Of(image)});
+      payload_crc.Update(image.data(), image.size());
+      st = AppendRaw(image);
+      if (!st.ok()) return st;
+      const uint64_t padded = AlignUp8(pos_);
+      if (padded != pos_) {
+        static constexpr uint8_t kZeros[kSectionAlign] = {};
+        payload_crc.Update(kZeros, static_cast<size_t>(padded - pos_));
+        st = AppendRaw({kZeros, static_cast<size_t>(padded - pos_)});
+        if (!st.ok()) return st;
+      }
+    }
+  }
+  directory_.push_back(
+      {kSectionPayloads, payload_start, pos_ - payload_start,
+       payload_crc.Value()});
+
+  // Offset table (entries are 24 bytes, so the section stays 8-aligned).
+  {
+    std::vector<uint8_t> table;
+    table.reserve(offsets.size() * kPayloadEntryBytes);
+    ByteWriter w(&table);
+    for (const PayloadEntry& e : offsets) {
+      w.PutU64(e.offset);
+      w.PutU64(e.length);
+      w.PutU32(e.crc);
+      w.PutU32(0);
+    }
+    directory_.push_back(
+        {kSectionOffsets, pos_, table.size(), Crc32Of(table)});
+    st = AppendRaw(table);
+    if (!st.ok()) return st;
+  }
+  return PadToAlignment();
+}
+
+Status IndexWriter::AppendOpaqueSection(uint32_t id,
+                                        std::span<const uint8_t> bytes) {
+  if (!wrote_index_ || finalized_) {
+    return Status::Internal("AppendOpaqueSection outside write window");
+  }
+  if (id == kSectionMeta || id == kSectionOffsets || id == kSectionPayloads) {
+    return Status::InvalidArgument("opaque section id collides with v1 id");
+  }
+  Status st = PadToAlignment();
+  if (!st.ok()) return st;
+  directory_.push_back(
+      {id, pos_, bytes.size(), Crc32Of({bytes.data(), bytes.size()})});
+  st = AppendRaw(bytes);
+  if (!st.ok()) return st;
+  return PadToAlignment();
+}
+
+Status IndexWriter::Finalize() {
+  if (!wrote_index_) return Status::Internal("Finalize before write");
+  if (finalized_) return Status::Internal("Finalize called twice");
+  finalized_ = true;
+
+  Status st = PadToAlignment();
+  if (!st.ok()) return st;
+
+  const uint64_t directory_offset = pos_;
+  std::vector<uint8_t> dir;
+  dir.reserve(directory_.size() * kDirEntryBytes);
+  {
+    ByteWriter w(&dir);
+    for (const SectionEntry& e : directory_) {
+      w.PutU32(e.id);
+      w.PutU32(0);
+      w.PutU64(e.offset);
+      w.PutU64(e.length);
+      w.PutU32(e.crc);
+      w.PutU32(0);
+    }
+  }
+  st = AppendRaw(dir);
+  if (!st.ok()) return st;
+
+  // Header patch — the stream's final op. Until it lands, the file has a
+  // zero magic and cannot open.
+  std::vector<uint8_t> header;
+  header.reserve(kHeaderBytes);
+  ByteWriter w(&header);
+  w.PutU64(kMagic);
+  w.PutU16(kVersionMajor);
+  w.PutU16(kVersionMinor);
+  w.PutU32(static_cast<uint32_t>(kHeaderBytes));
+  w.PutU64(pos_);  // file_bytes
+  w.PutU64(directory_offset);
+  w.PutU32(static_cast<uint32_t>(directory_.size()));
+  w.PutU32(Crc32Of(dir));
+  w.PutU32(Crc32Of({header.data(), kHeaderCrcOffset}));
+  header.resize(kHeaderBytes, 0);
+  st = sink_->WriteAt(0, header);
+  if (!st.ok()) return st;
+  return sink_->Flush();
+}
+
+Status WriteIndexFile(const std::string& path, const ShardedIndex& index) {
+  FileSink sink;
+  Status st = sink.Create(path);
+  if (!st.ok()) return st;
+  IndexWriter writer(&sink);
+  st = writer.WriteShardedIndex(index);
+  if (!st.ok()) return st;
+  st = writer.Finalize();
+  if (!st.ok()) return st;
+  return sink.Close();
+}
+
+Status WriteIndexImage(const ShardedIndex& index, std::vector<uint8_t>* image) {
+  image->clear();
+  VectorSink sink(image);
+  IndexWriter writer(&sink);
+  Status st = writer.WriteShardedIndex(index);
+  if (!st.ok()) return st;
+  return writer.Finalize();
+}
+
+}  // namespace intcomp::storage

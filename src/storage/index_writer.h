@@ -1,0 +1,111 @@
+// IndexWriter — streams a ShardedIndex into the container format of
+// format.h through a StorageSink.
+//
+// The sink abstraction exists for the crash-consistency tests: a recording
+// sink captures the exact op stream (appends + the final header patch) so
+// every byte-prefix of it can be replayed against MappedIndex::OpenBorrowed.
+// Production writes go through FileSink.
+//
+// Usage:
+//   FileSink sink;
+//   RETURN_IF_ERROR(sink.Create(path));
+//   IndexWriter writer(&sink);
+//   RETURN_IF_ERROR(writer.WriteShardedIndex(index));
+//   RETURN_IF_ERROR(writer.Finalize());   // directory + header patch
+// or the one-call convenience WriteIndexFile(path, index).
+
+#ifndef INTCOMP_STORAGE_INDEX_WRITER_H_
+#define INTCOMP_STORAGE_INDEX_WRITER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "service/sharded_index.h"
+#include "storage/format.h"
+
+namespace intcomp::storage {
+
+// Byte destination for the writer. Append grows the stream at its end;
+// WriteAt patches previously-appended bytes (the writer only uses it for
+// the final header patch, which is what gives prefixes their fail-closed
+// property).
+class StorageSink {
+ public:
+  virtual ~StorageSink() = default;
+  virtual Status Append(std::span<const uint8_t> bytes) = 0;
+  virtual Status WriteAt(uint64_t offset, std::span<const uint8_t> bytes) = 0;
+  virtual Status Flush() = 0;
+};
+
+class FileSink final : public StorageSink {
+ public:
+  FileSink() = default;
+  ~FileSink() override;
+  FileSink(const FileSink&) = delete;
+  FileSink& operator=(const FileSink&) = delete;
+
+  Status Create(const std::string& path);  // truncates
+  Status Append(std::span<const uint8_t> bytes) override;
+  Status WriteAt(uint64_t offset, std::span<const uint8_t> bytes) override;
+  Status Flush() override;
+  Status Close();
+
+ private:
+  std::FILE* file_ = nullptr;
+  uint64_t end_ = 0;
+};
+
+// Appends into a caller-owned buffer; WriteAt patches in place. Used by
+// tests and by WriteIndexImage.
+class VectorSink final : public StorageSink {
+ public:
+  explicit VectorSink(std::vector<uint8_t>* out) : out_(out) {}
+  Status Append(std::span<const uint8_t> bytes) override;
+  Status WriteAt(uint64_t offset, std::span<const uint8_t> bytes) override;
+  Status Flush() override { return Status::Ok(); }
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+class IndexWriter {
+ public:
+  // `sink` is borrowed and must outlive the writer.
+  explicit IndexWriter(StorageSink* sink) : sink_(sink) {}
+
+  // Streams header placeholder + meta + payloads + offset table. Call once.
+  Status WriteShardedIndex(const ShardedIndex& index);
+
+  // Optional extension section, appended after WriteShardedIndex and before
+  // Finalize. v1 readers skip ids they do not know, which the format-skew
+  // tests exercise. `id` must not collide with the assigned section ids.
+  Status AppendOpaqueSection(uint32_t id, std::span<const uint8_t> bytes);
+
+  // Writes the directory, then patches the header (the last sink op). After
+  // this the file is complete and self-validating.
+  Status Finalize();
+
+  uint64_t BytesWritten() const { return pos_; }
+
+ private:
+  Status AppendRaw(std::span<const uint8_t> bytes);
+  Status PadToAlignment();
+
+  StorageSink* sink_;
+  uint64_t pos_ = 0;
+  bool wrote_index_ = false;
+  bool finalized_ = false;
+  std::vector<SectionEntry> directory_;
+};
+
+// Convenience wrappers: stream `index` into a fresh file / into *image.
+Status WriteIndexFile(const std::string& path, const ShardedIndex& index);
+Status WriteIndexImage(const ShardedIndex& index, std::vector<uint8_t>* image);
+
+}  // namespace intcomp::storage
+
+#endif  // INTCOMP_STORAGE_INDEX_WRITER_H_

@@ -1,0 +1,43 @@
+#include "storage/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace intcomp::storage {
+
+void MappedFile::Reset() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+StatusOr<MappedFile> MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::InvalidArgument("cannot open file: " + path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Status::Internal("fstat failed: " + path);
+  }
+  MappedFile file;
+  if (st.st_size > 0) {
+    void* map = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
+                       MAP_PRIVATE, fd, 0);
+    if (map == MAP_FAILED) {
+      ::close(fd);
+      return Status::Internal("mmap failed: " + path);
+    }
+    file.data_ = static_cast<const uint8_t*>(map);
+    file.size_ = static_cast<size_t>(st.st_size);
+  }
+  ::close(fd);  // the mapping survives the descriptor
+  return StatusOr<MappedFile>(std::move(file));
+}
+
+}  // namespace intcomp::storage

@@ -1,0 +1,50 @@
+// MappedFile — read-only mmap of a whole file, RAII-owned. The mapping
+// outlives the descriptor (closed right after mmap), so a MappedFile is
+// just a span plus an munmap at destruction.
+
+#ifndef INTCOMP_STORAGE_MAPPED_FILE_H_
+#define INTCOMP_STORAGE_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace intcomp::storage {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile() { Reset(); }
+
+  MappedFile(MappedFile&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  static StatusOr<MappedFile> Open(const std::string& path);
+
+  std::span<const uint8_t> bytes() const { return {data_, size_}; }
+
+ private:
+  void Reset();
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace intcomp::storage
+
+#endif  // INTCOMP_STORAGE_MAPPED_FILE_H_

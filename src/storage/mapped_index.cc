@@ -1,0 +1,309 @@
+#include "storage/mapped_index.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "common/crc32.h"
+#include "core/registry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace intcomp::storage {
+
+namespace {
+
+void BumpStorageCounter(const char* name) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  if (reg.Enabled()) reg.AddCounter(name, 1);
+}
+
+// offset/length describe a sub-range of a buffer of `size` bytes.
+bool RangeInBounds(uint64_t offset, uint64_t length, uint64_t size) {
+  return offset <= size && length <= size - offset;
+}
+
+}  // namespace
+
+Status MappedIndex::Parse() {
+  const uint64_t size = bytes_.size();
+  if (size < kHeaderBytes) {
+    return Status::Corrupt("container smaller than header");
+  }
+
+  // Header.
+  CheckedByteReader header(bytes_.data(), kHeaderBytes);
+  uint64_t magic = 0, file_bytes = 0, directory_offset = 0;
+  uint16_t version_major = 0, version_minor = 0;
+  uint32_t header_bytes = 0, directory_entries = 0, directory_crc = 0,
+           header_crc = 0;
+  header.GetU64(&magic);
+  header.GetU16(&version_major);
+  header.GetU16(&version_minor);
+  header.GetU32(&header_bytes);
+  header.GetU64(&file_bytes);
+  header.GetU64(&directory_offset);
+  header.GetU32(&directory_entries);
+  header.GetU32(&directory_crc);
+  header.GetU32(&header_crc);
+  if (magic != kMagic) {
+    return Status::Corrupt("bad magic (not a container, or torn header)");
+  }
+  if (header_crc != Crc32Of(bytes_.subspan(0, kHeaderCrcOffset))) {
+    return Status::Corrupt("header checksum mismatch");
+  }
+  if (version_major != kVersionMajor) {
+    return Status::Corrupt("unsupported major format version");
+  }
+  if (header_bytes != kHeaderBytes) {
+    return Status::Corrupt("bad header size for format v1");
+  }
+  if (file_bytes != size) {
+    return Status::Corrupt("file size mismatch (truncated or torn write)");
+  }
+
+  // Directory.
+  const uint64_t dir_len =
+      static_cast<uint64_t>(directory_entries) * kDirEntryBytes;
+  if (directory_offset < kHeaderBytes ||
+      !RangeInBounds(directory_offset, dir_len, size)) {
+    return Status::Corrupt("directory out of bounds");
+  }
+  const std::span<const uint8_t> dir =
+      bytes_.subspan(static_cast<size_t>(directory_offset),
+                     static_cast<size_t>(dir_len));
+  if (directory_crc != Crc32Of(dir)) {
+    return Status::Corrupt("directory checksum mismatch");
+  }
+  SectionEntry meta_section, offsets_section;
+  bool have_meta = false, have_offsets = false, have_payloads = false;
+  CheckedByteReader dir_reader(dir.data(), dir.size());
+  for (uint32_t i = 0; i < directory_entries; ++i) {
+    SectionEntry e;
+    uint32_t reserved = 0;
+    dir_reader.GetU32(&e.id);
+    dir_reader.GetU32(&reserved);
+    dir_reader.GetU64(&e.offset);
+    dir_reader.GetU64(&e.length);
+    dir_reader.GetU32(&e.crc);
+    dir_reader.GetU32(&reserved);
+    if (e.offset < kHeaderBytes || !RangeInBounds(e.offset, e.length, size)) {
+      return Status::Corrupt("section out of bounds");
+    }
+    switch (e.id) {
+      case kSectionMeta:
+        if (have_meta) return Status::Corrupt("duplicate meta section");
+        have_meta = true;
+        meta_section = e;
+        break;
+      case kSectionOffsets:
+        if (have_offsets) return Status::Corrupt("duplicate offset section");
+        have_offsets = true;
+        offsets_section = e;
+        break;
+      case kSectionPayloads:
+        if (have_payloads) return Status::Corrupt("duplicate payload section");
+        have_payloads = true;
+        payload_section_ = e;
+        break;
+      default:
+        break;  // unknown section: skip (forward compatibility)
+    }
+  }
+  if (!have_meta || !have_offsets || !have_payloads) {
+    return Status::Corrupt("missing required section");
+  }
+
+  // Meta.
+  {
+    const std::span<const uint8_t> meta = SectionBytes(meta_section);
+    if (meta_section.crc != Crc32Of(meta)) {
+      return Status::Corrupt("meta section checksum mismatch");
+    }
+    CheckedByteReader r(meta.data(), meta.size());
+    uint64_t num_rows = 0, num_lists = 0, num_shards = 0;
+    uint32_t name_len = 0;
+    if (!r.GetU64(&num_rows) || !r.GetU64(&num_lists) ||
+        !r.GetU64(&num_shards) || !r.GetU32(&name_len)) {
+      return Status::Corrupt("meta section truncated");
+    }
+    if (num_rows < 1 || num_rows > (uint64_t{1} << 32)) {
+      return Status::Corrupt("row count out of range");
+    }
+    if (name_len > r.Remaining()) {
+      return Status::Corrupt("codec name truncated");
+    }
+    std::string name(name_len, '\0');
+    r.GetBytes(reinterpret_cast<uint8_t*>(name.data()), name_len);
+    codec_ = FindCodec(name);
+    if (codec_ == nullptr) {
+      return Status::Corrupt("unknown codec: " + name);
+    }
+    router_ = ShardRouter(num_rows, static_cast<size_t>(
+                                        std::min<uint64_t>(num_shards, size)));
+    if (router_.NumShards() != num_shards) {
+      // The router clamps; a file whose claimed shard count the router
+      // cannot reproduce would silently serve a different partitioning.
+      return Status::Corrupt("shard count out of range for row count");
+    }
+    num_lists_ = static_cast<size_t>(num_lists);
+  }
+
+  // Offset table. Entry count must match shards × lists exactly. The count
+  // is derived from the actual section size (so every allocation below is
+  // bounded by the file size) and the meta product is checked against it
+  // with an overflow guard — `shards * lists * 24` on raw meta values
+  // could wrap and alias a small table.
+  const size_t num_shards = router_.NumShards();
+  const std::span<const uint8_t> table = SectionBytes(offsets_section);
+  if (offsets_section.crc != Crc32Of(table)) {
+    return Status::Corrupt("offset table checksum mismatch");
+  }
+  if (table.size() % kPayloadEntryBytes != 0) {
+    return Status::Corrupt("offset table size not a whole entry count");
+  }
+  const size_t num_payloads = table.size() / kPayloadEntryBytes;
+  if (num_lists_ != 0 &&
+      num_shards > std::numeric_limits<size_t>::max() / num_lists_) {
+    return Status::Corrupt("payload count overflow");
+  }
+  if (num_shards * num_lists_ != num_payloads) {
+    return Status::Corrupt("offset table size does not match meta counts");
+  }
+  {
+    payloads_.reserve(num_payloads);
+    payload_bytes_ = 0;
+    CheckedByteReader r(table.data(), table.size());
+    for (size_t i = 0; i < num_payloads; ++i) {
+      PayloadEntry e;
+      uint32_t reserved = 0;
+      r.GetU64(&e.offset);
+      r.GetU64(&e.length);
+      r.GetU32(&e.crc);
+      r.GetU32(&reserved);
+      if (e.offset % kSectionAlign != 0) {
+        return Status::Corrupt("misaligned payload offset");
+      }
+      if (!RangeInBounds(e.offset, e.length, payload_section_.length)) {
+        return Status::Corrupt("payload out of bounds");
+      }
+      payload_bytes_ += static_cast<size_t>(e.length);
+      payloads_.push_back(e);
+    }
+  }
+
+  sets_.resize(num_payloads);
+  ptrs_.assign(num_payloads, nullptr);
+  shard_mu_ = std::make_unique<std::mutex[]>(num_shards);
+  return Status::Ok();
+}
+
+Status MappedIndex::Materialize(size_t shard, size_t idx) const {
+  const PayloadEntry& e = payloads_[idx];
+  const std::span<const uint8_t> image =
+      SectionBytes(payload_section_)
+          .subspan(static_cast<size_t>(e.offset), static_cast<size_t>(e.length));
+  if (e.crc != Crc32Of(image)) {
+    return Status::Corrupt("payload checksum mismatch");
+  }
+  StatusOr<std::unique_ptr<CompressedSet>> set =
+      codec_->DeserializeCheckedView(image, router_.ShardRows(shard));
+  if (!set.ok()) return set.status();
+  materialized_.fetch_add(1, std::memory_order_relaxed);
+  if (codec_->SupportsViewDeserialize()) {
+    zero_copy_.fetch_add(1, std::memory_order_relaxed);
+  }
+  sets_[idx] = std::move(set.value());
+  ptrs_[idx] = sets_[idx].get();
+  return Status::Ok();
+}
+
+Status MappedIndex::ValidateAllPayloads() const {
+  const size_t num_shards = router_.NumShards();
+  for (size_t s = 0; s < num_shards; ++s) {
+    std::lock_guard<std::mutex> lock(shard_mu_[s]);
+    for (size_t l = 0; l < num_lists_; ++l) {
+      const size_t idx = s * num_lists_ + l;
+      if (sets_[idx] != nullptr) continue;
+      Status st = Materialize(s, idx);
+      if (!st.ok()) return st;
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::span<const CompressedSet* const>> MappedIndex::PlanSets(
+    size_t shard, std::span<const size_t> leaves) const {
+  if (shard >= router_.NumShards()) {
+    return Status::InvalidArgument("shard out of range");
+  }
+  const size_t base = shard * num_lists_;
+  if (mode_ == ValidateMode::kLazy) {
+    std::lock_guard<std::mutex> lock(shard_mu_[shard]);
+    for (size_t leaf : leaves) {
+      if (leaf >= num_lists_) {
+        return Status::InvalidArgument("plan leaf out of range");
+      }
+      if (sets_[base + leaf] != nullptr) continue;
+      Status st = Materialize(shard, base + leaf);
+      if (!st.ok()) {
+        BumpStorageCounter("storage.lazy_materialize_failure");
+        return st;
+      }
+    }
+  }
+  return StatusOr<std::span<const CompressedSet* const>>(
+      std::span<const CompressedSet* const>(ptrs_.data() + base, num_lists_));
+}
+
+std::span<const uint8_t> MappedIndex::PayloadBytes(size_t shard,
+                                                   size_t list) const {
+  const PayloadEntry& e = payloads_[shard * num_lists_ + list];
+  return SectionBytes(payload_section_)
+      .subspan(static_cast<size_t>(e.offset), static_cast<size_t>(e.length));
+}
+
+StatusOr<std::unique_ptr<MappedIndex>> MappedIndex::OpenImpl(
+    MappedFile file, std::span<const uint8_t> bytes,
+    const MappedIndexOptions& options) {
+  TRACE_SPAN("storage.open");
+  std::unique_ptr<MappedIndex> index(new MappedIndex());
+  index->file_ = std::move(file);
+  index->bytes_ = bytes;
+  index->mode_ = options.validate;
+  Status st = index->Parse();
+  if (st.ok() && options.validate == ValidateMode::kEager) {
+    obs::ScopedOpTimer timer(index->codec().Name(), obs::OpKind::kStorageOpen);
+    // Whole-section CRC first (one linear pass also catches corruption in
+    // the inter-payload padding, which per-payload CRCs cannot see), then
+    // every payload. Lazy mode skips both; per-payload CRCs cover it at
+    // first touch.
+    if (index->payload_section_.crc !=
+        Crc32Of(index->SectionBytes(index->payload_section_))) {
+      st = Status::Corrupt("payload section checksum mismatch");
+    } else {
+      st = index->ValidateAllPayloads();
+    }
+  }
+  if (!st.ok()) {
+    BumpStorageCounter("storage.open_failure");
+    return st;
+  }
+  BumpStorageCounter("storage.open");
+  return StatusOr<std::unique_ptr<MappedIndex>>(std::move(index));
+}
+
+StatusOr<std::unique_ptr<MappedIndex>> MappedIndex::Open(
+    const std::string& path, const MappedIndexOptions& options) {
+  StatusOr<MappedFile> file = MappedFile::Open(path);
+  if (!file.ok()) return file.status();
+  const std::span<const uint8_t> bytes = file.value().bytes();
+  return OpenImpl(std::move(file.value()), bytes, options);
+}
+
+StatusOr<std::unique_ptr<MappedIndex>> MappedIndex::OpenBorrowed(
+    std::span<const uint8_t> bytes, const MappedIndexOptions& options) {
+  return OpenImpl(MappedFile(), bytes, options);
+}
+
+}  // namespace intcomp::storage

@@ -1,0 +1,144 @@
+// MappedIndex — serves a container file (format.h) as an IndexSnapshot
+// without deserializing payloads up front.
+//
+// Open mmaps the file, parses header/directory/meta/offset-table with full
+// bounds- and checksum-validation (a hostile or torn file yields a Status,
+// never a crash), then materializes per-list sets in one of two modes:
+//
+//   kEager — every payload is CRC-checked and parsed through
+//            DeserializeCheckedView at open; Open fails on the first bad
+//            list and queries never see corruption.
+//   kLazy  — open validates only the structural sections; a payload is
+//            CRC-checked + parsed on the first query that touches its list
+//            (per-shard mutex). Corruption discovered late fails that query
+//            with kCorruptData via PlanSets.
+//
+// Codecs that support view deserialization (the RLE bitmap family, Bitset,
+// List) borrow their word arrays straight from the mapping — zero copy;
+// the writer 8-byte-aligns every payload to make those borrows aligned.
+// Other codecs parse into owned memory, still lazily in kLazy mode.
+//
+// Thread safety: PlanSets may be called concurrently (the service fans out
+// one task per shard, and several queries can run at once). Lazy
+// materialization synchronizes on a per-shard mutex; a reader only
+// dereferences set pointers for leaves it ensured under that mutex, which
+// establishes the happens-before edge with whichever thread parsed them.
+
+#ifndef INTCOMP_STORAGE_MAPPED_INDEX_H_
+#define INTCOMP_STORAGE_MAPPED_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/codec.h"
+#include "service/shard_router.h"
+#include "service/snapshot.h"
+#include "storage/format.h"
+#include "storage/mapped_file.h"
+
+namespace intcomp::storage {
+
+enum class ValidateMode {
+  kEager,  // validate every payload at open
+  kLazy,   // validate a payload on first touch
+};
+
+struct MappedIndexOptions {
+  ValidateMode validate = ValidateMode::kEager;
+};
+
+class MappedIndex final : public IndexSnapshot {
+ public:
+  // Maps `path` and parses/validates it per `options`.
+  static StatusOr<std::unique_ptr<MappedIndex>> Open(
+      const std::string& path, const MappedIndexOptions& options = {});
+
+  // Serves a caller-owned image (no mmap): `bytes` must stay alive and
+  // unchanged for the index's lifetime. This is the corruption-fuzz entry
+  // point — same parser, no filesystem round trip.
+  static StatusOr<std::unique_ptr<MappedIndex>> OpenBorrowed(
+      std::span<const uint8_t> bytes, const MappedIndexOptions& options = {});
+
+  MappedIndex(const MappedIndex&) = delete;
+  MappedIndex& operator=(const MappedIndex&) = delete;
+
+  // IndexSnapshot:
+  const Codec& codec() const override { return *codec_; }
+  const ShardRouter& Router() const override { return router_; }
+  size_t NumLists() const override { return num_lists_; }
+  // Sum of on-disk payload lengths (the compressed footprint being served).
+  size_t SizeInBytes() const override { return payload_bytes_; }
+  StatusOr<std::span<const CompressedSet* const>> PlanSets(
+      size_t shard, std::span<const size_t> leaves) const override;
+
+  ValidateMode Mode() const { return mode_; }
+  uint64_t FileBytes() const { return bytes_.size(); }
+
+  // Raw on-disk image of one list's payload (tests compare these across
+  // writer runs for byte-identical output).
+  std::span<const uint8_t> PayloadBytes(size_t shard, size_t list) const;
+
+  // Materializes (CRC + checked parse) every payload; what kEager open
+  // runs. Idempotent; safe to call on a lazy index to pre-warm it.
+  Status ValidateAllPayloads() const;
+
+  // Materialization counters (lifetime totals, cross-thread).
+  uint64_t MaterializedPayloads() const {
+    return materialized_.load(std::memory_order_relaxed);
+  }
+  // Of the materialized payloads, how many borrowed the mapping zero-copy.
+  uint64_t ZeroCopyPayloads() const {
+    return zero_copy_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  MappedIndex() = default;
+
+  static StatusOr<std::unique_ptr<MappedIndex>> OpenImpl(
+      MappedFile file, std::span<const uint8_t> bytes,
+      const MappedIndexOptions& options);
+
+  // Parses + validates header, directory, meta and offset table.
+  Status Parse();
+
+  // CRC-checks and parses payload `idx` into sets_[idx]/ptrs_[idx].
+  // REQUIRES: sets_[idx] == nullptr; caller holds the shard's mutex (or is
+  // the single opening thread).
+  Status Materialize(size_t shard, size_t idx) const;
+
+  std::span<const uint8_t> SectionBytes(const SectionEntry& e) const {
+    return bytes_.subspan(static_cast<size_t>(e.offset),
+                          static_cast<size_t>(e.length));
+  }
+
+  MappedFile file_;  // empty when serving borrowed bytes
+  std::span<const uint8_t> bytes_;
+  ValidateMode mode_ = ValidateMode::kEager;
+
+  const Codec* codec_ = nullptr;
+  ShardRouter router_;
+  size_t num_lists_ = 0;
+  size_t payload_bytes_ = 0;
+
+  SectionEntry payload_section_;
+  std::vector<PayloadEntry> payloads_;  // shard-major, shard*num_lists+list
+
+  // Materialized sets, same indexing as payloads_. Sized once in Parse and
+  // never resized, so lazy writers touch disjoint slots.
+  mutable std::vector<std::unique_ptr<CompressedSet>> sets_;
+  mutable std::vector<const CompressedSet*> ptrs_;
+  mutable std::unique_ptr<std::mutex[]> shard_mu_;  // [NumShards()]
+
+  mutable std::atomic<uint64_t> materialized_{0};
+  mutable std::atomic<uint64_t> zero_copy_{0};
+};
+
+}  // namespace intcomp::storage
+
+#endif  // INTCOMP_STORAGE_MAPPED_INDEX_H_

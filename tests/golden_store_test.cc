@@ -1,0 +1,230 @@
+// Golden container-image regression vectors: one committed container file
+// per pinned codec under tests/data/golden_store/. The test rebuilds the
+// fixed index, streams it through the writer, and byte-compares against
+// the committed file — any accidental change to the container layout
+// (header fields, section order, alignment, CRC placement) fails loudly.
+// The committed file is then round-tripped through the real mmap path
+// (MappedIndex::Open on the committed path) to prove old persisted
+// containers stay readable and query-identical.
+//
+// Also pins the format-evolution rules of format.h:
+//   * a minor version bump stays readable,
+//   * an unknown major version is rejected,
+//   * unknown trailing sections are skipped.
+//
+// When a layout change is INTENTIONAL, regenerate and commit:
+//
+//   ./tests/golden_store_test --regen-golden
+//
+// The generator inputs are fixed constants on purpose — golden data must
+// not depend on INTCOMP_TEST_SEED (seeds here bypass TestSeed()).
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/crc32.h"
+#include "core/query.h"
+#include "core/registry.h"
+#include "engine/thread_pool.h"
+#include "service/sharded_index.h"
+#include "storage/format.h"
+#include "storage/index_writer.h"
+#include "storage/mapped_index.h"
+#include "test_util.h"
+
+namespace intcomp {
+namespace {
+
+#ifndef INTCOMP_GOLDEN_STORE_DIR
+#error "build must define INTCOMP_GOLDEN_STORE_DIR (see tests/CMakeLists.txt)"
+#endif
+
+using storage::MappedIndex;
+
+bool g_regen = false;
+
+constexpr uint64_t kRows = 2000;
+constexpr size_t kNumLists = 4;
+constexpr size_t kShards = 3;
+
+// Layout drift in any codec family should trip at least one pin.
+const char* const kPinnedCodecs[] = {"WAH", "Roaring", "List", "VB"};
+
+std::vector<std::vector<uint32_t>> GoldenLists() {
+  std::vector<std::vector<uint32_t>> lists;
+  for (size_t i = 0; i < kNumLists; ++i) {
+    lists.push_back(RandomSortedList(80 + 240 * i, kRows, 31500 + i));
+  }
+  return lists;
+}
+
+ShardedIndex GoldenIndex(const Codec& codec) {
+  return ShardedIndex::Build(codec, GoldenLists(), kRows, kShards);
+}
+
+std::string GoldenPath(const Codec& codec) {
+  return std::string(INTCOMP_GOLDEN_STORE_DIR) + "/" +
+         std::string(codec.Name()) + "_store.bin";
+}
+
+bool ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+bool WriteFileBytes(const std::string& path,
+                    const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out.flush());
+}
+
+std::vector<uint32_t> QueryRows(const IndexSnapshot& index,
+                                const QueryPlan& plan) {
+  ThreadPool pool(2);
+  IndexServiceOptions options;
+  options.cache_enabled = false;
+  IndexService service(&index, &pool, options);
+  std::vector<uint32_t> rows;
+  EXPECT_TRUE(service.Query(plan, &rows).ok());
+  return rows;
+}
+
+QueryPlan BatteryPlan() {
+  return QueryPlan::Or(
+      {QueryPlan::And({QueryPlan::Leaf(1), QueryPlan::Leaf(3)}),
+       QueryPlan::Leaf(0)});
+}
+
+class GoldenStoreTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GoldenStoreTest, ContainerBytesMatchCommittedFileAndStayReadable) {
+  const Codec& codec = *FindCodec(GetParam());
+  const ShardedIndex index = GoldenIndex(codec);
+  std::vector<uint8_t> image;
+  ASSERT_TRUE(storage::WriteIndexImage(index, &image).ok());
+  ASSERT_FALSE(image.empty());
+
+  const std::string path = GoldenPath(codec);
+  if (g_regen) {
+    ASSERT_TRUE(WriteFileBytes(path, image)) << "cannot write " << path;
+  }
+  std::vector<uint8_t> golden;
+  ASSERT_TRUE(ReadFileBytes(path, &golden))
+      << "missing golden container " << path
+      << " — run ./tests/golden_store_test --regen-golden and commit "
+         "tests/data/golden_store/";
+  ASSERT_EQ(golden.size(), image.size()) << "container size drifted";
+  ASSERT_TRUE(std::memcmp(golden.data(), image.data(), image.size()) == 0)
+      << "container bytes drifted from " << path
+      << " — if the layout change is intentional, regenerate with "
+         "--regen-golden";
+
+  // The committed container must stay servable through the real mmap path,
+  // bit-identically to the freshly built in-memory index.
+  auto mapped = MappedIndex::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().message();
+  const QueryPlan plan = BatteryPlan();
+  EXPECT_EQ(QueryRows(**mapped, plan), QueryRows(index, plan));
+}
+
+INSTANTIATE_TEST_SUITE_P(PinnedCodecs, GoldenStoreTest,
+                         ::testing::ValuesIn(kPinnedCodecs),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+// ------------------------------------------------------ format evolution
+
+// Patches the header's version fields and recomputes the header CRC so
+// only the version check can reject the file.
+std::vector<uint8_t> WithVersion(std::vector<uint8_t> image, uint16_t major,
+                                 uint16_t minor) {
+  std::memcpy(image.data() + 8, &major, 2);
+  std::memcpy(image.data() + 10, &minor, 2);
+  const uint32_t crc = Crc32Of({image.data(), storage::kHeaderCrcOffset});
+  std::memcpy(image.data() + storage::kHeaderCrcOffset, &crc, 4);
+  return image;
+}
+
+TEST(StoreFormatSkewTest, MinorVersionBumpStaysReadable) {
+  const Codec& codec = *FindCodec("WAH");
+  const ShardedIndex index = GoldenIndex(codec);
+  std::vector<uint8_t> image;
+  ASSERT_TRUE(storage::WriteIndexImage(index, &image).ok());
+
+  const auto newer_minor =
+      WithVersion(image, storage::kVersionMajor, storage::kVersionMinor + 7);
+  auto mapped = MappedIndex::OpenBorrowed(newer_minor);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().message();
+  const QueryPlan plan = BatteryPlan();
+  EXPECT_EQ(QueryRows(**mapped, plan), QueryRows(index, plan));
+}
+
+TEST(StoreFormatSkewTest, UnknownMajorVersionIsRejected) {
+  const Codec& codec = *FindCodec("WAH");
+  std::vector<uint8_t> image;
+  ASSERT_TRUE(storage::WriteIndexImage(GoldenIndex(codec), &image).ok());
+
+  const auto newer_major =
+      WithVersion(image, storage::kVersionMajor + 1, storage::kVersionMinor);
+  auto mapped = MappedIndex::OpenBorrowed(newer_major);
+  ASSERT_FALSE(mapped.ok());
+  // Rejected for the version, not some incidental parse failure.
+  EXPECT_NE(mapped.status().message().find("major"), std::string::npos)
+      << mapped.status().message();
+}
+
+TEST(StoreFormatSkewTest, UnknownTrailingSectionsAreSkipped) {
+  const Codec& codec = *FindCodec("Roaring");
+  const ShardedIndex index = GoldenIndex(codec);
+  std::vector<uint8_t> image;
+  {
+    storage::VectorSink sink(&image);
+    storage::IndexWriter writer(&sink);
+    ASSERT_TRUE(writer.WriteShardedIndex(index).ok());
+    // A future writer appends sections this reader has never heard of.
+    const std::vector<uint8_t> blob_a(123, 0xAB);
+    const std::vector<uint8_t> blob_b(9, 0x01);
+    ASSERT_TRUE(
+        writer.AppendOpaqueSection(storage::kFirstUnassignedSectionId, blob_a)
+            .ok());
+    ASSERT_TRUE(
+        writer
+            .AppendOpaqueSection(storage::kFirstUnassignedSectionId + 1, blob_b)
+            .ok());
+    ASSERT_TRUE(writer.Finalize().ok());
+  }
+  auto mapped = MappedIndex::OpenBorrowed(image);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().message();
+  const QueryPlan plan = BatteryPlan();
+  EXPECT_EQ(QueryRows(**mapped, plan), QueryRows(index, plan));
+}
+
+}  // namespace
+}  // namespace intcomp
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--regen-golden") == 0) {
+      intcomp::g_regen = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

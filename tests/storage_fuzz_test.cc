@@ -1,0 +1,277 @@
+// File-level corruption fuzzer for the container loader (src/storage).
+//
+// Where corruption_fuzz_test.cc hammers single codec images, this layer
+// hammers whole container files: truncations at and around every section
+// boundary, bit flips targeted at each region (header, directory, offset
+// table, payloads), offset-table splices between two genuine containers,
+// checksum forgeries (corrupt a payload AND patch every enclosing CRC so
+// only inner validation can catch it), and uniformly random mutations.
+//
+// The contract under test: MappedIndex::OpenBorrowed — in BOTH validation
+// modes — and any queries run against a successfully opened index either
+// fail with a Status or serve the genuine data; they never crash, hang, or
+// trip a sanitizer. The CI ASan+UBSan job runs this binary with a raised
+// --fuzz-iters; the default keeps tier-1 ctest fast.
+//
+// This binary has its own main (not gtest_main) to parse --fuzz-iters=N.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/crc32.h"
+#include "common/prng.h"
+#include "core/query.h"
+#include "core/registry.h"
+#include "engine/thread_pool.h"
+#include "fault_inject.h"
+#include "service/sharded_index.h"
+#include "storage/format.h"
+#include "storage/index_writer.h"
+#include "storage/mapped_index.h"
+#include "test_util.h"
+
+namespace intcomp {
+
+int g_fuzz_iters = 120;  // mutations per (codec, operator family)
+
+namespace {
+
+using storage::MappedIndex;
+using storage::MappedIndexOptions;
+using storage::ValidateMode;
+
+constexpr uint64_t kRows = 3000;
+constexpr size_t kNumLists = 5;
+constexpr size_t kShards = 3;
+
+// A few representative codecs keep the fuzz budget per iteration useful;
+// the per-image corruption fuzzer already covers every codec's parser.
+const std::vector<const Codec*>& FuzzCodecs() {
+  static const auto* codecs = [] {
+    auto* v = new std::vector<const Codec*>;
+    for (const char* name : {"WAH", "EWAH", "Roaring", "List", "VB", "PEF"}) {
+      v->push_back(FindCodec(name));
+    }
+    return v;
+  }();
+  return *codecs;
+}
+
+std::vector<uint8_t> GenuineContainer(const Codec& codec, uint64_t seed) {
+  std::vector<std::vector<uint32_t>> lists;
+  for (size_t i = 0; i < kNumLists; ++i) {
+    lists.push_back(RandomSortedList(100 + 300 * i, kRows, seed + i));
+  }
+  const ShardedIndex index = ShardedIndex::Build(codec, lists, kRows, kShards);
+  std::vector<uint8_t> image;
+  EXPECT_TRUE(storage::WriteIndexImage(index, &image).ok());
+  return image;
+}
+
+// Opens the (possibly hostile) image in `mode`; if it opens, runs a plan
+// battery through the service. Success is "no crash": every outcome is
+// either a Status or a well-formed result.
+void CheckContainer(const std::vector<uint8_t>& image, ValidateMode mode) {
+  MappedIndexOptions options;
+  options.validate = mode;
+  auto mapped = MappedIndex::OpenBorrowed(image, options);
+  if (!mapped.ok()) return;
+  const MappedIndex& idx = **mapped;
+  static ThreadPool& pool = *new ThreadPool(2);  // shared across iterations
+  IndexServiceOptions service_options;
+  service_options.cache_enabled = false;
+  IndexService service(&idx, &pool, service_options);
+  std::vector<QueryPlan> plans;
+  plans.push_back(QueryPlan::Leaf(0));
+  if (idx.NumLists() >= 3) {
+    plans.push_back(QueryPlan::And({QueryPlan::Leaf(1), QueryPlan::Leaf(2)}));
+    plans.push_back(QueryPlan::Or({QueryPlan::Leaf(0), QueryPlan::Leaf(2)}));
+  }
+  for (const QueryPlan& plan : plans) {
+    std::vector<uint32_t> rows;
+    const Status st = service.Query(plan, &rows);
+    if (!st.ok()) continue;
+    // Served rows must at least be a sane global result. The bound is the
+    // OPENED file's claimed row count, not the genuine one: a mutation
+    // that forges every checksum can produce a different-but-valid
+    // container (e.g. a larger row count), and serving it faithfully is
+    // correct — crashing or violating its own claimed domain is not.
+    for (size_t i = 0; i < rows.size(); ++i) {
+      ASSERT_LT(rows[i], idx.NumRows());
+      if (i > 0) {
+        ASSERT_LT(rows[i - 1], rows[i]);
+      }
+    }
+  }
+}
+
+void CheckBothModes(const std::vector<uint8_t>& image) {
+  CheckContainer(image, ValidateMode::kEager);
+  CheckContainer(image, ValidateMode::kLazy);
+}
+
+class StorageFuzzTest : public ::testing::TestWithParam<const Codec*> {};
+
+TEST_P(StorageFuzzTest, TruncationAtEveryInterestingBoundary) {
+  const auto image = GenuineContainer(*GetParam(), TestSeed(7100));
+  // Every prefix near the header plus samples across the file, and exact
+  // 8-byte section-aligned cuts everywhere (cheap: open is O(metadata)).
+  for (size_t n = 0; n <= std::min<size_t>(image.size(), 96); ++n) {
+    CheckBothModes(TruncateAt(image, n));
+  }
+  for (size_t n = 96; n < image.size(); n += 8) {
+    CheckBothModes(TruncateAt(image, n));
+  }
+  for (size_t n = 1; n < image.size(); n += 37) {  // unaligned cuts
+    CheckBothModes(TruncateAt(image, n));
+  }
+}
+
+TEST_P(StorageFuzzTest, TargetedBitFlipsPerRegion) {
+  Prng rng(TestSeed(7200));
+  const auto image = GenuineContainer(*GetParam(), 7201);
+  // Region boundaries from the genuine header (trusted here: we built it).
+  uint64_t directory_offset = 0;
+  std::memcpy(&directory_offset, image.data() + 24, 8);
+  const struct {
+    size_t begin, end;
+  } regions[] = {
+      {0, storage::kHeaderBytes},                          // header
+      {static_cast<size_t>(directory_offset), image.size()},  // directory
+      {storage::kHeaderBytes, static_cast<size_t>(directory_offset)},  // body
+      {0, image.size()},                                   // anywhere
+  };
+  for (const auto& region : regions) {
+    if (region.begin >= region.end) continue;
+    for (int iter = 0; iter < g_fuzz_iters; ++iter) {
+      std::vector<uint8_t> hostile = image;
+      const size_t flips = 1 + rng.NextBounded(8);
+      for (size_t f = 0; f < flips; ++f) {
+        const size_t bit =
+            region.begin * 8 + rng.NextBounded((region.end - region.begin) * 8);
+        hostile[bit / 8] ^= uint8_t{1} << (bit % 8);
+      }
+      CheckBothModes(hostile);
+    }
+  }
+}
+
+TEST_P(StorageFuzzTest, SplicesScramblesAndLengthInflation) {
+  Prng rng(TestSeed(7300));
+  const auto image_a = GenuineContainer(*GetParam(), 7301);
+  const auto image_b = GenuineContainer(*GetParam(), 7302);
+  for (int iter = 0; iter < g_fuzz_iters; ++iter) {
+    std::vector<uint8_t> hostile;
+    switch (iter % 3) {
+      case 0:
+        hostile = Splice(image_a, image_b, &rng);
+        break;
+      case 1:
+        hostile = image_a;
+        Scramble(&hostile, &rng);
+        break;
+      default:
+        hostile = image_a;
+        InflateLength(&hostile, &rng);
+        break;
+    }
+    CheckBothModes(hostile);
+  }
+}
+
+// Corrupt a payload byte, then forge every enclosing checksum so the file
+// is structurally perfect: only per-payload validation (CRC or the codec's
+// ValidateSet) can reject it — and if it passes those, it must serve as a
+// well-formed set, not crash. This pins down the lazy mode's guarantee.
+TEST_P(StorageFuzzTest, ChecksumForgeryReachesInnerValidation) {
+  Prng rng(TestSeed(7400));
+  const auto image = GenuineContainer(*GetParam(), 7401);
+  uint64_t directory_offset = 0;
+  uint32_t directory_entries = 0;
+  std::memcpy(&directory_offset, image.data() + 24, 8);
+  std::memcpy(&directory_entries, image.data() + 32, 4);
+  for (int iter = 0; iter < g_fuzz_iters; ++iter) {
+    std::vector<uint8_t> hostile = image;
+    // Flip bits inside the body (payloads + offset table live there).
+    const size_t body_begin = storage::kHeaderBytes;
+    const size_t body_end = static_cast<size_t>(directory_offset);
+    const size_t flips = 1 + rng.NextBounded(4);
+    for (size_t f = 0; f < flips; ++f) {
+      const size_t bit =
+          body_begin * 8 + rng.NextBounded((body_end - body_begin) * 8);
+      hostile[bit / 8] ^= uint8_t{1} << (bit % 8);
+    }
+    if (iter % 2 == 0) {
+      // Forge: recompute every section CRC in the directory, the directory
+      // CRC, and the header CRC, so outer integrity checks all pass.
+      for (uint32_t e = 0; e < directory_entries; ++e) {
+        const size_t entry = static_cast<size_t>(directory_offset) +
+                             e * storage::kDirEntryBytes;
+        uint64_t off = 0, len = 0;
+        std::memcpy(&off, hostile.data() + entry + 8, 8);
+        std::memcpy(&len, hostile.data() + entry + 16, 8);
+        const uint32_t crc = Crc32Of({hostile.data() + off,
+                                      static_cast<size_t>(len)});
+        std::memcpy(hostile.data() + entry + 24, &crc, 4);
+      }
+      const uint32_t dir_crc =
+          Crc32Of({hostile.data() + directory_offset,
+                   directory_entries * storage::kDirEntryBytes});
+      std::memcpy(hostile.data() + 36, &dir_crc, 4);
+      const uint32_t header_crc =
+          Crc32Of({hostile.data(), storage::kHeaderCrcOffset});
+      std::memcpy(hostile.data() + 40, &header_crc, 4);
+    }
+    CheckBothModes(hostile);
+  }
+}
+
+std::string ParamName(const ::testing::TestParamInfo<const Codec*>& info) {
+  std::string name;
+  for (char c : std::string(info.param->Name())) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+        (c >= '0' && c <= '9')) {
+      name += c;
+    }
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(FuzzCodecs, StorageFuzzTest,
+                         ::testing::ValuesIn(FuzzCodecs()), ParamName);
+
+}  // namespace
+}  // namespace intcomp
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const char* value = nullptr;
+    if (arg.rfind("--fuzz-iters=", 0) == 0) {
+      value = argv[i] + 13;
+    } else if (arg == "--fuzz-iters" && i + 1 < argc) {
+      value = argv[++i];
+    } else {
+      continue;
+    }
+    char* end = nullptr;
+    const long iters = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || iters <= 0) {
+      std::fprintf(stderr,
+                   "--fuzz-iters: expected a positive integer, got '%s'\n",
+                   value);
+      return 1;
+    }
+    intcomp::g_fuzz_iters = static_cast<int>(iters);
+  }
+  return RUN_ALL_TESTS();
+}

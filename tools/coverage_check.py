@@ -10,7 +10,7 @@ coverage for the gated source prefixes.
     python3 tools/coverage_check.py --build-dir build-cov --fail-under 80
 
 Exits non-zero when the combined coverage of the gated prefixes (default
-src/core and src/service) is below the threshold, or when no coverage data
+src/core, src/service, and src/storage) is below the threshold, or when no coverage data
 was found at all (a silently-empty gate must fail, not pass).
 """
 
@@ -72,13 +72,13 @@ def main():
                         help="repository root the prefixes are relative to")
     parser.add_argument("--prefix", action="append", default=None,
                         help="gated source prefix (repeatable; default "
-                             "src/core and src/service)")
+                             "src/core, src/service, and src/storage)")
     parser.add_argument("--fail-under", type=float, default=80.0,
                         help="minimum combined line coverage percent")
     parser.add_argument("--summary-out", default=None,
                         help="also write the summary table to this file")
     args = parser.parse_args()
-    prefixes = args.prefix or ["src/core", "src/service"]
+    prefixes = args.prefix or ["src/core", "src/service", "src/storage"]
 
     if not os.path.isdir(args.build_dir):
         print(f"error: build dir {args.build_dir} does not exist",
