@@ -14,9 +14,25 @@
 //     --shards=1,2,4,8 --threads=1,2,4,8 --queries=64 --ops=2000 \
 //     --popularity-skew=1.0 [--no-cache] [--metrics-out=PATH]
 //
+// A second section sweeps the read/write mix: the same plan stream is run
+// against a durable LiveIndex (WAL + delta overlay + inline compaction,
+// DESIGN.md §5.11) with --update-pct percent of the ops replaced by
+// insert/remove batches. The 0%-update row doubles as an equivalence check:
+// its per-plan result cardinalities must match the in-RAM sweep above
+// (mmap-served overlay == RAM-served base). Knobs:
+//
+//   --update-pct=0,1,10,50   mix sweep (percent of ops that are updates)
+//   --update-rows=64         rows per update batch
+//   --compact-every=200      inline Compact() after every Nth update (0=off)
+//   --sync-every=1           WAL fsync cadence (0 = only on Close)
+//   --dir=/tmp/...           scratch directory for the durable index
+//
 // NOTE: speedup is relative to the 1-shard/1-thread configuration of the
 // same run; on a single-core host the sweep measures overhead, not scaling
 // (see EXPERIMENTS.md).
+
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cmath>
@@ -32,6 +48,7 @@
 #include "engine/thread_pool.h"
 #include "obs/histogram.h"
 #include "service/sharded_index.h"
+#include "storage/live_index.h"
 #include "workload/synthetic.h"
 
 namespace intcomp {
@@ -98,6 +115,30 @@ std::vector<QueryPlan> MakePlans(size_t count, uint32_t card, Prng* rng) {
   return plans;
 }
 
+// Like ParseCsvSizes but for percentages: 0 is a legal entry (pure reads).
+std::vector<size_t> ParseCsvPcts(const std::string& csv) {
+  std::vector<size_t> out;
+  size_t pos = 0;
+  while (pos <= csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    bool ok = comma > pos;
+    size_t v = 0;
+    for (size_t i = pos; i < comma; ++i) {
+      if (csv[i] < '0' || csv[i] > '9') { ok = false; break; }
+      v = v * 10 + static_cast<size_t>(csv[i] - '0');
+    }
+    if (!ok || v > 100) {
+      std::fprintf(stderr, "bad --update-pct entry in '%s' (want 0..100)\n",
+                   csv.c_str());
+      std::exit(2);
+    }
+    out.push_back(v);
+    pos = comma + 1;
+  }
+  return out;
+}
+
 // Zipf popularity over plan indices: index k is drawn with weight
 // 1/(k+1)^skew, so a handful of plans dominate the stream.
 struct ZipfPicker {
@@ -117,6 +158,49 @@ struct ZipfPicker {
         std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
   }
 };
+
+// One op of the read/write mix: a query (plan index) or an update batch.
+struct MixStep {
+  size_t plan = 0;
+  bool update = false;
+  bool insert = false;          // vs. remove
+  uint32_t list = 0;
+  std::vector<uint32_t> rows;   // update batch (unsorted; dupes allowed)
+};
+
+// Replaces `pct` percent of the fixed plan stream with update batches.
+// Seeded per mix, so every configuration of one mix replays byte-identical
+// ops and the WAL/compaction counters are deterministic across runs.
+std::vector<MixStep> MakeMixStream(const std::vector<size_t>& plan_stream,
+                                   size_t pct, size_t batch, uint32_t card,
+                                   uint64_t num_rows, uint64_t seed) {
+  Prng rng(seed);
+  std::vector<MixStep> steps(plan_stream.size());
+  for (size_t i = 0; i < plan_stream.size(); ++i) {
+    MixStep& s = steps[i];
+    s.plan = plan_stream[i];
+    if (pct > 0 && rng.NextBounded(100) < pct) {
+      s.update = true;
+      s.insert = rng.NextBounded(2) == 0;
+      s.list = static_cast<uint32_t>(rng.NextBounded(card));
+      s.rows.reserve(batch);
+      for (size_t r = 0; r < batch; ++r) {
+        s.rows.push_back(static_cast<uint32_t>(rng.NextBounded(num_rows)));
+      }
+    }
+  }
+  return steps;
+}
+
+// Fresh scratch directory for one durable-index configuration.
+void ResetIndexDir(const std::string& dir) {
+  ::mkdir(dir.c_str(), 0755);
+  for (const char* f :
+       {storage::LiveIndex::kIndexFile, storage::LiveIndex::kWalFile,
+        storage::LiveIndex::kIndexTmpFile, storage::LiveIndex::kWalTmpFile}) {
+    ::unlink((dir + "/" + f).c_str());
+  }
+}
 
 void Run(int argc, char** argv) {
   Flags flags(argc, argv);
@@ -139,6 +223,13 @@ void Run(int argc, char** argv) {
       ParseCsvSizes(flags.GetString("shards", "1,2,4,8"), "--shards");
   const std::vector<size_t> thread_counts =
       ParseCsvSizes(flags.GetString("threads", "1,2,4,8"), "--threads");
+  const std::vector<size_t> update_pcts =
+      ParseCsvPcts(flags.GetString("update-pct", "0,1,10,50"));
+  const size_t update_rows = flags.GetInt("update-rows", 64);
+  const size_t compact_every = flags.GetInt("compact-every", 200);
+  const size_t sync_every = flags.GetInt("sync-every", 1);
+  const std::string dir =
+      flags.GetString("dir", "/tmp/intcomp_service_scale");
 
   // The serving column: skewed value popularity (min of two uniforms).
   Prng rng(seed);
@@ -217,11 +308,123 @@ void Run(int argc, char** argv) {
                   baseline_ms / total_ms);
     }
   }
+  // ---- Read/write mix sweep: the durable LiveIndex under update load ----
+  //
+  // Fixed at the largest shard/thread configuration; the x-axis is the
+  // update fraction. Every row rebuilds the index from scratch (fresh
+  // container + empty WAL), so rows are independent and deterministic.
+  const size_t mix_shards = shard_counts.back();
+  const size_t mix_threads = thread_counts.back();
+  const ShardedIndex mix_base =
+      ShardedIndex::BuildFromColumn(*codec, codes, card, mix_shards);
+
+  std::printf(
+      "\n== read/write mix: shards=%zu threads=%zu batch=%zu "
+      "compact-every=%zu sync-every=%zu dir=%s ==\n",
+      mix_shards, mix_threads, update_rows, compact_every, sync_every,
+      dir.c_str());
+  std::printf("%5s %8s %10s %10s %10s %10s %8s %9s %10s %7s %7s\n", "upd%",
+              "updates", "time(ms)", "qps", "p50(us)", "p99(us)", "hit%",
+              "upd/s", "updp99(us)", "fsyncs", "cmpact");
+
+  for (size_t pct : update_pcts) {
+    const std::vector<MixStep> steps =
+        MakeMixStream(stream, pct, update_rows, card, rows,
+                      seed ^ (0x9e3779b97f4a7c15ull * (pct + 1)));
+    ResetIndexDir(dir);
+    storage::LiveIndexOptions live_options;
+    live_options.wal.sync_every_records = sync_every;
+    auto live = storage::LiveIndex::Create(dir, mix_base, live_options);
+    if (!live.ok()) {
+      std::fprintf(stderr, "LiveIndex::Create failed: %s\n",
+                   live.status().ToString().c_str());
+      std::exit(1);
+    }
+    ThreadPool pool(mix_threads);
+    IndexServiceOptions options;
+    options.cache_enabled = cache_on;
+    IndexService service((*live)->Snapshot(), &pool, options);
+    (*live)->AttachService(&service);
+
+    obs::LatencyHistogram lat_q, lat_u;
+    std::vector<uint32_t> result;
+    size_t updates = 0, updates_since_compact = 0, queries = 0;
+    const uint64_t t0 = NowNs();
+    for (const MixStep& step : steps) {
+      const uint64_t q0 = NowNs();
+      if (step.update) {
+        const Status st =
+            step.insert ? (*live)->Insert(step.list, step.rows)
+                        : (*live)->Remove(step.list, step.rows);
+        lat_u.Record(NowNs() - q0);
+        if (!st.ok()) {
+          std::fprintf(stderr, "update failed: %s\n", st.ToString().c_str());
+          std::exit(1);
+        }
+        ++updates;
+        if (compact_every > 0 && ++updates_since_compact == compact_every) {
+          updates_since_compact = 0;
+          const Status cs = (*live)->Compact();
+          if (!cs.ok()) {
+            std::fprintf(stderr, "compaction failed: %s\n",
+                         cs.ToString().c_str());
+            std::exit(1);
+          }
+        }
+      } else {
+        const Status st = service.Query(plans[step.plan], &result);
+        lat_q.Record(NowNs() - q0);
+        if (!st.ok()) {
+          std::fprintf(stderr, "query failed: %s\n", st.ToString().c_str());
+          std::exit(1);
+        }
+        ++queries;
+        // With zero updates in flight the mmap-served overlay must agree
+        // with the in-RAM sweep above, plan for plan.
+        if (pct == 0 && checksums[step.plan] != result.size()) {
+          std::fprintf(stderr,
+                       "EQUIVALENCE VIOLATION: plan %zu returned %zu rows "
+                       "from the durable index, in-RAM baseline %zu\n",
+                       step.plan, result.size(), checksums[step.plan]);
+          std::exit(1);
+        }
+      }
+    }
+    const double total_ms = static_cast<double>(NowNs() - t0) / 1e6;
+
+    const ServiceStats sstats = service.Stats();
+    const double probes =
+        static_cast<double>(sstats.cache.hits + sstats.cache.misses);
+    const double hit_pct =
+        probes > 0 ? 100.0 * static_cast<double>(sstats.cache.hits) / probes
+                   : 0.0;
+    const storage::LiveIndexStats lstats = (*live)->Stats();
+    (*live)->AttachService(nullptr);
+    const Status close = (*live)->Close();
+    if (!close.ok()) {
+      std::fprintf(stderr, "close failed: %s\n", close.ToString().c_str());
+      std::exit(1);
+    }
+    std::printf(
+        "%5zu %8zu %10.2f %10.0f %10.1f %10.1f %8.1f %9.0f %10.1f %7llu "
+        "%7llu\n",
+        pct, updates, total_ms,
+        1000.0 * static_cast<double>(queries) / total_ms,
+        static_cast<double>(lat_q.P50()) / 1e3,
+        static_cast<double>(lat_q.P99()) / 1e3, hit_pct,
+        updates > 0 ? 1000.0 * static_cast<double>(updates) / total_ms : 0.0,
+        updates > 0 ? static_cast<double>(lat_u.P99()) / 1e3 : 0.0,
+        static_cast<unsigned long long>(lstats.wal_syncs),
+        static_cast<unsigned long long>(lstats.compactions));
+  }
+
   PrintPaperShape(
       "query fan-out over shards scales with pool threads until the "
       "per-shard slice is too small to amortize dispatch; the result cache "
       "converts zipf plan popularity into hits that bypass evaluation "
-      "entirely");
+      "entirely; under a write mix every update invalidates the cache and "
+      "pays the WAL fsync, so hit rate and update tails, not query medians, "
+      "are what degrade first");
 }
 
 }  // namespace

@@ -1,0 +1,304 @@
+// Deterministic fault injection for the storage and write paths, plus the
+// corruption operators shared by the fuzz suites (promoted from
+// tests/fault_inject.h so production-adjacent code and every test layer use
+// one registry).
+//
+// Two halves:
+//
+//  1. FaultInjector — a process-global registry of named injection sites
+//     (file append/flush, WAL append/sync, rename, mmap open, allocation,
+//     compaction steps). Sites are disarmed by default and cost one relaxed
+//     atomic load, so shipping the hooks in production code is free. Tests
+//     arm a *schedule*: crash-at-op-K (the K-th injectable op lands a short
+//     write and every later op fails permanently — a process death), or
+//     seeded per-op fault rates (transient/permanent/short-write drawn from
+//     a Prng). All randomness is seeded — by the test, or via the
+//     INTCOMP_FAULT_SEED environment variable — so a failing schedule
+//     replays from its seed alone.
+//
+//  2. Corruption operators (TruncateAt/FlipBits/InflateLength/Splice/
+//     Scramble) — pure functions over byte images, used by the codec- and
+//     container-level corruption fuzzers.
+//
+// Thread safety: FaultInjector state sits behind a mutex; injection sites
+// are cold-path I/O boundaries, never per-value hot loops.
+
+#ifndef INTCOMP_COMMON_FAULT_H_
+#define INTCOMP_COMMON_FAULT_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "common/prng.h"
+
+namespace intcomp {
+namespace fault {
+
+// Injection sites. A site names the I/O boundary consulting the registry;
+// schedules may restrict themselves to a subset via a bitmask.
+enum class Site : uint8_t {
+  kFileCreate = 0,   // FileSink::Create
+  kFileAppend,       // FileSink::Append
+  kFileWriteAt,      // FileSink::WriteAt (the header patch)
+  kFileFlush,        // FileSink::Flush (fflush + fsync)
+  kWalAppend,        // WalWriter record append
+  kWalSync,          // WalWriter fsync
+  kRename,           // atomic commit rename
+  kMapOpen,          // MappedIndex::Open file mapping
+  kAlloc,            // large allocation checkpoints (replay/compaction)
+  kCompactionStep,   // compaction phase boundaries
+};
+inline constexpr size_t kNumSites = 10;
+
+inline constexpr uint32_t SiteBit(Site s) {
+  return uint32_t{1} << static_cast<uint8_t>(s);
+}
+inline constexpr uint32_t kAllSites = (uint32_t{1} << kNumSites) - 1;
+
+// What an armed injector tells a site to do.
+enum class Kind : uint8_t {
+  kNone = 0,     // proceed normally
+  kTransient,    // fail with Status::Unavailable (retryable)
+  kPermanent,    // fail with a permanent error
+  kShortWrite,   // write only `short_bytes` of the payload, then fail
+};
+
+struct Action {
+  Kind kind = Kind::kNone;
+  size_t short_bytes = 0;  // kShortWrite: bytes that land before the failure
+};
+
+// Per-op fault rates for the probabilistic schedule.
+struct Rates {
+  double transient = 0.0;
+  double permanent = 0.0;
+  double short_write = 0.0;
+};
+
+// Base seed for fault schedules: `default_seed` unless INTCOMP_FAULT_SEED
+// overrides it (replaying a reported campaign failure).
+inline uint64_t EnvSeed(uint64_t default_seed) {
+  static const char* env = std::getenv("INTCOMP_FAULT_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return default_seed;
+}
+
+class FaultInjector {
+ public:
+  static FaultInjector& Global() {
+    static FaultInjector* g = new FaultInjector();  // intentionally leaked
+    return *g;
+  }
+
+  // Removes every schedule; sites see kNone again. Also clears the crashed
+  // latch and op counter.
+  void Disarm() {
+    std::lock_guard<std::mutex> lock(mu_);
+    mode_ = Mode::kOff;
+    crashed_ = false;
+    ops_ = 0;
+    armed_.store(false, std::memory_order_relaxed);
+  }
+
+  // Crash-at-op-K: the K-th (1-based) op hitting `sites` lands a seeded
+  // short write and latches the crash; every subsequent op at any armed
+  // site fails permanently, modeling a dead process whose file descriptors
+  // went with it. Recovery code must Disarm() before "restarting".
+  void ArmCrashAtOp(uint64_t k, uint64_t seed, uint32_t sites = kAllSites) {
+    std::lock_guard<std::mutex> lock(mu_);
+    mode_ = Mode::kCrashAtOp;
+    crash_op_ = k;
+    sites_ = sites;
+    rng_ = Prng(seed);
+    crashed_ = false;
+    ops_ = 0;
+    armed_.store(true, std::memory_order_relaxed);
+  }
+
+  // Seeded per-op fault rates at `sites` (transient first, then permanent,
+  // then short-write, from one uniform draw per op).
+  void ArmRates(const Rates& rates, uint64_t seed, uint32_t sites = kAllSites) {
+    std::lock_guard<std::mutex> lock(mu_);
+    mode_ = Mode::kRates;
+    rates_ = rates;
+    sites_ = sites;
+    rng_ = Prng(seed);
+    crashed_ = false;
+    ops_ = 0;
+    armed_.store(true, std::memory_order_relaxed);
+  }
+
+  // Fail the first `k` ops at `sites` transiently (then heal) — the
+  // schedule the bounded-retry paths are tested with.
+  void ArmTransientFirst(uint64_t k, uint32_t sites = kAllSites) {
+    std::lock_guard<std::mutex> lock(mu_);
+    mode_ = Mode::kTransientFirst;
+    crash_op_ = k;
+    sites_ = sites;
+    crashed_ = false;
+    ops_ = 0;
+    armed_.store(true, std::memory_order_relaxed);
+  }
+
+  bool Armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  // True once a crash-at-op-K schedule has tripped.
+  bool Crashed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return crashed_;
+  }
+
+  // Ops seen at armed sites since the schedule was armed.
+  uint64_t OpsSeen() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ops_;
+  }
+
+  // Consulted by an injection site about to perform an op that would write
+  // `bytes` bytes (0 for non-write ops). Disarmed cost: one relaxed load.
+  Action OnOp(Site site, size_t bytes = 0) {
+    if (!armed_.load(std::memory_order_relaxed)) return {};
+    std::lock_guard<std::mutex> lock(mu_);
+    if (mode_ == Mode::kOff) return {};
+    if ((sites_ & SiteBit(site)) == 0 && !crashed_) return {};
+    switch (mode_) {
+      case Mode::kOff:
+        return {};
+      case Mode::kCrashAtOp: {
+        if (crashed_) return {Kind::kPermanent, 0};
+        if ((sites_ & SiteBit(site)) == 0) return {};
+        if (++ops_ < crash_op_) return {};
+        crashed_ = true;
+        if (bytes > 0) {
+          return {Kind::kShortWrite,
+                  static_cast<size_t>(rng_.NextBounded(bytes))};
+        }
+        return {Kind::kPermanent, 0};
+      }
+      case Mode::kTransientFirst: {
+        if ((sites_ & SiteBit(site)) == 0) return {};
+        if (++ops_ <= crash_op_) return {Kind::kTransient, 0};
+        return {};
+      }
+      case Mode::kRates: {
+        if ((sites_ & SiteBit(site)) == 0) return {};
+        ++ops_;
+        const double u = rng_.NextDouble();
+        if (u < rates_.transient) return {Kind::kTransient, 0};
+        if (u < rates_.transient + rates_.permanent) {
+          return {Kind::kPermanent, 0};
+        }
+        if (bytes > 0 &&
+            u < rates_.transient + rates_.permanent + rates_.short_write) {
+          return {Kind::kShortWrite,
+                  static_cast<size_t>(rng_.NextBounded(bytes))};
+        }
+        return {};
+      }
+    }
+    return {};
+  }
+
+ private:
+  enum class Mode : uint8_t { kOff, kCrashAtOp, kTransientFirst, kRates };
+
+  FaultInjector() = default;
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;
+  Mode mode_ = Mode::kOff;       // guarded by mu_
+  uint64_t crash_op_ = 0;        // guarded by mu_
+  uint32_t sites_ = kAllSites;   // guarded by mu_
+  Rates rates_;                  // guarded by mu_
+  Prng rng_{0};                  // guarded by mu_
+  bool crashed_ = false;         // guarded by mu_
+  uint64_t ops_ = 0;             // guarded by mu_
+};
+
+// RAII disarm for tests: guarantees a panicking assertion never leaves the
+// global injector armed for the next test.
+class ScopedDisarm {
+ public:
+  ScopedDisarm() = default;
+  ~ScopedDisarm() { FaultInjector::Global().Disarm(); }
+  ScopedDisarm(const ScopedDisarm&) = delete;
+  ScopedDisarm& operator=(const ScopedDisarm&) = delete;
+};
+
+}  // namespace fault
+
+// ---------------------------------------------------------------------------
+// Corruption operators for serialized images (formerly tests/fault_inject.h).
+// Each takes a genuine image and produces a hostile variant a decoder must
+// survive: truncations model torn reads, bit flips model media corruption,
+// length inflation models attacker-controlled size fields, and splices model
+// images whose halves come from different writers. All randomness flows
+// through the caller's Prng, so a failing fuzz iteration reproduces from its
+// seed alone.
+
+// The first `n` bytes of `image` (n may be anything up to image.size()).
+inline std::vector<uint8_t> TruncateAt(const std::vector<uint8_t>& image,
+                                       size_t n) {
+  return std::vector<uint8_t>(image.begin(),
+                              image.begin() + std::min(n, image.size()));
+}
+
+// Flips `flips` random bits in place.
+inline void FlipBits(std::vector<uint8_t>* image, size_t flips, Prng* rng) {
+  if (image->empty()) return;
+  for (size_t i = 0; i < flips; ++i) {
+    const size_t bit = rng->NextBounded(image->size() * 8);
+    (*image)[bit / 8] ^= uint8_t{1} << (bit % 8);
+  }
+}
+
+// Overwrites a random aligned-size window with an attacker-chosen "huge
+// length" pattern: all-ones, a value just past the buffer size, or a value
+// whose byte count overflows 64-bit arithmetic (2^61 8-byte elements).
+inline void InflateLength(std::vector<uint8_t>* image, Prng* rng) {
+  if (image->size() < 4) return;
+  const size_t off = rng->NextBounded(image->size() - 3);
+  const uint64_t patterns[] = {
+      ~uint64_t{0},
+      uint64_t{0xffffffff},
+      static_cast<uint64_t>(image->size()) + 1 + rng->NextBounded(1024),
+      uint64_t{1} << 61,  // * 8 bytes/element wraps a 64-bit size_t
+  };
+  const uint64_t v = patterns[rng->NextBounded(4)];
+  const size_t n = std::min<size_t>(8, image->size() - off);
+  std::memcpy(image->data() + off, &v, n);
+}
+
+// Head of `a` glued to the tail of `b` at independent random cuts — the
+// shape of an image whose inner payload was swapped out from under its
+// header (or that mixes two codecs' framings).
+inline std::vector<uint8_t> Splice(const std::vector<uint8_t>& a,
+                                   const std::vector<uint8_t>& b, Prng* rng) {
+  const size_t cut_a = a.empty() ? 0 : rng->NextBounded(a.size() + 1);
+  const size_t cut_b = b.empty() ? 0 : rng->NextBounded(b.size() + 1);
+  std::vector<uint8_t> out(a.begin(), a.begin() + cut_a);
+  out.insert(out.end(), b.begin() + cut_b, b.end());
+  return out;
+}
+
+// Replaces a random window with uniformly random bytes.
+inline void Scramble(std::vector<uint8_t>* image, Prng* rng) {
+  if (image->empty()) return;
+  const size_t off = rng->NextBounded(image->size());
+  const size_t len =
+      1 + rng->NextBounded(std::min<size_t>(image->size() - off, 16));
+  for (size_t i = 0; i < len; ++i) {
+    (*image)[off + i] = static_cast<uint8_t>(rng->Next());
+  }
+}
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_COMMON_FAULT_H_

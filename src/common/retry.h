@@ -1,0 +1,68 @@
+// Bounded retry with deterministic jittered backoff for the storage I/O
+// paths (MappedIndex::Open, FileSink, WAL sync).
+//
+// Status now distinguishes transient failures (kUnavailable: EINTR-class
+// errno, injected transient faults, resource pressure) from permanent ones
+// (kCorruptData, kInvalidArgument, kInternal). RetryTransient re-runs an
+// operation while it reports transient failure, sleeping an exponentially
+// growing, jittered interval between attempts. The jitter is drawn from a
+// seeded Prng — by default the INTCOMP_FAULT_SEED-overridable base seed —
+// so a test's retry schedule is byte-for-byte reproducible.
+
+#ifndef INTCOMP_COMMON_RETRY_H_
+#define INTCOMP_COMMON_RETRY_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "common/fault.h"
+#include "common/prng.h"
+#include "common/status.h"
+
+namespace intcomp {
+
+inline bool IsTransient(const Status& s) {
+  return s.code() == StatusCode::kUnavailable;
+}
+
+struct RetryOptions {
+  // Total attempts including the first (1 = no retry).
+  int max_attempts = 4;
+  // First backoff interval; doubles each retry, capped at max_backoff_us.
+  uint64_t base_backoff_us = 50;
+  uint64_t max_backoff_us = 5000;
+  // Seed for the jitter Prng; 0 means "derive from INTCOMP_FAULT_SEED or a
+  // fixed default", keeping schedules deterministic unless overridden.
+  uint64_t jitter_seed = 0;
+};
+
+// Runs `fn` (returning Status) up to options.max_attempts times, retrying
+// only transient failures. Sleeps backoff * U[0.5, 1.0) between attempts
+// (full-jitter halves the thundering-herd alignment while keeping the
+// deterministic schedule). Returns the last Status; `attempts`, when
+// non-null, receives the number of invocations.
+template <typename Fn>
+Status RetryTransient(const RetryOptions& options, Fn&& fn,
+                      int* attempts = nullptr) {
+  Prng rng(options.jitter_seed != 0 ? options.jitter_seed
+                                    : fault::EnvSeed(0x7e77'a110'c4ed'5eedULL));
+  uint64_t backoff_us = options.base_backoff_us;
+  Status st = Status::Ok();
+  const int max_attempts = std::max(options.max_attempts, 1);
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempts != nullptr) *attempts = attempt;
+    st = fn();
+    if (!IsTransient(st) || attempt == max_attempts) return st;
+    const uint64_t jittered =
+        backoff_us / 2 + rng.NextBounded(backoff_us / 2 + 1);
+    std::this_thread::sleep_for(std::chrono::microseconds(jittered));
+    backoff_us = std::min(backoff_us * 2, options.max_backoff_us);
+  }
+  return st;
+}
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_COMMON_RETRY_H_

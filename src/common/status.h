@@ -26,6 +26,7 @@ enum class StatusCode : uint8_t {
   kDeadlineExceeded,   // per-query deadline elapsed
   kCancelled,          // cancellation token tripped
   kInternal,           // invariant violation; indicates a bug
+  kUnavailable,        // transient I/O or resource failure; retry may succeed
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -36,6 +37,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case StatusCode::kCancelled: return "CANCELLED";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -61,6 +63,9 @@ class Status {
   }
   static Status Internal(std::string_view m) {
     return Status(StatusCode::kInternal, m);
+  }
+  static Status Unavailable(std::string_view m) {
+    return Status(StatusCode::kUnavailable, m);
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -60,6 +60,8 @@ std::string_view OpKindName(OpKind op) {
     case OpKind::kQuery: return "query";
     case OpKind::kServiceQuery: return "service_query";
     case OpKind::kStorageOpen: return "storage_open";
+    case OpKind::kWalAppend: return "wal_append";
+    case OpKind::kCompaction: return "compaction";
   }
   return "unknown";
 }

@@ -40,8 +40,10 @@ enum class OpKind : uint8_t {
   kQuery,
   kServiceQuery,  // whole sharded-service query: cache probe + fan-out
   kStorageOpen,   // container open: header/directory parse + validation
+  kWalAppend,     // one durable WAL record: frame build + write (+ fsync)
+  kCompaction,    // whole compaction: merge + rewrite + commit + swap
 };
-inline constexpr size_t kNumOpKinds = 7;
+inline constexpr size_t kNumOpKinds = 9;
 
 std::string_view OpKindName(OpKind op);
 

@@ -146,8 +146,13 @@ bool ResultCache::Get(std::string_view key, std::vector<uint32_t>* out) {
 
 bool ResultCache::Put(std::string_view key, const Codec& codec,
                       std::span<const uint32_t> result, uint64_t domain) {
+  return PutWithStamp(key, codec, result, domain, Stamp());
+}
+
+bool ResultCache::PutWithStamp(std::string_view key, const Codec& codec,
+                               std::span<const uint32_t> result,
+                               uint64_t domain, uint64_t stamp) {
   const uint64_t hash = Fnv1a64(key);
-  const uint64_t stamp = Stamp();
   SubCache& sub = Shard(hash);
   {
     std::lock_guard<std::mutex> lock(sub.mu);
@@ -176,6 +181,13 @@ bool ResultCache::Put(std::string_view key, const Codec& codec,
   std::lock_guard<std::mutex> lock(sub.mu);
   auto it = sub.map.find(hash);
   if (it != sub.map.end()) {
+    if (it->second->key == key && it->second->stamp != stamp &&
+        it->second->stamp == Stamp()) {
+      // A racing Put already cached this key at the *current* generation
+      // while our stamp is stale (a swap landed mid-evaluation): keep the
+      // servable entry instead of replacing it with a dead one.
+      return false;
+    }
     // Replace (stale entry, hash collision, or a racing Put): drop the old
     // entry and fall through to a fresh insert.
     sub.bytes -= it->second->bytes;

@@ -114,6 +114,18 @@ class ResultCache {
   bool Put(std::string_view key, const Codec& codec,
            std::span<const uint32_t> result, uint64_t domain);
 
+  // Put with an explicit generation stamp, captured via CurrentStamp()
+  // *before* the result was computed. If a shard generation moved while the
+  // result was being evaluated (a concurrent SwapSnapshot/Invalidate), the
+  // stale stamp makes the entry unservable — plain Put would stamp the old
+  // snapshot's result with the new generation and serve it after the swap.
+  bool PutWithStamp(std::string_view key, const Codec& codec,
+                    std::span<const uint32_t> result, uint64_t domain,
+                    uint64_t stamp);
+
+  // The current generation mix, for PutWithStamp.
+  uint64_t CurrentStamp() const { return Stamp(); }
+
   // Marks index shard `s`'s data as changed: every entry stamped before
   // this call can no longer be served.
   void BumpGeneration(size_t s);

@@ -115,9 +115,19 @@ void BumpServiceCounter(const char* name) {
 IndexService::IndexService(const IndexSnapshot* index, ThreadPool* pool,
                            const IndexServiceOptions& options,
                            EngineStats* stats)
-    : index_(index), pool_(pool), stats_(stats) {
+    // Borrowed snapshot: shared_ptr with a no-op deleter keeps the old
+    // raw-pointer contract (caller owns, must outlive the service).
+    : IndexService(std::shared_ptr<const IndexSnapshot>(
+                       index, [](const IndexSnapshot*) {}),
+                   pool, options, stats) {}
+
+IndexService::IndexService(std::shared_ptr<const IndexSnapshot> index,
+                           ThreadPool* pool,
+                           const IndexServiceOptions& options,
+                           EngineStats* stats)
+    : index_(std::move(index)), pool_(pool), stats_(stats) {
   if (options.cache_enabled) {
-    cache_ = std::make_unique<ResultCache>(options.cache, index->NumShards());
+    cache_ = std::make_unique<ResultCache>(options.cache, index_->NumShards());
   }
   arenas_.reserve(pool->NumWorkers());
   for (size_t w = 0; w < pool->NumWorkers(); ++w) {
@@ -125,9 +135,17 @@ IndexService::IndexService(const IndexSnapshot* index, ThreadPool* pool,
   }
 }
 
+std::shared_ptr<const IndexSnapshot> IndexService::Snapshot() const {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  return index_;
+}
+
 Status IndexService::Query(const QueryPlan& plan, std::vector<uint32_t>* out) {
   TRACE_SPAN("service.query");
-  obs::ScopedOpTimer timer(index_->codec().Name(),
+  // Pin the snapshot once: a concurrent SwapSnapshot retires index_, but
+  // this query keeps evaluating the generation it started on.
+  const std::shared_ptr<const IndexSnapshot> index = Snapshot();
+  obs::ScopedOpTimer timer(index->codec().Name(),
                            obs::OpKind::kServiceQuery);
   out->clear();
   queries_.fetch_add(1, std::memory_order_relaxed);
@@ -136,7 +154,7 @@ Status IndexService::Query(const QueryPlan& plan, std::vector<uint32_t>* out) {
   // below reuses the original plan (same algebra, so the cache entry is
   // valid for every commutation of it).
   std::vector<size_t> leaves;
-  Status shape = CollectPlanLeaves(plan, index_->NumLists(), &leaves);
+  Status shape = CollectPlanLeaves(plan, index->NumLists(), &leaves);
   if (!shape.ok()) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     return shape;
@@ -144,8 +162,13 @@ Status IndexService::Query(const QueryPlan& plan, std::vector<uint32_t>* out) {
   std::sort(leaves.begin(), leaves.end());
   leaves.erase(std::unique(leaves.begin(), leaves.end()), leaves.end());
   std::string key;
+  uint64_t stamp = 0;
   if (cache_ != nullptr) {
-    key = PlanCacheKey(index_->codec().Name(), plan);
+    // Capture the generation stamp *before* evaluating: if a swap lands
+    // mid-evaluation, this result belongs to the retired snapshot and must
+    // be stored unservable, not stamped fresh.
+    stamp = cache_->CurrentStamp();
+    key = PlanCacheKey(index->codec().Name(), plan);
     if (cache_->Get(key, out)) {
       if (stats_ != nullptr) stats_->AddCacheHit();
       BumpServiceCounter("service.cache.hit");
@@ -153,7 +176,7 @@ Status IndexService::Query(const QueryPlan& plan, std::vector<uint32_t>* out) {
     }
   }
 
-  const size_t num_shards = index_->NumShards();
+  const size_t num_shards = index->NumShards();
   std::vector<std::vector<uint32_t>> parts(num_shards);
   std::vector<Status> statuses(num_shards);
   {
@@ -163,13 +186,13 @@ Status IndexService::Query(const QueryPlan& plan, std::vector<uint32_t>* out) {
       // Materialization failures (lazy mapped snapshots) fail just this
       // query, with the snapshot's kCorruptData status.
       StatusOr<std::span<const CompressedSet* const>> sets =
-          index_->PlanSets(s, leaves);
+          index->PlanSets(s, leaves);
       if (!sets.ok()) {
         statuses[s] = sets.status();
         return;
       }
       statuses[s] =
-          EvaluatePlanChecked(index_->codec(), plan, sets.value(),
+          EvaluatePlanChecked(index->codec(), plan, sets.value(),
                               nullptr, arenas_[worker].get(), &parts[s]);
     });
   }
@@ -186,14 +209,14 @@ Status IndexService::Query(const QueryPlan& plan, std::vector<uint32_t>* out) {
     size_t total = 0;
     for (const auto& part : parts) total += part.size();
     out->reserve(total);
-    const ShardRouter& router = index_->Router();
+    const ShardRouter& router = index->Router();
     for (size_t s = 0; s < num_shards; ++s) {
       router.Rebase(s, parts[s], out);
     }
   }
 
   if (cache_ != nullptr) {
-    cache_->Put(key, index_->codec(), *out, index_->NumRows());
+    cache_->PutWithStamp(key, index->codec(), *out, index->NumRows(), stamp);
     if (stats_ != nullptr) stats_->AddCacheMiss();
     BumpServiceCounter("service.cache.miss");
   } else {
@@ -208,18 +231,33 @@ void IndexService::Invalidate(size_t shard) {
   BumpServiceCounter("service.cache.invalidation");
 }
 
+Status IndexService::SwapSnapshot(std::shared_ptr<const IndexSnapshot> next) {
+  if (next == nullptr) {
+    return Status::InvalidArgument("null snapshot");
+  }
+  const size_t num_shards = next->NumShards();
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    if (num_shards != index_->NumShards()) {
+      return Status::InvalidArgument(
+          "snapshot shard count mismatch (cache generations are per shard)");
+    }
+    index_ = std::move(next);
+  }
+  // Invalidate after the swap: a query that raced the swap and cached a
+  // pre-swap result used a pre-bump stamp (captured before evaluation), so
+  // the bump below retires it either way.
+  for (size_t s = 0; s < num_shards; ++s) Invalidate(s);
+  BumpServiceCounter("service.snapshot.swap");
+  return Status::Ok();
+}
+
 Status IndexService::SwapSnapshot(const IndexSnapshot* next) {
   if (next == nullptr) {
     return Status::InvalidArgument("null snapshot");
   }
-  if (next->NumShards() != index_->NumShards()) {
-    return Status::InvalidArgument(
-        "snapshot shard count mismatch (cache generations are per shard)");
-  }
-  index_ = next;
-  for (size_t s = 0; s < next->NumShards(); ++s) Invalidate(s);
-  BumpServiceCounter("service.snapshot.swap");
-  return Status::Ok();
+  return SwapSnapshot(std::shared_ptr<const IndexSnapshot>(
+      next, [](const IndexSnapshot*) {}));
 }
 
 ServiceStats IndexService::Stats() const {

@@ -45,8 +45,10 @@
 #ifndef INTCOMP_SERVICE_SHARDED_INDEX_H_
 #define INTCOMP_SERVICE_SHARDED_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -142,6 +144,12 @@ class IndexService {
   IndexService(const IndexSnapshot* index, ThreadPool* pool,
                const IndexServiceOptions& options, EngineStats* stats = nullptr);
 
+  // Shared-ownership flavor: the service keeps the snapshot alive as long
+  // as it (or an in-flight query) still uses it — the write path swaps
+  // snapshots while queries run, so borrowed lifetimes are not enough.
+  IndexService(std::shared_ptr<const IndexSnapshot> index, ThreadPool* pool,
+               const IndexServiceOptions& options, EngineStats* stats = nullptr);
+
   // Evaluates `plan` (leaves are list ids of the index) and writes the
   // matching global row ids, sorted ascending, into *out. Returns
   // kInvalidArgument for malformed plans (leaf out of range, empty operator
@@ -154,19 +162,28 @@ class IndexService {
   void Invalidate(size_t shard);
 
   // Replaces the served snapshot (e.g. remapping a rewritten container
-  // file). `next` must agree with the current snapshot on shard count —
-  // the cache's generation table is sized per shard — and is borrowed like
-  // the constructor's `index`. Every shard is invalidated, so no result
-  // computed against the old snapshot can be served again. Not safe
-  // concurrently with Query.
+  // file, or publishing a new delta overlay). `next` must agree with the
+  // current snapshot on shard count — the cache's generation table is
+  // sized per shard. Every shard is invalidated, so no result computed
+  // against the old snapshot can be served again. Safe concurrently with
+  // Query: an in-flight query pins the snapshot it started on (copy-on-
+  // write), so each query observes exactly one generation end to end.
+  Status SwapSnapshot(std::shared_ptr<const IndexSnapshot> next);
+
+  // Borrowed-lifetime flavor, matching the borrowed constructor: `next`
+  // must outlive the service and every in-flight query on it.
   Status SwapSnapshot(const IndexSnapshot* next);
 
+  // The currently served snapshot. The reference flavor is only safe while
+  // no concurrent SwapSnapshot can retire it; Snapshot() pins it.
   const IndexSnapshot& Index() const { return *index_; }
+  std::shared_ptr<const IndexSnapshot> Snapshot() const;
   ResultCache* Cache() { return cache_.get(); }
   ServiceStats Stats() const;
 
  private:
-  const IndexSnapshot* index_;
+  mutable std::mutex index_mu_;  // guards index_ (pointer copy only)
+  std::shared_ptr<const IndexSnapshot> index_;
   ThreadPool* pool_;
   EngineStats* stats_;
   std::unique_ptr<ResultCache> cache_;  // null when disabled

@@ -1,13 +1,62 @@
 #include "storage/index_writer.h"
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <cstring>
 
 #include "common/bufio.h"
 #include "common/crc32.h"
+#include "common/fault.h"
 
 namespace intcomp::storage {
 
 // ---------------------------------------------------------------- FileSink
+
+namespace {
+
+// EINTR-class errno values are worth retrying: the write can succeed on a
+// later attempt (WriteIndexFile re-runs the whole file, which is idempotent
+// — Create truncates). ENOSPC/EIO count as transient here because the
+// retrying caller is writing a *temp* file whose space may be reclaimed
+// (e.g. by a concurrent compaction cleaning up) between attempts.
+bool ErrnoIsTransientWrite(int err) {
+  return err == EINTR || err == EAGAIN || err == ENOSPC || err == EIO;
+}
+
+Status WriteErrorStatus(const char* what) {
+  if (ErrnoIsTransientWrite(errno)) return Status::Unavailable(what);
+  return Status::Internal(what);
+}
+
+// Consults the fault registry for file-sink ops; returns non-OK for an
+// injected fault (short writes land `action.short_bytes` of `bytes` first,
+// modeling a torn buffered write that made it to disk).
+Status ConsultFaults(fault::Site site, std::FILE* file,
+                     std::span<const uint8_t> bytes, uint64_t* end) {
+  const fault::Action action =
+      fault::FaultInjector::Global().OnOp(site, bytes.size());
+  switch (action.kind) {
+    case fault::Kind::kNone:
+      return Status::Ok();
+    case fault::Kind::kTransient:
+      return Status::Unavailable("injected transient fault");
+    case fault::Kind::kPermanent:
+      return Status::Internal("injected permanent fault");
+    case fault::Kind::kShortWrite: {
+      const size_t n = std::min<size_t>(action.short_bytes, bytes.size());
+      if (file != nullptr && n > 0 &&
+          std::fwrite(bytes.data(), 1, n, file) == n && end != nullptr) {
+        *end += n;
+      }
+      return Status::Internal("injected short write");
+    }
+  }
+  return Status::Internal("unknown fault kind");
+}
+
+}  // namespace
 
 FileSink::~FileSink() {
   if (file_ != nullptr) std::fclose(file_);
@@ -15,8 +64,13 @@ FileSink::~FileSink() {
 
 Status FileSink::Create(const std::string& path) {
   if (file_ != nullptr) return Status::Internal("FileSink already open");
+  Status fault = ConsultFaults(fault::Site::kFileCreate, nullptr, {}, nullptr);
+  if (!fault.ok()) return fault;
   file_ = std::fopen(path.c_str(), "wb");
   if (file_ == nullptr) {
+    if (ErrnoIsTransientWrite(errno)) {
+      return Status::Unavailable("cannot create file: " + path);
+    }
     return Status::InvalidArgument("cannot create file: " + path);
   }
   end_ = 0;
@@ -25,9 +79,11 @@ Status FileSink::Create(const std::string& path) {
 
 Status FileSink::Append(std::span<const uint8_t> bytes) {
   if (file_ == nullptr) return Status::Internal("FileSink not open");
+  Status fault = ConsultFaults(fault::Site::kFileAppend, file_, bytes, &end_);
+  if (!fault.ok()) return fault;
   if (!bytes.empty() &&
       std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
-    return Status::Internal("short write");
+    return WriteErrorStatus("short write");
   }
   end_ += bytes.size();
   return Status::Ok();
@@ -41,9 +97,12 @@ Status FileSink::WriteAt(uint64_t offset, std::span<const uint8_t> bytes) {
   if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
     return Status::Internal("seek failed");
   }
+  Status fault = ConsultFaults(fault::Site::kFileWriteAt, file_, bytes,
+                               nullptr);
+  if (!fault.ok()) return fault;
   if (!bytes.empty() &&
       std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
-    return Status::Internal("short write");
+    return WriteErrorStatus("short write");
   }
   if (std::fseek(file_, 0, SEEK_END) != 0) {
     return Status::Internal("seek failed");
@@ -52,9 +111,14 @@ Status FileSink::WriteAt(uint64_t offset, std::span<const uint8_t> bytes) {
 }
 
 Status FileSink::Flush() {
-  if (file_ != nullptr && std::fflush(file_) != 0) {
-    return Status::Internal("flush failed");
-  }
+  if (file_ == nullptr) return Status::Ok();
+  Status fault = ConsultFaults(fault::Site::kFileFlush, nullptr, {}, nullptr);
+  if (!fault.ok()) return fault;
+  if (std::fflush(file_) != 0) return WriteErrorStatus("flush failed");
+  // Durability point: the crash-safe write path renames this file into
+  // place right after Finalize, and rename-then-crash must never expose a
+  // file whose data is still in the page cache only.
+  if (fsync(fileno(file_)) != 0) return WriteErrorStatus("fsync failed");
   return Status::Ok();
 }
 
@@ -240,16 +304,21 @@ Status IndexWriter::Finalize() {
   return sink_->Flush();
 }
 
-Status WriteIndexFile(const std::string& path, const ShardedIndex& index) {
-  FileSink sink;
-  Status st = sink.Create(path);
-  if (!st.ok()) return st;
-  IndexWriter writer(&sink);
-  st = writer.WriteShardedIndex(index);
-  if (!st.ok()) return st;
-  st = writer.Finalize();
-  if (!st.ok()) return st;
-  return sink.Close();
+Status WriteIndexFile(const std::string& path, const ShardedIndex& index,
+                      const RetryOptions& retry) {
+  // The whole-file write is idempotent (Create truncates), so transient
+  // failures retry the complete attempt rather than resuming mid-stream.
+  return RetryTransient(retry, [&]() -> Status {
+    FileSink sink;
+    Status st = sink.Create(path);
+    if (!st.ok()) return st;
+    IndexWriter writer(&sink);
+    st = writer.WriteShardedIndex(index);
+    if (!st.ok()) return st;
+    st = writer.Finalize();
+    if (!st.ok()) return st;
+    return sink.Close();
+  });
 }
 
 Status WriteIndexImage(const ShardedIndex& index, std::vector<uint8_t>* image) {

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "service/sharded_index.h"
 #include "storage/format.h"
@@ -103,7 +104,10 @@ class IndexWriter {
 };
 
 // Convenience wrappers: stream `index` into a fresh file / into *image.
-Status WriteIndexFile(const std::string& path, const ShardedIndex& index);
+// File writes classify EINTR-class errors (and injected transient faults)
+// as kUnavailable and retry the whole idempotent attempt per `retry`.
+Status WriteIndexFile(const std::string& path, const ShardedIndex& index,
+                      const RetryOptions& retry = {});
 Status WriteIndexImage(const ShardedIndex& index, std::vector<uint8_t>* image);
 
 }  // namespace intcomp::storage

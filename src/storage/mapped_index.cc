@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/crc32.h"
+#include "common/fault.h"
 #include "core/registry.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -295,10 +296,32 @@ StatusOr<std::unique_ptr<MappedIndex>> MappedIndex::OpenImpl(
 
 StatusOr<std::unique_ptr<MappedIndex>> MappedIndex::Open(
     const std::string& path, const MappedIndexOptions& options) {
+  const fault::Action action =
+      fault::FaultInjector::Global().OnOp(fault::Site::kMapOpen, 0);
+  if (action.kind == fault::Kind::kTransient) {
+    return Status::Unavailable("injected transient fault: map open");
+  }
+  if (action.kind != fault::Kind::kNone) {
+    return Status::Internal("injected permanent fault: map open");
+  }
   StatusOr<MappedFile> file = MappedFile::Open(path);
   if (!file.ok()) return file.status();
   const std::span<const uint8_t> bytes = file.value().bytes();
   return OpenImpl(std::move(file.value()), bytes, options);
+}
+
+StatusOr<std::unique_ptr<MappedIndex>> OpenIndexWithRetry(
+    const std::string& path, const MappedIndexOptions& options,
+    const RetryOptions& retry) {
+  std::unique_ptr<MappedIndex> out;
+  Status st = RetryTransient(retry, [&]() -> Status {
+    StatusOr<std::unique_ptr<MappedIndex>> r = MappedIndex::Open(path, options);
+    if (!r.ok()) return r.status();
+    out = std::move(r.value());
+    return Status::Ok();
+  });
+  if (!st.ok()) return st;
+  return StatusOr<std::unique_ptr<MappedIndex>>(std::move(out));
 }
 
 StatusOr<std::unique_ptr<MappedIndex>> MappedIndex::OpenBorrowed(

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "core/codec.h"
 #include "service/shard_router.h"
@@ -138,6 +139,13 @@ class MappedIndex final : public IndexSnapshot {
   mutable std::atomic<uint64_t> materialized_{0};
   mutable std::atomic<uint64_t> zero_copy_{0};
 };
+
+// MappedIndex::Open with bounded retry of transient failures (injected
+// kMapOpen faults, EINTR-class mmap errors). Used by the crash-safe write
+// path when remapping a freshly compacted container.
+StatusOr<std::unique_ptr<MappedIndex>> OpenIndexWithRetry(
+    const std::string& path, const MappedIndexOptions& options = {},
+    const RetryOptions& retry = {});
 
 }  // namespace intcomp::storage
 

@@ -1,0 +1,390 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/bufio.h"
+#include "common/crc32.h"
+#include "common/fault.h"
+#include "obs/metrics.h"
+
+namespace intcomp::storage {
+
+namespace {
+
+void BumpCounter(const char* name, uint64_t delta) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  if (reg.Enabled()) reg.AddCounter(name, delta);
+}
+
+bool ErrnoIsTransient(int err) {
+  return err == EINTR || err == EAGAIN || err == ENOSPC || err == EIO;
+}
+
+// write() the whole span, resuming EINTR-class short writes. Returns the
+// number of bytes that landed (== bytes.size() on success).
+size_t WriteFully(int fd, std::span<const uint8_t> bytes, int* err) {
+  size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      *err = errno;
+      return done;
+    }
+    done += static_cast<size_t>(n);
+  }
+  *err = 0;
+  return done;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ replay
+
+StatusOr<WalReplayStats> ReplayWal(
+    const std::string& path,
+    const std::function<Status(const WalRecord&)>& fn) {
+  WalReplayStats stats;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return stats;  // missing file: an empty log
+  }
+  std::vector<uint8_t> bytes;
+  {
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    if (size > 0) {
+      if (fault::FaultInjector::Global()
+              .OnOp(fault::Site::kAlloc, static_cast<size_t>(size))
+              .kind != fault::Kind::kNone) {
+        std::fclose(f);
+        return Status::Unavailable("wal replay: injected allocation failure");
+      }
+      bytes.resize(static_cast<size_t>(size));
+      if (std::fread(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+        std::fclose(f);
+        return Status::Unavailable("wal replay: read failed");
+      }
+    }
+  }
+  std::fclose(f);
+  stats.existed = true;
+
+  // Header. A short header is a torn first append: treat as empty.
+  if (bytes.size() < kWalHeaderBytes) {
+    stats.tail_truncated = !bytes.empty();
+    return stats;
+  }
+  uint64_t magic = 0;
+  std::memcpy(&magic, bytes.data(), 8);
+  if (magic != kWalMagic) {
+    return Status::Corrupt("wal: bad magic");
+  }
+  stats.valid_bytes = kWalHeaderBytes;
+
+  CheckedByteReader reader(bytes.data() + kWalHeaderBytes,
+                           bytes.size() - kWalHeaderBytes);
+  std::vector<uint32_t> rows;
+  while (reader.Remaining() > 0) {
+    uint32_t payload_len = 0;
+    uint32_t payload_crc = 0;
+    if (!reader.GetU32(&payload_len) || !reader.GetU32(&payload_crc) ||
+        payload_len > kWalMaxPayloadBytes ||
+        reader.Remaining() < payload_len) {
+      stats.tail_truncated = true;  // torn frame header or torn payload
+      break;
+    }
+    const uint8_t* payload = bytes.data() + kWalHeaderBytes + reader.Position();
+    if (Crc32Of({payload, payload_len}) != payload_crc) {
+      stats.tail_truncated = true;  // torn payload bytes
+      break;
+    }
+    CheckedByteReader body(payload, payload_len);
+    WalRecord record;
+    uint8_t op = 0;
+    bool shape_ok = body.GetU64(&record.seq) && body.GetU8(&op);
+    if (shape_ok) {
+      switch (op) {
+        case static_cast<uint8_t>(WalOp::kInsert):
+        case static_cast<uint8_t>(WalOp::kRemove): {
+          record.op = static_cast<WalOp>(op);
+          uint32_t count = 0;
+          shape_ok = body.GetU32(&record.list) && body.GetU32(&count) &&
+                     body.Remaining() == count * sizeof(uint32_t);
+          if (shape_ok) {
+            rows.resize(count);
+            for (uint32_t i = 0; i < count; ++i) {
+              body.GetU32(&rows[i]);
+              if (i > 0 && rows[i] <= rows[i - 1]) {
+                shape_ok = false;
+                break;
+              }
+            }
+            record.rows = rows;
+          }
+          break;
+        }
+        case static_cast<uint8_t>(WalOp::kCheckpoint):
+          record.op = WalOp::kCheckpoint;
+          shape_ok = body.GetU64(&record.checkpoint_id) && body.AtEnd();
+          break;
+        default:
+          shape_ok = false;
+      }
+    }
+    // A CRC-valid frame with an ill-formed payload, or a sequence gap, is
+    // tampering — our writer never produces it, torn or not.
+    if (!shape_ok) {
+      return Status::Corrupt("wal: CRC-valid frame with malformed payload");
+    }
+    if (record.seq != stats.next_seq) {
+      return Status::Corrupt("wal: sequence discontinuity");
+    }
+    if (!reader.Skip(payload_len)) {
+      return Status::Internal("wal: reader skip after bounds check");
+    }
+    Status st = fn(record);
+    if (!st.ok()) return st;
+    stats.records += 1;
+    stats.next_seq += 1;
+    stats.valid_bytes = kWalHeaderBytes + reader.Position();
+  }
+  return stats;
+}
+
+// ------------------------------------------------------------------ writer
+
+StatusOr<std::unique_ptr<WalWriter>> WalWriter::Create(
+    const std::string& path, const WalOptions& options) {
+  const fault::Action a =
+      fault::FaultInjector::Global().OnOp(fault::Site::kFileCreate);
+  if (a.kind == fault::Kind::kTransient) {
+    return Status::Unavailable("wal create: injected transient fault");
+  }
+  if (a.kind != fault::Kind::kNone) {
+    return Status::Internal("wal create: injected fault");
+  }
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return ErrnoIsTransient(errno)
+               ? Status::Unavailable("wal create: " + path)
+               : Status::InvalidArgument("wal create: " + path);
+  }
+  auto writer = std::unique_ptr<WalWriter>(new WalWriter(fd, 0, 1, options));
+  std::vector<uint8_t> header;
+  ByteWriter w(&header);
+  w.PutU64(kWalMagic);
+  Status st = writer->AppendFrame(header);
+  if (!st.ok()) return st;
+  return writer;
+}
+
+StatusOr<std::unique_ptr<WalWriter>> WalWriter::OpenForAppend(
+    const std::string& path, const WalReplayStats& stats,
+    const WalOptions& options) {
+  if (!stats.existed) {
+    return Create(path, options);
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return ErrnoIsTransient(errno)
+               ? Status::Unavailable("wal open: " + path)
+               : Status::InvalidArgument("wal open: " + path);
+  }
+  // Drop the torn tail so the next frame lands on a clean boundary.
+  if (::ftruncate(fd, static_cast<off_t>(stats.valid_bytes)) != 0 ||
+      ::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    return Status::Unavailable("wal open: truncate/seek failed: " + path);
+  }
+  auto writer = std::unique_ptr<WalWriter>(
+      new WalWriter(fd, stats.valid_bytes, stats.next_seq, options));
+  if (stats.valid_bytes < kWalHeaderBytes) {
+    // The original header itself was torn; rewrite it.
+    std::vector<uint8_t> header;
+    ByteWriter w(&header);
+    w.PutU64(kWalMagic);
+    if (::ftruncate(fd, 0) != 0) {
+      return Status::Unavailable("wal open: header rewrite failed");
+    }
+    writer->end_ = 0;
+    Status st = writer->AppendFrame(header);
+    if (!st.ok()) return st;
+  }
+  return writer;
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status WalWriter::AppendFrame(std::span<const uint8_t> frame) {
+  // One attempt: consult the injector, write, and repair a partial frame by
+  // truncating back to the last clean boundary — unless the schedule says
+  // the process died, in which case the torn bytes stay (recovery's
+  // problem, by design).
+  auto attempt = [&]() -> Status {
+    fault::FaultInjector& injector = fault::FaultInjector::Global();
+    const fault::Action a = injector.OnOp(fault::Site::kWalAppend, frame.size());
+    size_t to_write = frame.size();
+    bool injected_fail = false;
+    Status fail_status = Status::Ok();
+    switch (a.kind) {
+      case fault::Kind::kNone:
+        break;
+      case fault::Kind::kTransient:
+        return Status::Unavailable("wal append: injected transient fault");
+      case fault::Kind::kPermanent:
+        return Status::Internal("wal append: injected permanent fault");
+      case fault::Kind::kShortWrite:
+        to_write = a.short_bytes;
+        injected_fail = true;
+        fail_status = injector.Crashed()
+                          ? Status::Internal("wal append: crashed mid-write")
+                          : Status::Unavailable("wal append: short write");
+        break;
+    }
+    int err = 0;
+    const size_t wrote = WriteFully(fd_, frame.subspan(0, to_write), &err);
+    if (wrote == frame.size() && !injected_fail) {
+      end_ += frame.size();
+      return Status::Ok();
+    }
+    if (!injected_fail) {
+      fail_status = ErrnoIsTransient(err)
+                        ? Status::Unavailable("wal append: write failed")
+                        : Status::Internal("wal append: write failed");
+    }
+    // Torn frame on disk. A crashed process cannot repair; a live one
+    // truncates back to the clean boundary so a retry starts fresh.
+    if (injector.Crashed()) {
+      return Status::Internal("wal append: crash left torn frame");
+    }
+    if (::ftruncate(fd_, static_cast<off_t>(end_)) != 0 ||
+        ::lseek(fd_, 0, SEEK_END) < 0) {
+      return Status::Internal("wal append: torn-frame repair failed");
+    }
+    return fail_status;
+  };
+
+  if (!broken_.ok()) return broken_;
+  int attempts = 0;
+  Status st = RetryTransient(options_.retry, attempt, &attempts);
+  if (attempts > 1) {
+    BumpCounter("storage.retry.attempts", static_cast<uint64_t>(attempts - 1));
+  }
+  if (!st.ok() && !IsTransient(st)) broken_ = st;
+  return st;
+}
+
+Status WalWriter::AppendUpdate(WalOp op, uint32_t list,
+                               std::span<const uint32_t> rows) {
+  if (op != WalOp::kInsert && op != WalOp::kRemove) {
+    return Status::InvalidArgument("wal: AppendUpdate wants insert/remove");
+  }
+  std::vector<uint8_t> payload;
+  payload.reserve(17 + rows.size() * 4);
+  ByteWriter w(&payload);
+  w.PutU64(next_seq_);
+  w.PutU8(static_cast<uint8_t>(op));
+  w.PutU32(list);
+  w.PutU32(static_cast<uint32_t>(rows.size()));
+  for (uint32_t r : rows) w.PutU32(r);
+
+  std::vector<uint8_t> frame;
+  frame.reserve(kWalFrameBytes + payload.size());
+  ByteWriter fw(&frame);
+  fw.PutU32(static_cast<uint32_t>(payload.size()));
+  fw.PutU32(Crc32Of(payload));
+  fw.PutBytes(payload.data(), payload.size());
+
+  Status st = AppendFrame(frame);
+  if (!st.ok()) return st;
+  next_seq_ += 1;
+  records_ += 1;
+  BumpCounter("storage.wal.records", 1);
+  BumpCounter("storage.wal.bytes", frame.size());
+  if (options_.sync_every_records > 0 &&
+      ++unsynced_records_ >= options_.sync_every_records) {
+    return Sync();
+  }
+  return Status::Ok();
+}
+
+Status WalWriter::AppendCheckpoint(uint64_t checkpoint_id) {
+  std::vector<uint8_t> payload;
+  ByteWriter w(&payload);
+  w.PutU64(next_seq_);
+  w.PutU8(static_cast<uint8_t>(WalOp::kCheckpoint));
+  w.PutU64(checkpoint_id);
+
+  std::vector<uint8_t> frame;
+  ByteWriter fw(&frame);
+  fw.PutU32(static_cast<uint32_t>(payload.size()));
+  fw.PutU32(Crc32Of(payload));
+  fw.PutBytes(payload.data(), payload.size());
+
+  Status st = AppendFrame(frame);
+  if (!st.ok()) return st;
+  next_seq_ += 1;
+  records_ += 1;
+  BumpCounter("storage.wal.records", 1);
+  BumpCounter("storage.wal.bytes", frame.size());
+  return Sync();
+}
+
+Status WalWriter::SyncInternal() {
+  auto attempt = [&]() -> Status {
+    const fault::Action a =
+        fault::FaultInjector::Global().OnOp(fault::Site::kWalSync);
+    if (a.kind == fault::Kind::kTransient) {
+      return Status::Unavailable("wal sync: injected transient fault");
+    }
+    if (a.kind != fault::Kind::kNone) {
+      return Status::Internal("wal sync: injected fault");
+    }
+    if (::fsync(fd_) != 0) {
+      return ErrnoIsTransient(errno)
+                 ? Status::Unavailable("wal sync: fsync failed")
+                 : Status::Internal("wal sync: fsync failed");
+    }
+    return Status::Ok();
+  };
+  if (!broken_.ok()) return broken_;
+  int attempts = 0;
+  Status st = RetryTransient(options_.retry, attempt, &attempts);
+  if (attempts > 1) {
+    BumpCounter("storage.retry.attempts", static_cast<uint64_t>(attempts - 1));
+  }
+  if (!st.ok() && !IsTransient(st)) broken_ = st;
+  return st;
+}
+
+Status WalWriter::Sync() {
+  Status st = SyncInternal();
+  if (st.ok()) {
+    syncs_ += 1;
+    unsynced_records_ = 0;
+    BumpCounter("storage.wal.syncs", 1);
+  }
+  return st;
+}
+
+Status WalWriter::Close() {
+  if (fd_ < 0) return Status::Ok();
+  Status st = Status::Ok();
+  if (broken_.ok()) st = Sync();
+  const int rc = ::close(fd_);
+  fd_ = -1;
+  if (!st.ok()) return st;
+  return rc == 0 ? Status::Ok() : Status::Internal("wal close failed");
+}
+
+}  // namespace intcomp::storage

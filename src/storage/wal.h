@@ -1,0 +1,148 @@
+// Write-ahead log for the mutable index write path (DESIGN.md §5.11).
+//
+// File layout: an 8-byte magic ("ICWAL001") followed by CRC-framed records:
+//
+//   [ u32 payload_len ][ u32 payload_crc ][ payload_len payload bytes ]
+//
+// Payload (little-endian, parsed with CheckedByteReader):
+//   u64 seq          monotonically increasing, 1-based
+//   u8  op           1 = insert, 2 = remove, 3 = checkpoint
+//   insert/remove:   u32 list, u32 count, count x u32 sorted unique rows
+//   checkpoint:      u64 checkpoint_id (compaction commit marker)
+//
+// Crash model. The writer appends each record with a single write() and
+// fsyncs on a configurable cadence, so a crash leaves a *byte prefix* of
+// the record stream (possibly tearing the final record). ReplayWal accepts
+// exactly the longest valid record prefix: it stops at the first frame
+// whose length field runs past the file or whose CRC mismatches, reports
+// the torn tail, and never surfaces a half-applied record — which is what
+// makes recovery land on a state equal to some prefix of the operation
+// stream, never a torn one. Sequence numbers must increase by exactly one
+// per record; a gap or repeat after a CRC-valid frame means the file was
+// tampered with (not torn) and replay fails with kCorruptData.
+//
+// Fault injection. Appends consult fault::Site::kWalAppend and syncs
+// kWalSync. Transient faults are retried with bounded jittered backoff
+// after truncating any partial frame; a crash-at-op-K schedule leaves the
+// torn bytes in place (the process "died"), and recovery is exercised by
+// reopening the file.
+
+#ifndef INTCOMP_STORAGE_WAL_H_
+#define INTCOMP_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/retry.h"
+#include "common/status.h"
+
+namespace intcomp::storage {
+
+// "ICWAL001" read as a little-endian u64.
+inline constexpr uint64_t kWalMagic = 0x3130304C41574349ull;
+inline constexpr size_t kWalHeaderBytes = 8;
+inline constexpr size_t kWalFrameBytes = 8;  // payload_len + payload_crc
+// A record never legitimately exceeds this (4 Mi rows in one batch); larger
+// length fields are treated as torn/corrupt frames.
+inline constexpr uint32_t kWalMaxPayloadBytes = 1u << 24;
+
+enum class WalOp : uint8_t {
+  kInsert = 1,
+  kRemove = 2,
+  kCheckpoint = 3,
+};
+
+struct WalRecord {
+  uint64_t seq = 0;
+  WalOp op = WalOp::kInsert;
+  uint32_t list = 0;                 // insert/remove
+  std::span<const uint32_t> rows;    // insert/remove (sorted, unique)
+  uint64_t checkpoint_id = 0;        // checkpoint
+};
+
+struct WalReplayStats {
+  bool existed = false;         // file was present (even if empty/torn)
+  uint64_t records = 0;         // CRC-valid records surfaced to the callback
+  uint64_t valid_bytes = 0;     // header + valid frames; the append offset
+  bool tail_truncated = false;  // bytes past valid_bytes were torn
+  uint64_t next_seq = 1;        // sequence number the writer should continue at
+};
+
+// Replays the valid record prefix of the WAL at `path` through `fn`
+// (stopping early if `fn` returns non-OK and propagating that status). A
+// missing file is not an error: existed=false, zero records. Returns
+// kCorruptData only for damage that no crash of our writer can produce
+// (bad magic with a full-size header, sequence gaps after valid CRC).
+StatusOr<WalReplayStats> ReplayWal(
+    const std::string& path, const std::function<Status(const WalRecord&)>& fn);
+
+struct WalOptions {
+  // fsync after every Nth appended record (1 = every record, the durable
+  // default; 0 = only on explicit Sync/Close — the fastest, least durable).
+  size_t sync_every_records = 1;
+  RetryOptions retry;
+};
+
+class WalWriter {
+ public:
+  // Creates a fresh WAL at `path` (truncating any existing file) and writes
+  // the header.
+  static StatusOr<std::unique_ptr<WalWriter>> Create(
+      const std::string& path, const WalOptions& options = {});
+
+  // Opens an existing WAL for append: truncates the torn tail at
+  // `stats.valid_bytes` and continues at `stats.next_seq` (both from
+  // ReplayWal over the same file).
+  static StatusOr<std::unique_ptr<WalWriter>> OpenForAppend(
+      const std::string& path, const WalReplayStats& stats,
+      const WalOptions& options = {});
+
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  // Appends one insert/remove record (rows sorted, unique). Durable per the
+  // sync cadence. On a permanent failure the writer latches broken: every
+  // later append fails fast and the on-disk file holds a clean prefix (or a
+  // torn final frame, under a crash schedule).
+  Status AppendUpdate(WalOp op, uint32_t list, std::span<const uint32_t> rows);
+
+  // Appends a checkpoint marker (compaction commit id).
+  Status AppendCheckpoint(uint64_t checkpoint_id);
+
+  // Forces everything appended so far to disk (fsync).
+  Status Sync();
+
+  // Final sync + close. The destructor closes without syncing.
+  Status Close();
+
+  uint64_t NextSeq() const { return next_seq_; }
+  uint64_t BytesWritten() const { return end_; }
+  uint64_t Records() const { return records_; }
+  uint64_t Syncs() const { return syncs_; }
+  bool Broken() const { return !broken_.ok(); }
+
+ private:
+  WalWriter(int fd, uint64_t end, uint64_t next_seq, const WalOptions& options)
+      : fd_(fd), end_(end), next_seq_(next_seq), options_(options) {}
+
+  Status AppendFrame(std::span<const uint8_t> frame);
+  Status SyncInternal();
+
+  int fd_ = -1;
+  uint64_t end_ = 0;        // bytes of valid, fully-appended frames
+  uint64_t next_seq_ = 1;
+  WalOptions options_;
+  uint64_t records_ = 0;
+  uint64_t syncs_ = 0;
+  size_t unsynced_records_ = 0;
+  Status broken_ = Status::Ok();
+};
+
+}  // namespace intcomp::storage
+
+#endif  // INTCOMP_STORAGE_WAL_H_

@@ -24,7 +24,7 @@
 
 #include "common/prng.h"
 #include "core/registry.h"
-#include "fault_inject.h"
+#include "common/fault.h"
 #include "workload/synthetic.h"
 
 namespace intcomp {

@@ -1,0 +1,385 @@
+// Delta-overlay tests (src/service/delta_overlay.h + LiveIndex::Wrap).
+//
+// The load-bearing identity: an OverlaySnapshot over (base, deltas) answers
+// every plan exactly like an index rebuilt from scratch on the mutated
+// lists — for every codec in the registry. Plus the DeltaMap set-semantics
+// algebra that makes WAL replay idempotent and compaction commit a
+// subtraction, and two race hammers (run under TSan in CI): queries racing
+// a mutation see exactly the before- or after-state, and queries racing a
+// compaction — which never changes the effective index — all agree.
+
+#include "service/delta_overlay.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <iterator>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/query.h"
+#include "core/registry.h"
+#include "engine/thread_pool.h"
+#include "service/sharded_index.h"
+#include "storage/live_index.h"
+#include "test_util.h"
+
+namespace intcomp {
+namespace {
+
+// --------------------------------------------------------------- primitives
+
+TEST(DeltaPrimitivesTest, CanonicalizeRowsSortsAndDedups) {
+  std::vector<uint32_t> rows = {9, 3, 3, 7, 0, 9, 9};
+  CanonicalizeRows(&rows);
+  EXPECT_EQ(rows, (std::vector<uint32_t>{0, 3, 7, 9}));
+  std::vector<uint32_t> empty;
+  CanonicalizeRows(&empty);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(DeltaPrimitivesTest, ApplyDeltaIsDeleteThenInsert) {
+  ListDelta delta;
+  delta.inserts = {2, 5, 40};
+  delta.deletes = {10, 30};
+  std::vector<uint32_t> out;
+  ApplyDelta(std::vector<uint32_t>{5, 10, 20, 30}, delta, &out);
+  // (base \ deletes) ∪ inserts; 5 in both base and inserts stays single.
+  EXPECT_EQ(out, (std::vector<uint32_t>{2, 5, 20, 40}));
+
+  ApplyDelta({}, delta, &out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{2, 5, 40}));
+
+  ApplyDelta(std::vector<uint32_t>{10, 30}, ListDelta{}, &out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{10, 30}));
+}
+
+// ------------------------------------------------------------ DeltaMap law
+
+TEST(DeltaMapTest, PolarityFlipsKeepRowsDisjoint) {
+  DeltaMap map;
+  EXPECT_FALSE(map.Dirty());
+  map.Insert(3, std::vector<uint32_t>{1, 2, 3});
+  map.Remove(3, std::vector<uint32_t>{2, 9});
+  // 2 flipped to delete; 1 and 3 remain inserts; 9 is a fresh delete.
+  auto copy = map.Copy();
+  ASSERT_EQ(copy.size(), 1u);
+  EXPECT_EQ(copy[0].first, 3u);
+  EXPECT_EQ(copy[0].second.inserts, (std::vector<uint32_t>{1, 3}));
+  EXPECT_EQ(copy[0].second.deletes, (std::vector<uint32_t>{2, 9}));
+  // Flip back: a row never carries both polarities.
+  map.Insert(3, std::vector<uint32_t>{2});
+  copy = map.Copy();
+  EXPECT_EQ(copy[0].second.inserts, (std::vector<uint32_t>{1, 2, 3}));
+  EXPECT_EQ(copy[0].second.deletes, (std::vector<uint32_t>{9}));
+  EXPECT_EQ(map.DeltaRows(), 4u);
+  EXPECT_EQ(map.DirtyLists(), 1u);
+}
+
+TEST(DeltaMapTest, VersionBumpsOnEveryChange) {
+  DeltaMap map;
+  const uint64_t v0 = map.Version();
+  map.Insert(0, std::vector<uint32_t>{1});
+  const uint64_t v1 = map.Version();
+  EXPECT_NE(v0, v1);
+  map.Remove(1, std::vector<uint32_t>{2});
+  EXPECT_NE(map.Version(), v1);
+}
+
+TEST(DeltaMapTest, SubtractKeepsUpdatesThatRacedTheFreeze) {
+  DeltaMap map;
+  map.Insert(0, std::vector<uint32_t>{1, 2, 3});
+  map.Remove(1, std::vector<uint32_t>{7});
+  const auto frozen = map.Copy();  // what a compaction would fold in
+
+  // Racing updates while the "compaction" runs: 2 flips to delete in list
+  // 0, a brand-new insert lands in list 2.
+  map.Remove(0, std::vector<uint32_t>{2});
+  map.Insert(2, std::vector<uint32_t>{5});
+
+  map.Subtract(frozen);
+  const auto survivors = map.Copy();
+  // Folded rows are gone; the racing flip and the new insert survive.
+  ASSERT_EQ(survivors.size(), 2u);
+  EXPECT_EQ(survivors[0].first, 0u);
+  EXPECT_TRUE(survivors[0].second.inserts.empty());
+  EXPECT_EQ(survivors[0].second.deletes, (std::vector<uint32_t>{2}));
+  EXPECT_EQ(survivors[1].first, 2u);
+  EXPECT_EQ(survivors[1].second.inserts, (std::vector<uint32_t>{5}));
+
+  // Subtracting a frozen view from an identical map empties it.
+  DeltaMap clean;
+  clean.Insert(4, std::vector<uint32_t>{8, 9});
+  clean.Subtract(clean.Copy());
+  EXPECT_FALSE(clean.Dirty());
+  EXPECT_EQ(clean.DeltaRows(), 0u);
+}
+
+// --------------------------------------------- overlay ≡ rebuilt, all codecs
+
+struct OverlayFixture {
+  uint64_t num_rows = 2048;
+  size_t num_shards = 3;
+  std::vector<std::vector<uint32_t>> base_lists;
+  std::vector<std::vector<uint32_t>> mutated_lists;  // base after deltas
+  DeltaMap deltas;
+  std::vector<QueryPlan> plans;
+};
+
+OverlayFixture MakeOverlayFixture(uint64_t seed) {
+  OverlayFixture f;
+  Prng rng(seed);
+  const size_t num_lists = 6;
+  for (size_t l = 0; l < num_lists; ++l) {
+    f.base_lists.push_back(
+        RandomSortedList(100 + rng.NextBounded(400), f.num_rows, rng.Next()));
+  }
+  f.mutated_lists = f.base_lists;
+  // Dirty four of the six lists (two stay clean → base passthrough), with
+  // overlapping insert/remove batches in arbitrary order.
+  for (size_t l = 0; l < 4; ++l) {
+    std::vector<uint32_t> ins =
+        RandomSortedList(1 + rng.NextBounded(80), f.num_rows, rng.Next());
+    std::vector<uint32_t> del =
+        RandomSortedList(1 + rng.NextBounded(80), f.num_rows, rng.Next());
+    f.deltas.Remove(static_cast<uint32_t>(l), del);
+    f.deltas.Insert(static_cast<uint32_t>(l), ins);
+    // Model: remove-then-insert == delete (del \ ins), then insert ins (set
+    // semantics — the later Insert call wins the shared rows).
+    std::vector<uint32_t> tmp;
+    std::vector<uint32_t> eff_del;
+    std::set_difference(del.begin(), del.end(), ins.begin(), ins.end(),
+                        std::back_inserter(eff_del));
+    ListDelta eff;
+    eff.deletes = eff_del;
+    eff.inserts = ins;
+    ApplyDelta(f.mutated_lists[l], eff, &tmp);
+    f.mutated_lists[l] = tmp;
+  }
+  f.plans.push_back(QueryPlan::Leaf(0));
+  f.plans.push_back(QueryPlan::Leaf(4));  // clean list
+  f.plans.push_back(QueryPlan::And({QueryPlan::Leaf(0), QueryPlan::Leaf(1)}));
+  f.plans.push_back(QueryPlan::Or({QueryPlan::Leaf(2), QueryPlan::Leaf(5)}));
+  f.plans.push_back(QueryPlan::And(
+      {QueryPlan::Or({QueryPlan::Leaf(0), QueryPlan::Leaf(3)}),
+       QueryPlan::Leaf(2)}));
+  return f;
+}
+
+class OverlayEquivalenceTest : public ::testing::TestWithParam<const Codec*> {
+};
+
+TEST_P(OverlayEquivalenceTest, OverlayMatchesRebuiltIndex) {
+  const Codec& codec = *GetParam();
+  const OverlayFixture f = MakeOverlayFixture(TestSeed(0x0e0e));
+
+  auto base = std::make_shared<ShardedIndex>(ShardedIndex::Build(
+      codec, f.base_lists, f.num_rows, f.num_shards));
+  const ShardedIndex rebuilt = ShardedIndex::Build(
+      codec, f.mutated_lists, f.num_rows, f.num_shards);
+  const OverlaySnapshot overlay(base, f.deltas.Copy());
+  EXPECT_EQ(overlay.DirtyLists(), 4u);
+  EXPECT_EQ(overlay.NumLists(), base->NumLists());
+  EXPECT_EQ(overlay.NumRows(), base->NumRows());
+  EXPECT_EQ(overlay.SizeInBytes(),
+            base->SizeInBytes() + f.deltas.DeltaRows() * 4);
+
+  ThreadPool pool(2);
+  IndexServiceOptions options;
+  options.cache_enabled = false;
+  IndexService overlay_service(&overlay, &pool, options);
+  IndexService rebuilt_service(&rebuilt, &pool, options);
+  for (size_t q = 0; q < f.plans.size(); ++q) {
+    std::vector<uint32_t> got, want;
+    ASSERT_TRUE(overlay_service.Query(f.plans[q], &got).ok());
+    ASSERT_TRUE(rebuilt_service.Query(f.plans[q], &want).ok());
+    ASSERT_EQ(got, want) << "plan " << q;
+  }
+
+  // An overlay with no deltas delegates to the base wholesale.
+  const OverlaySnapshot clean(base, {});
+  IndexService clean_service(&clean, &pool, options);
+  IndexService base_service(base.get(), &pool, options);
+  for (size_t q = 0; q < f.plans.size(); ++q) {
+    std::vector<uint32_t> got, want;
+    ASSERT_TRUE(clean_service.Query(f.plans[q], &got).ok());
+    ASSERT_TRUE(base_service.Query(f.plans[q], &want).ok());
+    ASSERT_EQ(got, want) << "plan " << q;
+  }
+}
+
+std::string OverlayCodecName(
+    const ::testing::TestParamInfo<const Codec*>& info) {
+  std::string name(info.param->Name());
+  for (char& c : name) {
+    if (c == '*' || c == '+' || c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, OverlayEquivalenceTest,
+                         ::testing::ValuesIn(AllCodecs()), OverlayCodecName);
+
+// Metamorphic round trips: remove-then-reinsert rows from the base is the
+// identity; insert-then-remove rows disjoint from the base is the identity.
+TEST(OverlayEquivalenceTest, RoundTripDeltasAreTheIdentity) {
+  const Codec& codec = *FindCodec("Roaring");
+  const uint64_t num_rows = 4096;
+  std::vector<std::vector<uint32_t>> lists = {
+      RandomSortedList(600, num_rows, TestSeed(0x1d01)),
+      RandomSortedList(300, num_rows, TestSeed(0x1d02))};
+  auto base = std::make_shared<ShardedIndex>(
+      ShardedIndex::Build(codec, lists, num_rows, 2));
+
+  // Rows present in list 0 / absent from list 1.
+  std::vector<uint32_t> present(lists[0].begin(), lists[0].begin() + 50);
+  std::vector<uint32_t> absent;
+  for (uint32_t r = 0; absent.size() < 50; ++r) {
+    if (!std::binary_search(lists[1].begin(), lists[1].end(), r)) {
+      absent.push_back(r);
+    }
+  }
+
+  DeltaMap map;
+  map.Remove(0, present);
+  map.Insert(0, present);  // flip back: pure insert polarity of base rows
+  map.Insert(1, absent);
+  map.Remove(1, absent);   // flip to delete polarity of non-base rows
+  const OverlaySnapshot overlay(base, map.Copy());
+
+  ThreadPool pool(2);
+  IndexServiceOptions options;
+  options.cache_enabled = false;
+  IndexService overlay_service(&overlay, &pool, options);
+  IndexService base_service(base.get(), &pool, options);
+  for (uint32_t l = 0; l < 2; ++l) {
+    std::vector<uint32_t> got, want;
+    ASSERT_TRUE(overlay_service.Query(QueryPlan::Leaf(l), &got).ok());
+    ASSERT_TRUE(base_service.Query(QueryPlan::Leaf(l), &want).ok());
+    EXPECT_EQ(got, want) << "list " << l;
+  }
+}
+
+// ------------------------------------------------------------ race hammers
+
+// Queries racing one mutation observe exactly the before- or after-state —
+// never a torn mix. Run under TSan in CI to catch publication races.
+TEST(OverlayRaceTest, QueriesRacingAMutationSeeBeforeOrAfter) {
+  const Codec& codec = *FindCodec("Roaring");
+  const uint64_t num_rows = 8192;
+  std::vector<std::vector<uint32_t>> lists = {
+      RandomSortedList(900, num_rows, TestSeed(0x5ace)),
+      RandomSortedList(700, num_rows, TestSeed(0x5acf))};
+  const std::vector<uint32_t> before = lists[0];
+  std::vector<uint32_t> extra;
+  for (uint32_t r = 0; extra.size() < 64; ++r) {
+    if (!std::binary_search(before.begin(), before.end(), r)) {
+      extra.push_back(r);
+    }
+  }
+  const std::vector<uint32_t> after = RefUnion(before, extra);
+
+  ThreadPool pool(3);
+  for (int iter = 0; iter < 8; ++iter) {
+    auto live = storage::LiveIndex::Wrap(std::make_shared<ShardedIndex>(
+        ShardedIndex::Build(codec, lists, num_rows, 2)));
+    IndexServiceOptions options;
+    options.cache.require_second_touch = false;
+    IndexService service(live->Snapshot(), &pool, options);
+    live->AttachService(&service);
+
+    std::atomic<bool> start{false};
+    std::atomic<int> torn{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 3; ++t) {
+      readers.emplace_back([&] {
+        while (!start.load(std::memory_order_acquire)) {
+        }
+        for (int i = 0; i < 40; ++i) {
+          std::vector<uint32_t> rows;
+          if (!service.Query(QueryPlan::Leaf(0), &rows).ok() ||
+              (rows != before && rows != after)) {
+            torn.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    start.store(true, std::memory_order_release);
+    ASSERT_TRUE(live->Insert(0, extra).ok());
+    for (std::thread& t : readers) t.join();
+    EXPECT_EQ(torn.load(), 0) << "iteration " << iter;
+
+    // After the mutation settles, everyone sees the after-state — including
+    // through the cache (stale entries must not survive the publish).
+    std::vector<uint32_t> rows;
+    ASSERT_TRUE(service.Query(QueryPlan::Leaf(0), &rows).ok());
+    EXPECT_EQ(rows, after);
+  }
+}
+
+// Compaction never changes the effective index, so queries racing it must
+// all return the identical result, and the post-compaction snapshot has no
+// pending deltas left.
+TEST(OverlayRaceTest, QueriesRacingCompactionAllAgree) {
+  const Codec& codec = *FindCodec("WAH");
+  const uint64_t num_rows = 8192;
+  std::vector<std::vector<uint32_t>> lists = {
+      RandomSortedList(800, num_rows, TestSeed(0xc0de)),
+      RandomSortedList(500, num_rows, TestSeed(0xc0df))};
+
+  ThreadPool pool(3);
+  for (int iter = 0; iter < 4; ++iter) {
+    auto live = storage::LiveIndex::Wrap(std::make_shared<ShardedIndex>(
+        ShardedIndex::Build(codec, lists, num_rows, 2)));
+    IndexServiceOptions options;
+    options.cache.require_second_touch = false;
+    IndexService service(live->Snapshot(), &pool, options);
+    live->AttachService(&service);
+
+    ASSERT_TRUE(
+        live->Insert(0, RandomSortedList(100, num_rows,
+                                         TestSeed(0xc100) + iter)).ok());
+    ASSERT_TRUE(
+        live->Remove(1, RandomSortedList(60, num_rows,
+                                         TestSeed(0xc200) + iter)).ok());
+    const QueryPlan plan =
+        QueryPlan::Or({QueryPlan::Leaf(0), QueryPlan::Leaf(1)});
+    std::vector<uint32_t> expected;
+    ASSERT_TRUE(service.Query(plan, &expected).ok());
+
+    std::atomic<bool> start{false};
+    std::atomic<int> divergent{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 3; ++t) {
+      readers.emplace_back([&] {
+        while (!start.load(std::memory_order_acquire)) {
+        }
+        for (int i = 0; i < 30; ++i) {
+          std::vector<uint32_t> rows;
+          if (!service.Query(plan, &rows).ok() || rows != expected) {
+            divergent.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    start.store(true, std::memory_order_release);
+    ASSERT_TRUE(live->Compact().ok());
+    for (std::thread& t : readers) t.join();
+    EXPECT_EQ(divergent.load(), 0) << "iteration " << iter;
+
+    const storage::LiveIndexStats stats = live->Stats();
+    EXPECT_EQ(stats.compactions, 1u);
+    EXPECT_EQ(stats.delta_rows, 0u);
+    // The served snapshot is now the compacted base itself — no overlay.
+    std::vector<uint32_t> rows;
+    ASSERT_TRUE(service.Query(plan, &rows).ok());
+    EXPECT_EQ(rows, expected);
+  }
+}
+
+}  // namespace
+}  // namespace intcomp

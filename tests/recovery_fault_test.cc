@@ -1,0 +1,354 @@
+// Crash-recovery fault campaign for the mutable index (DESIGN.md §5.11).
+//
+// The property under test: for EVERY crash point in the WAL + compaction
+// operation stream, reopening the directory recovers an effective index
+// equal to the state just before or just after the interrupted operation —
+// never a torn mix, never an invented state, never kCorruptData (that code
+// is reserved for tampering a crash cannot produce).
+//
+// Three campaigns, all seeded (override with INTCOMP_FAULT_SEED):
+//   * CrashAtOpCampaign      — crash at op K across every storage site,
+//                              sweeping K per schedule;
+//   * CompactionCrashCampaign — crashes confined to the compaction commit
+//                              protocol's sites (container write, renames,
+//                              rotation), the two-step window in particular;
+//   * TransientRatesCampaign — seeded transient faults everywhere except
+//                              fsync; every operation either succeeds after
+//                              bounded retry or fails cleanly, and recovery
+//                              equals the successful prefix exactly.
+//
+// The acceptance rule mirrors the durability contract. All ops before the
+// crash succeeded and are recovered. The crashing op itself is ambiguous in
+// exactly one case: its WAL record landed (write() returned) but the fsync
+// after it was the injected failure — then the op reported failure yet
+// recovers as applied. So: recovered == model[ok_ops] or (when the first
+// failed op was an update) model[ok_ops] + that update. A crashed
+// compaction must recover model[ok_ops] exactly — it never changes the
+// effective index.
+//
+// Runs ~200 schedules by default; CI's ASan fault-matrix job passes
+// --schedules=10000.
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "common/prng.h"
+#include "core/registry.h"
+#include "service/delta_overlay.h"
+#include "service/sharded_index.h"
+#include "storage/live_index.h"
+#include "test_util.h"
+
+namespace intcomp {
+namespace {
+
+using storage::LiveIndex;
+
+int g_schedules = 200;
+
+// ----------------------------------------------------------------- helpers
+
+std::string CampaignDir(const char* name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+void WipeDir(const std::string& dir) {
+  for (const char* f : {LiveIndex::kIndexFile, LiveIndex::kWalFile,
+                        LiveIndex::kIndexTmpFile, LiveIndex::kWalTmpFile}) {
+    std::remove((dir + "/" + f).c_str());
+  }
+}
+
+std::vector<uint32_t> ListRows(const IndexSnapshot& snap, uint32_t list) {
+  std::vector<uint32_t> out, local;
+  const std::vector<size_t> leaves = {list};
+  const ShardRouter& router = snap.Router();
+  for (size_t s = 0; s < snap.NumShards(); ++s) {
+    auto sets = snap.PlanSets(s, leaves);
+    if (!sets.ok()) {
+      ADD_FAILURE() << "PlanSets: " << sets.status().ToString();
+      return out;
+    }
+    local.clear();
+    snap.codec().Decode(*sets.value()[list], &local);
+    for (uint32_t r : local) {
+      out.push_back(r + static_cast<uint32_t>(router.Begin(s)));
+    }
+  }
+  return out;
+}
+
+// One scripted operation of a schedule.
+struct PlannedOp {
+  enum Kind { kInsert, kRemove, kCompact, kSync } kind;
+  uint32_t list = 0;
+  std::vector<uint32_t> rows;
+};
+
+struct Schedule {
+  uint64_t num_rows = 256;
+  size_t num_shards = 2;
+  std::vector<std::vector<uint32_t>> base;   // initial lists
+  std::vector<PlannedOp> ops;
+};
+
+Schedule MakeSchedule(Prng* rng) {
+  Schedule s;
+  const size_t num_lists = 3;
+  for (size_t l = 0; l < num_lists; ++l) {
+    s.base.push_back(RandomSortedList(10 + rng->NextBounded(40), s.num_rows,
+                                      rng->Next()));
+  }
+  const size_t num_ops = 6 + rng->NextBounded(6);
+  const size_t compact_at = 1 + rng->NextBounded(num_ops - 1);
+  for (size_t i = 0; i < num_ops; ++i) {
+    if (i == compact_at) {
+      s.ops.push_back(PlannedOp{PlannedOp::kCompact, 0, {}});
+      continue;
+    }
+    PlannedOp op;
+    const uint64_t pick = rng->NextBounded(8);
+    if (pick == 0) {
+      op.kind = PlannedOp::kSync;
+    } else {
+      op.kind = pick < 3 ? PlannedOp::kRemove : PlannedOp::kInsert;
+      op.list = static_cast<uint32_t>(rng->NextBounded(num_lists));
+      op.rows = RandomSortedList(1 + rng->NextBounded(12), s.num_rows,
+                                 rng->Next());
+    }
+    s.ops.push_back(std::move(op));
+  }
+  return s;
+}
+
+// Applies one update to the reference model (LiveIndex set semantics:
+// insert = union, remove = difference).
+void ApplyToModel(std::vector<std::vector<uint32_t>>* model,
+                  const PlannedOp& op) {
+  ListDelta delta;
+  if (op.kind == PlannedOp::kInsert) {
+    delta.inserts = op.rows;
+  } else {
+    delta.deletes = op.rows;
+  }
+  std::vector<uint32_t> out;
+  ApplyDelta((*model)[op.list], delta, &out);
+  (*model)[op.list] = out;
+}
+
+// Runs one schedule against `dir`: opens cleanly, calls `arm` to install
+// the fault mode, executes the op stream, destroys the live object with
+// the injector still armed (the process "dies"), then disarms, reopens,
+// and checks the acceptance rule. Returns false (with gtest failures
+// recorded) if recovery broke the contract.
+bool RunAndCheck(const std::string& dir, const Schedule& s,
+                 uint64_t schedule_id, const std::function<void()>& arm) {
+  std::vector<std::vector<uint32_t>> model = s.base;
+  // State if the first failed op had actually applied (the fsync-ambiguous
+  // case); only meaningful when that op was an update.
+  std::optional<std::vector<std::vector<uint32_t>>> after_first_failure;
+
+  {
+    auto live = LiveIndex::Open(dir);
+    if (!live.ok()) {
+      ADD_FAILURE() << "schedule " << schedule_id
+                    << ": open failed: " << live.status().ToString();
+      return false;
+    }
+    arm();
+    for (const PlannedOp& op : s.ops) {
+      Status st = Status::Ok();
+      switch (op.kind) {
+        case PlannedOp::kInsert:
+          st = live.value()->Insert(op.list, op.rows);
+          break;
+        case PlannedOp::kRemove:
+          st = live.value()->Remove(op.list, op.rows);
+          break;
+        case PlannedOp::kCompact:
+          st = live.value()->Compact();
+          break;
+        case PlannedOp::kSync:
+          st = live.value()->Sync();
+          break;
+      }
+      if (st.ok()) {
+        if (op.kind == PlannedOp::kInsert || op.kind == PlannedOp::kRemove) {
+          ApplyToModel(&model, op);
+        }
+      } else if (!after_first_failure.has_value()) {
+        auto candidate = model;
+        if (op.kind == PlannedOp::kInsert || op.kind == PlannedOp::kRemove) {
+          ApplyToModel(&candidate, op);
+        }
+        after_first_failure = std::move(candidate);
+      }
+    }
+    // The "process dies": the live object is destroyed with the injector
+    // still armed, so no destructor cleanup can repair torn state.
+  }
+  fault::FaultInjector::Global().Disarm();
+
+  auto recovered = LiveIndex::Open(dir);
+  if (!recovered.ok()) {
+    ADD_FAILURE() << "schedule " << schedule_id
+                  << ": recovery failed: " << recovered.status().ToString();
+    return false;
+  }
+  auto snap = recovered.value()->Snapshot();
+  bool matches_model = true;
+  bool matches_candidate = after_first_failure.has_value();
+  for (uint32_t l = 0; l < s.base.size(); ++l) {
+    const std::vector<uint32_t> got = ListRows(*snap, l);
+    if (got != model[l]) matches_model = false;
+    if (matches_candidate && got != (*after_first_failure)[l]) {
+      matches_candidate = false;
+    }
+  }
+  if (!matches_model && !matches_candidate) {
+    ADD_FAILURE() << "schedule " << schedule_id
+                  << ": recovered state is neither pre- nor post-crash";
+    return false;
+  }
+  // The recovered index must be fully usable: accept an update and keep it.
+  EXPECT_TRUE(recovered.value()
+                  ->Insert(0, std::vector<uint32_t>{0, 1, 2})
+                  .ok())
+      << "schedule " << schedule_id;
+  EXPECT_TRUE(recovered.value()->Close().ok()) << "schedule " << schedule_id;
+  return true;
+}
+
+// Seeds a fresh directory with the schedule's base index (no faults).
+bool SeedDir(const std::string& dir, const Schedule& s) {
+  WipeDir(dir);
+  const Codec& codec = *FindCodec("Roaring");
+  auto live = LiveIndex::Create(
+      dir, ShardedIndex::Build(codec, s.base, s.num_rows, s.num_shards));
+  if (!live.ok()) {
+    ADD_FAILURE() << "seed failed: " << live.status().ToString();
+    return false;
+  }
+  EXPECT_TRUE(live.value()->Close().ok());
+  return true;
+}
+
+// -------------------------------------------------------------- campaigns
+
+TEST(RecoveryFaultTest, CrashAtOpCampaign) {
+  fault::ScopedDisarm disarm;
+  const uint64_t base_seed = fault::EnvSeed(TestSeed(0xfa57));
+  const std::string dir = CampaignDir("recovery_crash_campaign");
+  for (int i = 0; i < g_schedules; ++i) {
+    NoteSeed(base_seed + static_cast<uint64_t>(i));
+    Prng rng(base_seed + static_cast<uint64_t>(i));
+    const Schedule s = MakeSchedule(&rng);
+    if (!SeedDir(dir, s)) return;
+    // Crash somewhere inside the op stream's injectable footprint. A large
+    // K doubles as a no-crash control run.
+    const uint64_t k = 1 + rng.NextBounded(40);
+    const uint64_t crash_seed = rng.Next();
+    if (!RunAndCheck(dir, s, static_cast<uint64_t>(i), [&] {
+          fault::FaultInjector::Global().ArmCrashAtOp(k, crash_seed);
+        })) {
+      return;
+    }
+  }
+}
+
+TEST(RecoveryFaultTest, CompactionCrashCampaign) {
+  fault::ScopedDisarm disarm;
+  const uint64_t base_seed = fault::EnvSeed(TestSeed(0xc0a7));
+  const std::string dir = CampaignDir("recovery_compact_campaign");
+  const uint32_t commit_sites =
+      fault::SiteBit(fault::Site::kFileCreate) |
+      fault::SiteBit(fault::Site::kFileAppend) |
+      fault::SiteBit(fault::Site::kFileWriteAt) |
+      fault::SiteBit(fault::Site::kFileFlush) |
+      fault::SiteBit(fault::Site::kRename) |
+      fault::SiteBit(fault::Site::kMapOpen) |
+      fault::SiteBit(fault::Site::kCompactionStep);
+  for (int i = 0; i < g_schedules; ++i) {
+    NoteSeed(base_seed + static_cast<uint64_t>(i));
+    Prng rng(base_seed + static_cast<uint64_t>(i));
+    const Schedule s = MakeSchedule(&rng);
+    if (!SeedDir(dir, s)) return;
+    // Only the commit protocol's sites are armed, so K sweeps the container
+    // write, both renames, and the WAL rotation — the two-step window.
+    const uint64_t k = 1 + rng.NextBounded(30);
+    const uint64_t crash_seed = rng.Next();
+    if (!RunAndCheck(dir, s, static_cast<uint64_t>(i), [&] {
+          fault::FaultInjector::Global().ArmCrashAtOp(k, crash_seed,
+                                                      commit_sites);
+        })) {
+      return;
+    }
+  }
+}
+
+TEST(RecoveryFaultTest, TransientRatesCampaign) {
+  fault::ScopedDisarm disarm;
+  const uint64_t base_seed = fault::EnvSeed(TestSeed(0x7a27));
+  const std::string dir = CampaignDir("recovery_transient_campaign");
+  // Everything except kWalSync: a transient fsync failure after a landed
+  // write() makes the op's durability ambiguous, which is the crash
+  // campaigns' job; here every op must either succeed or fail cleanly.
+  const uint32_t sites =
+      fault::kAllSites & ~fault::SiteBit(fault::Site::kWalSync);
+  fault::Rates rates;
+  rates.transient = 0.15;
+  const int schedules = std::max(10, g_schedules / 4);
+  for (int i = 0; i < schedules; ++i) {
+    NoteSeed(base_seed + static_cast<uint64_t>(i));
+    Prng rng(base_seed + static_cast<uint64_t>(i));
+    const Schedule s = MakeSchedule(&rng);
+    if (!SeedDir(dir, s)) return;
+    const uint64_t rate_seed = rng.Next();
+    if (!RunAndCheck(dir, s, static_cast<uint64_t>(i), [&] {
+          fault::FaultInjector::Global().ArmRates(rates, rate_seed, sites);
+        })) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace intcomp
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = nullptr;
+    if (arg.rfind("--schedules=", 0) == 0) {
+      value = arg.c_str() + std::strlen("--schedules=");
+    } else if (arg == "--schedules" && i + 1 < argc) {
+      value = argv[++i];
+    }
+    if (value != nullptr) {
+      char* end = nullptr;
+      const long parsed = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || parsed <= 0) {
+        std::fprintf(stderr, "invalid --schedules value: %s\n", value);
+        return 2;
+      }
+      intcomp::g_schedules = static_cast<int>(parsed);
+    }
+  }
+  return RUN_ALL_TESTS();
+}

@@ -31,7 +31,7 @@
 #include "core/query.h"
 #include "core/registry.h"
 #include "engine/thread_pool.h"
-#include "fault_inject.h"
+#include "common/fault.h"
 #include "service/sharded_index.h"
 #include "storage/format.h"
 #include "storage/index_writer.h"
