@@ -4,6 +4,8 @@
 #include <bit>
 #include <cassert>
 
+#include "common/fast_clock.h"
+
 #include "obs/trace.h"
 
 #if defined(__SSE4_1__)
@@ -503,6 +505,71 @@ void IntersectSliceWithBlockInto(std::span<const uint32_t> probe,
   } else {
     ScalarMergeIntersectInto(probe, block, out);
   }
+}
+
+KernelCostProfile MeasureKernelCosts(size_t sample_size) {
+  KernelCostProfile profile;
+  const size_t n = std::max<size_t>(sample_size, 1024);
+  // Deterministic synthetic inputs: two interleaved ascending lists with
+  // ~50% overlap (merge/union regime) and one 64x-skewed pair (gallop
+  // regime). An LCG keeps the gaps irregular without <random>.
+  std::vector<uint32_t> a, b, small;
+  a.reserve(n);
+  b.reserve(n);
+  uint64_t state = 0x9E3779B97F4A7C15ull;
+  uint32_t v = 0;
+  for (size_t i = 0; i < n; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    v += 1 + static_cast<uint32_t>((state >> 33) & 7);
+    a.push_back(v);
+    if ((state >> 62) != 0) b.push_back(v);  // ~75% shared
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    if (((state >> 33) & 1) != 0) b.push_back(v + 1);
+  }
+  for (size_t i = 0; i < a.size(); i += 64) small.push_back(a[i]);
+
+  std::vector<uint32_t> out;
+  out.reserve(a.size() + b.size());
+  // One warm pass per kernel (page in the buffers), then a timed pass.
+  auto time_ns = [&out](auto&& fn) -> double {
+    out.clear();
+    fn();
+    const uint64_t start = NowNs();
+    out.clear();
+    fn();
+    return static_cast<double>(NowNs() - start);
+  };
+
+  const double merge_ns = time_ns([&] {
+    if (UseSimdKernels(GetKernelMode())) {
+      SimdMergeIntersectInto(a, b, &out);
+    } else {
+      ScalarMergeIntersectInto(a, b, &out);
+    }
+  });
+  profile.merge_ns_per_elem =
+      merge_ns / static_cast<double>(a.size() + b.size());
+
+  const double gallop_ns = time_ns([&] {
+    if (UseSimdKernels(GetKernelMode())) {
+      SimdGallopIntersectInto(small, b, &out);
+    } else {
+      ScalarGallopIntersectInto(small, b, &out);
+    }
+  });
+  profile.gallop_ns_per_probe =
+      gallop_ns / static_cast<double>(std::max<size_t>(small.size(), 1));
+
+  const double union_ns = time_ns([&] {
+    if (UseSimdKernels(GetKernelMode())) {
+      SimdMergeUnionInto(a, b, &out);
+    } else {
+      ScalarMergeUnionInto(a, b, &out);
+    }
+  });
+  profile.union_ns_per_elem =
+      union_ns / static_cast<double>(a.size() + b.size());
+  return profile;
 }
 
 }  // namespace intcomp

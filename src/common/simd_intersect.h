@@ -152,6 +152,23 @@ void IntersectSliceWithBlockInto(std::span<const uint32_t> probe,
                                  std::span<const uint32_t> block,
                                  std::vector<uint32_t>* out);
 
+// --------------------------------------------------------- calibration
+
+// Measured unit costs of the kernels above on this host under the current
+// KernelMode — the calibrated inputs to the query planner's cost model
+// (planner/strategy.h). All figures are nanoseconds.
+struct KernelCostProfile {
+  double merge_ns_per_elem = 0.5;    // merge intersect, per element scanned
+  double gallop_ns_per_probe = 8.0;  // gallop intersect, per small-side probe
+  double union_ns_per_elem = 0.7;    // union merge, per element scanned
+};
+
+// Times the merge, gallop, and union kernels over synthetic sorted lists of
+// ~`sample_size` elements (deterministic contents) and returns per-unit
+// costs. Costs a few hundred microseconds; callers cache the profile
+// (planner/strategy.h's DefaultCostModel does, once per process).
+KernelCostProfile MeasureKernelCosts(size_t sample_size = size_t{1} << 14);
+
 }  // namespace intcomp
 
 #endif  // INTCOMP_COMMON_SIMD_INTERSECT_H_

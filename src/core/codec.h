@@ -56,6 +56,25 @@ class Codec {
 
   virtual CodecFamily Family() const = 0;
 
+  // Family of `set`'s actual representation. Equal to Family() for every
+  // fixed-representation codec; adaptive wrappers (Hybrid, Planner) override
+  // it to report the family of the side a given set landed on, so kernel
+  // stats and the query planner classify a list-backed hybrid set as
+  // kInvertedList instead of trusting the wrapper's static family.
+  virtual CodecFamily EffectiveFamily(const CompressedSet& set) const {
+    (void)set;
+    return Family();
+  }
+
+  // Name of the codec that actually encodes `set` — Name() for fixed codecs,
+  // the chosen inner codec's name for adaptive wrappers. This is the per-set
+  // codec tag the storage layer persists and the service folds into plan
+  // cache keys.
+  virtual std::string_view SetCodecName(const CompressedSet& set) const {
+    (void)set;
+    return Name();
+  }
+
   // Compresses `sorted` (strictly increasing values, all < domain).
   // `domain` is the number of rows / documents (paper: "domain size").
   virtual std::unique_ptr<CompressedSet> Encode(

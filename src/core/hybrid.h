@@ -36,7 +36,16 @@ class HybridCodec final : public Codec {
       : bitmap_(bitmap), list_(list), threshold_(density_threshold) {}
 
   std::string_view Name() const override { return "Hybrid"; }
+  // Static family stays kBitmap (registry partition slot); per-set queries
+  // must use EffectiveFamily — a list-backed set is NOT a bitmap.
   CodecFamily Family() const override { return CodecFamily::kBitmap; }
+  CodecFamily EffectiveFamily(const CompressedSet& set) const override {
+    return static_cast<const Set&>(set).is_bitmap ? CodecFamily::kBitmap
+                                                  : CodecFamily::kInvertedList;
+  }
+  std::string_view SetCodecName(const CompressedSet& set) const override {
+    return InnerOf(static_cast<const Set&>(set)).Name();
+  }
 
   std::unique_ptr<CompressedSet> Encode(std::span<const uint32_t> sorted,
                                         uint64_t domain) const override;

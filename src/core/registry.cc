@@ -1,8 +1,10 @@
 #include "core/registry.h"
 
 #include <array>
+#include <vector>
 
 #include "core/hybrid.h"
+#include "planner/planner_codec.h"
 
 #include "bitmap/bbc.h"
 #include "bitmap/bitset.h"
@@ -57,9 +59,15 @@ struct Instances {
   SimdPforDeltaStarCodec simdpfordelta_star;
   SimdBp128StarCodec simdbp128_star;
   // Extensions: lesson-1 adaptive codec over the two recommended methods,
-  // and plain (non-partitioned) Elias-Fano [35], PEF's baseline.
+  // plain (non-partitioned) Elias-Fano [35], PEF's baseline, and the N-way
+  // per-list codec optimizer. The planner's default pool spans both
+  // families: the best container bitmap (Roaring), an RLE bitmap for
+  // clustered lists (EWAH), the recommended list codec (SIMDPforDelta*),
+  // and Elias-Fano partitions (PEF) for sparse irregular lists.
   HybridCodec hybrid{&roaring, &simdpfordelta_star};
   PefCodec ef{/*partition_size=*/0, "EF"};
+  planner::PlannerCodec planner{
+      std::vector<const Codec*>{&roaring, &ewah, &simdpfordelta_star, &pef}};
 };
 
 const Instances& GetInstances() {
@@ -98,11 +106,22 @@ std::span<const Codec* const> InvertedListCodecs() {
 }
 
 std::span<const Codec* const> ExtensionCodecs() {
-  static const auto* extensions = new std::array<const Codec*, 2>{
+  static const auto* extensions = new std::array<const Codec*, 3>{
       &GetInstances().hybrid,
       &GetInstances().ef,
+      &GetInstances().planner,
   };
   return *extensions;
+}
+
+std::span<const Codec* const> AllCodecsWithExtensions() {
+  static const auto* roster = [] {
+    auto* v = new std::vector<const Codec*>();
+    for (const Codec* c : AllCodecs()) v->push_back(c);
+    for (const Codec* c : ExtensionCodecs()) v->push_back(c);
+    return v;
+  }();
+  return *roster;
 }
 
 const Codec* FindCodec(std::string_view name) {

@@ -20,9 +20,17 @@ std::span<const Codec* const> AllCodecs();
 std::span<const Codec* const> BitmapCodecs();
 std::span<const Codec* const> InvertedListCodecs();
 
-// Extension methods beyond the paper's 24. Currently: "Hybrid", the
-// adaptive bitmap/list codec that the paper's lesson 1 calls for.
+// Extension methods beyond the paper's 24. Currently: "Hybrid" (the
+// two-way adaptive bitmap/list codec the paper's lesson 1 calls for),
+// "EF" (plain Elias-Fano, PEF's baseline), and "Planner" (the N-way
+// per-list codec optimizer, planner/planner_codec.h).
 std::span<const Codec* const> ExtensionCodecs();
+
+// The paper's 24 methods followed by every extension — the shared roster
+// every differential/equivalence suite instantiates over, so a new codec
+// (or a restored one) reaches all of them at once instead of drifting
+// per-suite.
+std::span<const Codec* const> AllCodecsWithExtensions();
 
 // Looks a codec up by its legend name (e.g. "Roaring", "SIMDBP128*") or an
 // extension name ("Hybrid"). Returns nullptr if unknown.

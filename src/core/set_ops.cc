@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/simd_intersect.h"
 #include "obs/metrics.h"
 #include "obs/op_counters.h"
 #include "obs/trace.h"
@@ -113,6 +114,138 @@ void DifferenceSets(const Codec& codec, const CompressedSet& a,
   codec.Decode(a, &decoded);
   std::vector<uint32_t> common;
   codec.IntersectWithList(b, decoded, &common);
+  DifferenceLists(decoded, common, out);
+}
+
+void IntersectTagged(const TaggedSet& a, const TaggedSet& b,
+                     std::vector<uint32_t>* out) {
+  if (a.codec == b.codec) {
+    a.codec->Intersect(*a.set, *b.set, out);
+    return;
+  }
+  const TaggedSet* small = &a;
+  const TaggedSet* large = &b;
+  if (small->set->Cardinality() > large->set->Cardinality()) {
+    std::swap(small, large);
+  }
+  std::vector<uint32_t> decoded;
+  small->codec->Decode(*small->set, &decoded);
+  obs::ThreadOpCounters().bytes_decoded += small->set->SizeInBytes();
+  if (ChooseIntersectStrategy(small->set->Cardinality(),
+                              large->set->Cardinality()) ==
+      IntersectStrategy::kMerge) {
+    std::vector<uint32_t> decoded_large;
+    large->codec->Decode(*large->set, &decoded_large);
+    obs::ThreadOpCounters().bytes_decoded += large->set->SizeInBytes();
+    IntersectLists(decoded, decoded_large, out);
+    return;
+  }
+  large->codec->IntersectWithList(*large->set, decoded, out);
+}
+
+void UnionTagged(const TaggedSet& a, const TaggedSet& b,
+                 std::vector<uint32_t>* out) {
+  if (a.codec == b.codec) {
+    a.codec->Union(*a.set, *b.set, out);
+    return;
+  }
+  std::vector<uint32_t> da, db;
+  a.codec->Decode(*a.set, &da);
+  b.codec->Decode(*b.set, &db);
+  obs::ThreadOpCounters().bytes_decoded +=
+      a.set->SizeInBytes() + b.set->SizeInBytes();
+  UnionLists(da, db, out);
+}
+
+void IntersectTaggedSets(std::span<const TaggedSet> sets, ScratchArena* arena,
+                         std::vector<uint32_t>* out) {
+  TRACE_SPAN("intersect_tagged_sets");
+  obs::ThreadOpCounters().lists_touched += sets.size();
+  out->clear();
+  if (sets.empty()) return;
+  if (sets.size() == 1) {
+    sets[0].codec->Decode(*sets[0].set, out);
+    return;
+  }
+  std::vector<const TaggedSet*> order;
+  order.reserve(sets.size());
+  for (const TaggedSet& s : sets) order.push_back(&s);
+  std::sort(order.begin(), order.end(),
+            [](const TaggedSet* a, const TaggedSet* b) {
+              return a->set->Cardinality() < b->set->Cardinality();
+            });
+  IntersectTagged(*order[0], *order[1], out);
+  ScratchArena::Lease next = arena->Acquire();
+  TRACE_SPAN("svs_probe");
+  for (size_t i = 2; i < order.size() && !out->empty(); ++i) {
+    order[i]->codec->IntersectWithList(*order[i]->set, *out, next.get());
+    out->swap(*next);
+  }
+}
+
+void UnionTaggedSets(std::span<const TaggedSet> sets, ScratchArena* arena,
+                     std::vector<uint32_t>* out) {
+  TRACE_SPAN("union_tagged_sets");
+  obs::ThreadOpCounters().lists_touched += sets.size();
+  out->clear();
+  if (sets.empty()) return;
+  if (sets.size() == 1) {
+    sets[0].codec->Decode(*sets[0].set, out);
+    return;
+  }
+  if (sets.size() == 2) {
+    UnionTagged(sets[0], sets[1], out);
+    return;
+  }
+  std::vector<ScratchArena::Lease> decoded;
+  decoded.reserve(sets.size());
+  size_t total = 0;
+  {
+    TRACE_SPAN("decode");
+    obs::OpCounters& oc = obs::ThreadOpCounters();
+    for (const TaggedSet& s : sets) {
+      decoded.push_back(arena->Acquire());
+      s.codec->Decode(*s.set, decoded.back().get());
+      oc.bytes_decoded += s.set->SizeInBytes();
+      total += decoded.back()->size();
+    }
+  }
+  out->reserve(total);
+  struct Cursor {
+    const uint32_t* p;
+    const uint32_t* end;
+  };
+  auto later = [](const Cursor& a, const Cursor& b) { return *a.p > *b.p; };
+  std::vector<Cursor> heap;
+  for (const auto& d : decoded) {
+    if (!d->empty()) heap.push_back({d->data(), d->data() + d->size()});
+  }
+  std::make_heap(heap.begin(), heap.end(), later);
+  uint32_t last = 0;
+  bool have_last = false;
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), later);
+    Cursor& c = heap.back();
+    const uint32_t v = *c.p++;
+    if (!have_last || v != last) {
+      out->push_back(v);
+      last = v;
+      have_last = true;
+    }
+    if (c.p == c.end) {
+      heap.pop_back();
+    } else {
+      std::push_heap(heap.begin(), heap.end(), later);
+    }
+  }
+}
+
+void DifferenceTagged(const TaggedSet& a, const TaggedSet& b,
+                      std::vector<uint32_t>* out) {
+  std::vector<uint32_t> decoded;
+  a.codec->Decode(*a.set, &decoded);
+  std::vector<uint32_t> common;
+  b.codec->IntersectWithList(*b.set, decoded, &common);
   DifferenceLists(decoded, common, out);
 }
 

@@ -43,6 +43,44 @@ void UnionSets(const Codec& codec, std::span<const CompressedSet* const> sets,
 void DifferenceSets(const Codec& codec, const CompressedSet& a,
                     const CompressedSet& b, std::vector<uint32_t>* out);
 
+// ------------------------------------------------------------ mixed codec
+//
+// A compressed set paired with the codec that encodes it — the operand unit
+// of mixed-codec set operations, where every list may use a different
+// representation (the planner's per-list codec choice). All operations
+// below are correct for any codec pairing; same-codec pairs use the codec's
+// own compressed operation (bitmap word-AND, skip probing), cross-codec
+// pairs fall back to decode-smaller-probe-larger (the larger side keeps its
+// skip/bucket/bulk-block probing) or a SIMD merge of two decoded lists,
+// per ChooseIntersectStrategy.
+
+struct TaggedSet {
+  const Codec* codec = nullptr;
+  const CompressedSet* set = nullptr;
+};
+
+// out = a AND b across the codec boundary.
+void IntersectTagged(const TaggedSet& a, const TaggedSet& b,
+                     std::vector<uint32_t>* out);
+
+// out = a OR b across the codec boundary.
+void UnionTagged(const TaggedSet& a, const TaggedSet& b,
+                 std::vector<uint32_t>* out);
+
+// SvS over k mixed-codec sets: sort by cardinality, intersect the two
+// smallest, probe the rest through each set's own codec. k == 1 decodes,
+// k == 0 clears.
+void IntersectTaggedSets(std::span<const TaggedSet> sets, ScratchArena* arena,
+                         std::vector<uint32_t>* out);
+
+// k-way heap union over the decoded lists, each decoded by its own codec.
+void UnionTaggedSets(std::span<const TaggedSet> sets, ScratchArena* arena,
+                     std::vector<uint32_t>* out);
+
+// out = a AND NOT b across the codec boundary.
+void DifferenceTagged(const TaggedSet& a, const TaggedSet& b,
+                      std::vector<uint32_t>* out);
+
 // Merge-difference of two uncompressed sorted lists (out = a \ b).
 void DifferenceLists(std::span<const uint32_t> a, std::span<const uint32_t> b,
                      std::vector<uint32_t>* out);

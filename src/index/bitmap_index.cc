@@ -43,6 +43,18 @@ size_t BitmapIndex::SizeInBytes() const {
   return total;
 }
 
+BitmapIndex::FamilyCounts BitmapIndex::EffectiveFamilies() const {
+  FamilyCounts counts;
+  for (const auto& set : sets_) {
+    if (codec_->EffectiveFamily(*set) == CodecFamily::kBitmap) {
+      ++counts.bitmap;
+    } else {
+      ++counts.inverted_list;
+    }
+  }
+  return counts;
+}
+
 void BitmapIndex::Eq(uint32_t code, std::vector<uint32_t>* rows) const {
   codec_->Decode(*sets_[code], rows);
 }

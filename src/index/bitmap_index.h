@@ -47,6 +47,17 @@ class BitmapIndex {
   // Total compressed footprint.
   size_t SizeInBytes() const;
 
+  // Per-set representation census: how many value sets are stored each
+  // way. Fixed codecs report their static family for every set; adaptive
+  // codecs (Hybrid, Planner) report the per-set choice through
+  // Codec::EffectiveFamily — the split the planner benchmarks print next
+  // to size totals.
+  struct FamilyCounts {
+    size_t bitmap = 0;
+    size_t inverted_list = 0;
+  };
+  FamilyCounts EffectiveFamilies() const;
+
   // The compressed row-id set for one value code (never null for codes
   // < Cardinality()).
   const CompressedSet* SetFor(uint32_t code) const {

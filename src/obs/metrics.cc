@@ -62,6 +62,8 @@ std::string_view OpKindName(OpKind op) {
     case OpKind::kStorageOpen: return "storage_open";
     case OpKind::kWalAppend: return "wal_append";
     case OpKind::kCompaction: return "compaction";
+    case OpKind::kPlannerBuild: return "planner_build";
+    case OpKind::kPlannerQuery: return "planner_query";
   }
   return "unknown";
 }

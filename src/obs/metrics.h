@@ -42,8 +42,10 @@ enum class OpKind : uint8_t {
   kStorageOpen,   // container open: header/directory parse + validation
   kWalAppend,     // one durable WAL record: frame build + write (+ fsync)
   kCompaction,    // whole compaction: merge + rewrite + commit + swap
+  kPlannerBuild,  // per-list codec selection: stats + trial encodes
+  kPlannerQuery,  // query-time strategy choice + mixed-codec execution
 };
-inline constexpr size_t kNumOpKinds = 9;
+inline constexpr size_t kNumOpKinds = 11;
 
 std::string_view OpKindName(OpKind op);
 

@@ -1,0 +1,29 @@
+#include "planner/list_stats.h"
+
+#include <algorithm>
+
+namespace intcomp::planner {
+
+ListStats MeasureListStats(std::span<const uint32_t> sorted, uint64_t domain) {
+  ListStats s;
+  s.size = sorted.size();
+  if (sorted.empty()) return s;
+  const uint64_t value_range = uint64_t{sorted.back()} + 1;
+  s.universe = domain == 0 ? value_range : std::min(domain, value_range);
+  s.density = static_cast<double>(s.size) / static_cast<double>(s.universe);
+  s.num_runs = 1;
+  uint64_t gap_sum = 0;
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    const uint32_t delta = sorted[i] - sorted[i - 1];
+    gap_sum += delta;
+    if (delta != 1) ++s.num_runs;
+  }
+  s.avg_run_len =
+      static_cast<double>(s.size) / static_cast<double>(s.num_runs);
+  s.avg_gap = sorted.size() > 1 ? static_cast<double>(gap_sum) /
+                                      static_cast<double>(sorted.size() - 1)
+                                : 0.0;
+  return s;
+}
+
+}  // namespace intcomp::planner

@@ -1,0 +1,37 @@
+// Per-list shape statistics the build-time codec optimizer measures before
+// choosing a representation (DESIGN.md §5.12).
+//
+// The paper's headline finding is that the winner between bitmap and
+// inverted-list compression is decided by two properties of the list:
+// density (|L| / universe, §7.1: >= ~1/5 favors bitmaps) and clustering
+// (long runs of consecutive ids favor RLE bitmaps even at lower density).
+// These are exactly the fields below; the planner's stats-based selection
+// mode keys off them, and the trial-encode mode reports them in its
+// decision counters.
+
+#ifndef INTCOMP_PLANNER_LIST_STATS_H_
+#define INTCOMP_PLANNER_LIST_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace intcomp::planner {
+
+struct ListStats {
+  size_t size = 0;        // |L|
+  uint64_t universe = 0;  // min(domain, max+1); 0 for an empty list
+  double density = 0.0;   // size / universe
+  size_t num_runs = 0;    // maximal runs of consecutive values
+  double avg_run_len = 0.0;  // size / num_runs (1.0 = no clustering)
+  double avg_gap = 0.0;      // mean delta between consecutive values
+};
+
+// Single pass over `sorted` (strictly increasing). `domain` follows the
+// Encode contract: the declared row universe, 0 for "unknown" (then the
+// value range stands in, mirroring HybridCodec's density rule).
+ListStats MeasureListStats(std::span<const uint32_t> sorted, uint64_t domain);
+
+}  // namespace intcomp::planner
+
+#endif  // INTCOMP_PLANNER_LIST_STATS_H_

@@ -36,6 +36,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -106,6 +107,12 @@ class OverlaySnapshot final : public IndexSnapshot {
   const Codec& codec() const override { return base_->codec(); }
   const ShardRouter& Router() const override { return base_->Router(); }
   size_t NumLists() const override { return base_->NumLists(); }
+  // Overlay results live in the base's key namespace; data differences
+  // between overlay generations are already retired by the cache's
+  // per-shard generation stamps.
+  std::string_view CodecSignature() const override {
+    return base_->CodecSignature();
+  }
 
   // Base footprint plus the raw delta rows (materialized sets are a cache,
   // not an independent copy of the data, and are excluded to keep the

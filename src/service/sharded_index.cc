@@ -19,6 +19,14 @@ void ShardedIndex::AdoptShard(
   ptrs_.push_back(std::move(ptrs));
 }
 
+void ShardedIndex::FinishCodecSignature() {
+  CodecSignatureBuilder builder(codec_->Name());
+  for (const auto& shard : sets_) {
+    for (const auto& set : shard) builder.AddListTag(codec_->SetCodecName(*set));
+  }
+  codec_signature_ = builder.Finish();
+}
+
 ShardedIndex ShardedIndex::Build(const Codec& codec,
                                  std::span<const std::vector<uint32_t>> lists,
                                  uint64_t num_rows, size_t num_shards) {
@@ -43,6 +51,7 @@ ShardedIndex ShardedIndex::Build(const Codec& codec,
     }
     index.AdoptShard(std::move(sets));
   }
+  index.FinishCodecSignature();
   return index;
 }
 
@@ -57,6 +66,7 @@ ShardedIndex ShardedIndex::BuildFromColumn(
                                              router.Begin(s), router.End(s))
                          .ReleaseSets());
   }
+  index.FinishCodecSignature();
   return index;
 }
 
@@ -168,7 +178,10 @@ Status IndexService::Query(const QueryPlan& plan, std::vector<uint32_t>* out) {
     // mid-evaluation, this result belongs to the retired snapshot and must
     // be stored unservable, not stamped fresh.
     stamp = cache_->CurrentStamp();
-    key = PlanCacheKey(index->codec().Name(), plan);
+    // Key by the snapshot's representation signature, not the bare codec
+    // name: two Planner-built snapshots with different per-list codec
+    // choices must not share a key namespace.
+    key = PlanCacheKey(index->CodecSignature(), plan);
     if (cache_->Get(key, out)) {
       if (stats_ != nullptr) stats_->AddCacheHit();
       BumpServiceCounter("service.cache.hit");

@@ -50,6 +50,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -96,6 +97,11 @@ class ShardedIndex final : public IndexSnapshot {
   const ShardRouter& Router() const override { return router_; }
   size_t NumLists() const override { return num_lists_; }
 
+  // Computed once at build time from the per-list effective codec tags
+  // (service/snapshot.h's CodecSignatureBuilder); equals the codec name for
+  // every fixed codec.
+  std::string_view CodecSignature() const override { return codec_signature_; }
+
   // Total compressed footprint across all shards.
   size_t SizeInBytes() const override;
 
@@ -116,10 +122,12 @@ class ShardedIndex final : public IndexSnapshot {
       : codec_(codec), router_(router), num_lists_(num_lists) {}
 
   void AdoptShard(std::vector<std::unique_ptr<CompressedSet>> sets);
+  void FinishCodecSignature();  // after the last AdoptShard
 
   const Codec* codec_;
   ShardRouter router_;
   size_t num_lists_;
+  std::string codec_signature_;
   std::vector<std::vector<std::unique_ptr<CompressedSet>>> sets_;  // [shard]
   std::vector<std::vector<const CompressedSet*>> ptrs_;            // [shard]
 };

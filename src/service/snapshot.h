@@ -20,6 +20,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string>
+#include <string_view>
 
 #include "common/status.h"
 #include "core/codec.h"
@@ -35,6 +37,15 @@ class IndexSnapshot {
   virtual const ShardRouter& Router() const = 0;
   virtual size_t NumLists() const = 0;
 
+  // The representation signature the service keys cached results by. The
+  // default — the codec's name — is right for any uniformly-encoded
+  // snapshot. Adaptive snapshots whose per-list codec choice varies
+  // (Planner- or Hybrid-built indexes) append a digest of the per-list
+  // tags, so two snapshots that share a codec name but not a per-list
+  // representation never share a cache namespace. Stable for the
+  // snapshot's lifetime.
+  virtual std::string_view CodecSignature() const { return codec().Name(); }
+
   // Total compressed footprint across all shards.
   virtual size_t SizeInBytes() const = 0;
 
@@ -48,6 +59,45 @@ class IndexSnapshot {
   // snapshot's lifetime; materialization is thread-safe.
   virtual StatusOr<std::span<const CompressedSet* const>> PlanSets(
       size_t shard, std::span<const size_t> leaves) const = 0;
+};
+
+// Derives a snapshot's CodecSignature from its per-(shard, list) codec
+// tags (Codec::SetCodecName values), fed in shard-major order. When every
+// tag equals the codec's own name the signature is just that name —
+// identical to the default — otherwise "<name>#<fnv64 hex>" over the tag
+// strings. ShardedIndex (from its in-RAM sets) and MappedIndex (from the
+// container's list-codecs section) both build their signature through
+// this class, so the same index yields the same signature whichever path
+// serves it.
+class CodecSignatureBuilder {
+ public:
+  explicit CodecSignatureBuilder(std::string_view codec_name)
+      : name_(codec_name) {}
+
+  void AddListTag(std::string_view tag) {
+    if (tag != name_) uniform_ = false;
+    for (char c : tag) Mix(static_cast<uint8_t>(c));
+    Mix(0);  // separator: {"a","bc"} and {"ab","c"} must hash apart
+  }
+
+  std::string Finish() const {
+    std::string out(name_);
+    if (uniform_) return out;
+    out.push_back('#');
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      out.push_back("0123456789abcdef"[(hash_ >> shift) & 0xf]);
+    }
+    return out;
+  }
+
+ private:
+  void Mix(uint8_t byte) {
+    hash_ = (hash_ ^ byte) * 1099511628211ull;  // FNV-1a
+  }
+
+  std::string_view name_;
+  uint64_t hash_ = 14695981039346656037ull;
+  bool uniform_ = true;
 };
 
 }  // namespace intcomp

@@ -40,6 +40,16 @@
 //
 // Meta section: u64 num_rows, u64 num_lists, u64 num_shards,
 // u32 codec_name_length, codec name bytes (not NUL-terminated).
+//
+// List-codecs section (optional): the per-list effective codec tags of an
+// adaptively-encoded index (Planner/Hybrid — Codec::SetCodecName varies
+// per set). Layout: u32 num_names, then num_names of { u8 length, name
+// bytes }, then u64 num_entries (must equal num_shards * num_lists), then
+// one u8 name-table index per (shard, list) payload in shard-major order.
+// The writer emits the section only when some tag differs from the index
+// codec's own name, so fixed-codec containers are byte-for-byte unchanged
+// by its existence, and v1 readers that predate it skip it as an unknown
+// id (no minor-version bump needed).
 
 #ifndef INTCOMP_STORAGE_FORMAT_H_
 #define INTCOMP_STORAGE_FORMAT_H_
@@ -66,6 +76,9 @@ inline constexpr size_t kSectionAlign = 8;
 inline constexpr uint32_t kSectionMeta = 1;
 inline constexpr uint32_t kSectionOffsets = 2;
 inline constexpr uint32_t kSectionPayloads = 3;
+// Optional per-list codec tags for adaptive codecs (layout above). Readers
+// without it treat every list as stored under the index codec's own name.
+inline constexpr uint32_t kSectionListCodecs = 4;
 // First id available to extensions / tests; never interpreted by v1.
 inline constexpr uint32_t kFirstUnassignedSectionId = 1000;
 

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <string_view>
 
 #include "common/bufio.h"
 #include "common/crc32.h"
@@ -198,6 +199,8 @@ Status IndexWriter::WriteShardedIndex(const ShardedIndex& index) {
   // streamed bytes including internal padding.
   std::vector<PayloadEntry> offsets;
   offsets.reserve(num_shards * num_lists);
+  std::vector<std::string_view> list_codec_tags;
+  list_codec_tags.reserve(num_shards * num_lists);
   const uint64_t payload_start = pos_;
   Crc32 payload_crc;
   std::vector<uint8_t> image;
@@ -206,6 +209,7 @@ Status IndexWriter::WriteShardedIndex(const ShardedIndex& index) {
     for (size_t l = 0; l < num_lists; ++l) {
       image.clear();
       index.codec().Serialize(*sets[l], &image);
+      list_codec_tags.push_back(index.codec().SetCodecName(*sets[l]));
       offsets.push_back({pos_ - payload_start, image.size(), Crc32Of(image)});
       payload_crc.Update(image.data(), image.size());
       st = AppendRaw(image);
@@ -239,6 +243,51 @@ Status IndexWriter::WriteShardedIndex(const ShardedIndex& index) {
     st = AppendRaw(table);
     if (!st.ok()) return st;
   }
+  st = PadToAlignment();
+  if (!st.ok()) return st;
+
+  // List-codecs section — only when the codec's per-set choice varies, so
+  // fixed-codec containers (and the committed golden images of them) stay
+  // byte-for-byte identical to pre-section writers.
+  const std::string_view codec_name = index.codec().Name();
+  bool uniform = true;
+  for (std::string_view tag : list_codec_tags) {
+    if (tag != codec_name) {
+      uniform = false;
+      break;
+    }
+  }
+  if (!uniform) {
+    std::vector<std::string_view> names;
+    std::vector<uint8_t> indices;
+    indices.reserve(list_codec_tags.size());
+    for (std::string_view tag : list_codec_tags) {
+      size_t i = 0;
+      while (i < names.size() && names[i] != tag) ++i;
+      if (i == names.size()) {
+        // Tags come from candidate pools capped at 255 codecs and names fit
+        // a u8 length; a violation is a codec bug, not a data condition.
+        if (names.size() >= 255 || tag.empty() || tag.size() > 255) {
+          return Status::Internal("per-list codec tags exceed section limits");
+        }
+        names.push_back(tag);
+      }
+      indices.push_back(static_cast<uint8_t>(i));
+    }
+    std::vector<uint8_t> section;
+    ByteWriter w(&section);
+    w.PutU32(static_cast<uint32_t>(names.size()));
+    for (std::string_view name : names) {
+      w.PutU8(static_cast<uint8_t>(name.size()));
+      w.PutBytes(reinterpret_cast<const uint8_t*>(name.data()), name.size());
+    }
+    w.PutU64(indices.size());
+    w.PutBytes(indices.data(), indices.size());
+    directory_.push_back(
+        {kSectionListCodecs, pos_, section.size(), Crc32Of(section)});
+    st = AppendRaw(section);
+    if (!st.ok()) return st;
+  }
   return PadToAlignment();
 }
 
@@ -247,7 +296,8 @@ Status IndexWriter::AppendOpaqueSection(uint32_t id,
   if (!wrote_index_ || finalized_) {
     return Status::Internal("AppendOpaqueSection outside write window");
   }
-  if (id == kSectionMeta || id == kSectionOffsets || id == kSectionPayloads) {
+  if (id == kSectionMeta || id == kSectionOffsets || id == kSectionPayloads ||
+      id == kSectionListCodecs) {
     return Status::InvalidArgument("opaque section id collides with v1 id");
   }
   Status st = PadToAlignment();

@@ -76,8 +76,9 @@ Status MappedIndex::Parse() {
   if (directory_crc != Crc32Of(dir)) {
     return Status::Corrupt("directory checksum mismatch");
   }
-  SectionEntry meta_section, offsets_section;
-  bool have_meta = false, have_offsets = false, have_payloads = false;
+  SectionEntry meta_section, offsets_section, list_codecs_section;
+  bool have_meta = false, have_offsets = false, have_payloads = false,
+       have_list_codecs = false;
   CheckedByteReader dir_reader(dir.data(), dir.size());
   for (uint32_t i = 0; i < directory_entries; ++i) {
     SectionEntry e;
@@ -106,6 +107,13 @@ Status MappedIndex::Parse() {
         if (have_payloads) return Status::Corrupt("duplicate payload section");
         have_payloads = true;
         payload_section_ = e;
+        break;
+      case kSectionListCodecs:
+        if (have_list_codecs) {
+          return Status::Corrupt("duplicate list-codecs section");
+        }
+        have_list_codecs = true;
+        list_codecs_section = e;
         break;
       default:
         break;  // unknown section: skip (forward compatibility)
@@ -191,6 +199,52 @@ Status MappedIndex::Parse() {
       payload_bytes_ += static_cast<size_t>(e.length);
       payloads_.push_back(e);
     }
+  }
+
+  // List-codecs section (optional — absent means every payload is stored
+  // under the index codec's own name). A present-but-malformed section is
+  // a known id, so it fails closed instead of being skipped.
+  codec_signature_ = std::string(codec_->Name());
+  if (have_list_codecs) {
+    const std::span<const uint8_t> sec = SectionBytes(list_codecs_section);
+    if (list_codecs_section.crc != Crc32Of(sec)) {
+      return Status::Corrupt("list-codecs section checksum mismatch");
+    }
+    CheckedByteReader r(sec.data(), sec.size());
+    uint32_t num_names = 0;
+    if (!r.GetU32(&num_names)) {
+      return Status::Corrupt("list-codecs section truncated");
+    }
+    if (num_names == 0 || num_names > 255) {
+      return Status::Corrupt("list-codecs name count out of range");
+    }
+    list_codec_names_.reserve(num_names);
+    for (uint32_t i = 0; i < num_names; ++i) {
+      uint8_t len = 0;
+      if (!r.GetU8(&len) || len == 0 || len > r.Remaining()) {
+        return Status::Corrupt("list-codecs name table truncated");
+      }
+      std::string name(len, '\0');
+      r.GetBytes(reinterpret_cast<uint8_t*>(name.data()), len);
+      list_codec_names_.push_back(std::move(name));
+    }
+    uint64_t num_entries = 0;
+    if (!r.GetU64(&num_entries)) {
+      return Status::Corrupt("list-codecs section truncated");
+    }
+    if (num_entries != num_payloads || r.Remaining() != num_entries) {
+      return Status::Corrupt("list-codecs entry count does not match index");
+    }
+    list_codec_indices_.resize(static_cast<size_t>(num_entries));
+    r.GetBytes(list_codec_indices_.data(), list_codec_indices_.size());
+    CodecSignatureBuilder builder(codec_->Name());
+    for (uint8_t idx : list_codec_indices_) {
+      if (idx >= num_names) {
+        return Status::Corrupt("list-codecs entry outside name table");
+      }
+      builder.AddListTag(list_codec_names_[idx]);
+    }
+    codec_signature_ = builder.Finish();
   }
 
   sets_.resize(num_payloads);

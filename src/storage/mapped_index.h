@@ -33,6 +33,7 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/retry.h"
@@ -73,6 +74,10 @@ class MappedIndex final : public IndexSnapshot {
   const Codec& codec() const override { return *codec_; }
   const ShardRouter& Router() const override { return router_; }
   size_t NumLists() const override { return num_lists_; }
+  // Rebuilt in Parse from the container's list-codecs section, through the
+  // same CodecSignatureBuilder a ShardedIndex uses — persisting an index
+  // and reopening it preserves its signature exactly.
+  std::string_view CodecSignature() const override { return codec_signature_; }
   // Sum of on-disk payload lengths (the compressed footprint being served).
   size_t SizeInBytes() const override { return payload_bytes_; }
   StatusOr<std::span<const CompressedSet* const>> PlanSets(
@@ -84,6 +89,13 @@ class MappedIndex final : public IndexSnapshot {
   // Raw on-disk image of one list's payload (tests compare these across
   // writer runs for byte-identical output).
   std::span<const uint8_t> PayloadBytes(size_t shard, size_t list) const;
+
+  // The effective codec name one payload is stored under: the list-codecs
+  // section entry when the container has one, else the index codec's name.
+  std::string_view ListCodecName(size_t shard, size_t list) const {
+    if (list_codec_indices_.empty()) return codec_->Name();
+    return list_codec_names_[list_codec_indices_[shard * num_lists_ + list]];
+  }
 
   // Materializes (CRC + checked parse) every payload; what kEager open
   // runs. Idempotent; safe to call on a lazy index to pre-warm it.
@@ -129,6 +141,11 @@ class MappedIndex final : public IndexSnapshot {
 
   SectionEntry payload_section_;
   std::vector<PayloadEntry> payloads_;  // shard-major, shard*num_lists+list
+
+  // List-codecs section, parsed; indices empty when the section is absent.
+  std::vector<std::string> list_codec_names_;
+  std::vector<uint8_t> list_codec_indices_;  // same indexing as payloads_
+  std::string codec_signature_;
 
   // Materialized sets, same indexing as payloads_. Sized once in Parse and
   // never resized, so lazy writers touch disjoint slots.

@@ -162,10 +162,9 @@ TEST_P(CorruptionFuzzTest, SurvivesForeignCodecImages) {
 }
 
 std::vector<const Codec*> AllAndExtensions() {
-  std::vector<const Codec*> all;
-  for (const Codec* c : AllCodecs()) all.push_back(c);
-  for (const Codec* c : ExtensionCodecs()) all.push_back(c);
-  return all;
+  // Shared roster (core/registry.h): paper methods + extensions, so this
+  // suite can never drift from the other differential suites.
+  return {AllCodecsWithExtensions().begin(), AllCodecsWithExtensions().end()};
 }
 
 std::string ParamName(const ::testing::TestParamInfo<const Codec*>& info) {

@@ -221,8 +221,13 @@ std::string OverlayCodecName(
   return name;
 }
 
+// The full shared roster — paper methods plus extensions. This suite used
+// to instantiate over AllCodecs() only, silently dropping Hybrid and EF
+// while every other differential suite covered them; the registry's shared
+// roster keeps the suites from drifting apart again.
 INSTANTIATE_TEST_SUITE_P(AllCodecs, OverlayEquivalenceTest,
-                         ::testing::ValuesIn(AllCodecs()), OverlayCodecName);
+                         ::testing::ValuesIn(AllCodecsWithExtensions()),
+                         OverlayCodecName);
 
 // Metamorphic round trips: remove-then-reinsert rows from the base is the
 // identity; insert-then-remove rows disjoint from the base is the identity.

@@ -20,16 +20,51 @@ namespace {
 const Codec& Hybrid() { return *FindCodec("Hybrid"); }
 
 TEST(HybridTest, IsRegisteredAsExtension) {
-  ASSERT_EQ(ExtensionCodecs().size(), 2u);
+  ASSERT_EQ(ExtensionCodecs().size(), 3u);
   EXPECT_EQ(ExtensionCodecs()[0]->Name(), "Hybrid");
   EXPECT_EQ(ExtensionCodecs()[1]->Name(), "EF");
+  EXPECT_EQ(ExtensionCodecs()[2]->Name(), "Planner");
   EXPECT_EQ(FindCodec("Hybrid"), ExtensionCodecs()[0]);
   EXPECT_EQ(FindCodec("EF"), ExtensionCodecs()[1]);
+  EXPECT_EQ(FindCodec("Planner"), ExtensionCodecs()[2]);
   // Extensions must not leak into the paper's 24-method list.
   for (const Codec* c : AllCodecs()) {
     EXPECT_NE(c->Name(), "Hybrid");
     EXPECT_NE(c->Name(), "EF");
+    EXPECT_NE(c->Name(), "Planner");
   }
+  // The shared roster is exactly paper methods + extensions, in order.
+  auto roster = AllCodecsWithExtensions();
+  ASSERT_EQ(roster.size(), AllCodecs().size() + ExtensionCodecs().size());
+  for (size_t i = 0; i < AllCodecs().size(); ++i) {
+    EXPECT_EQ(roster[i], AllCodecs()[i]);
+  }
+  for (size_t i = 0; i < ExtensionCodecs().size(); ++i) {
+    EXPECT_EQ(roster[AllCodecs().size() + i], ExtensionCodecs()[i]);
+  }
+}
+
+TEST(HybridTest, EffectiveFamilyTracksTheChosenSide) {
+  // Regression: Family() is the static registry slot (kBitmap), but a
+  // list-backed hybrid set used to be misclassified by per-set consumers
+  // that trusted it. EffectiveFamily must report the side the set landed
+  // on, and SetCodecName the inner codec's name.
+  auto dense = RandomSortedList(300000, 1 << 20, 91);   // density ~0.29
+  auto sparse = RandomSortedList(1000, 1 << 20, 92);    // density ~0.001
+  auto sd = Hybrid().Encode(dense, 1 << 20);
+  auto ss = Hybrid().Encode(sparse, 1 << 20);
+  ASSERT_TRUE(static_cast<const HybridCodec::Set&>(*sd).is_bitmap);
+  ASSERT_FALSE(static_cast<const HybridCodec::Set&>(*ss).is_bitmap);
+  EXPECT_EQ(Hybrid().Family(), CodecFamily::kBitmap);
+  EXPECT_EQ(Hybrid().EffectiveFamily(*sd), CodecFamily::kBitmap);
+  EXPECT_EQ(Hybrid().EffectiveFamily(*ss), CodecFamily::kInvertedList);
+  EXPECT_EQ(Hybrid().SetCodecName(*sd), "Roaring");
+  EXPECT_EQ(Hybrid().SetCodecName(*ss), "SIMDPforDelta*");
+  // Fixed-representation codecs answer with their static identity.
+  const Codec& roaring = *FindCodec("Roaring");
+  auto r = roaring.Encode(sparse, 1 << 20);
+  EXPECT_EQ(roaring.EffectiveFamily(*r), roaring.Family());
+  EXPECT_EQ(roaring.SetCodecName(*r), roaring.Name());
 }
 
 TEST(EfTest, PartitioningExploitsClustering) {

@@ -94,9 +94,7 @@ TEST_P(FuzzDifferentialTest, AllCodecsAgree) {
   const auto ref_or = RefUnion(a, b);
   const auto ref_probe = RefIntersect(a, probe);
 
-  std::vector<const Codec*> codecs(AllCodecs().begin(), AllCodecs().end());
-  codecs.insert(codecs.end(), ExtensionCodecs().begin(),
-                ExtensionCodecs().end());
+  const auto codecs = AllCodecsWithExtensions();
   const uint64_t domain = uint64_t{1} << 32;
   for (const Codec* codec : codecs) {
     SCOPED_TRACE(std::string(codec->Name()));
@@ -239,10 +237,9 @@ std::vector<uint32_t> SetOracleUnion(const std::vector<uint32_t>& a,
 }
 
 std::vector<const Codec*> AllPlusExtensions() {
-  std::vector<const Codec*> codecs(AllCodecs().begin(), AllCodecs().end());
-  codecs.insert(codecs.end(), ExtensionCodecs().begin(),
-                ExtensionCodecs().end());
-  return codecs;
+  // Shared roster (core/registry.h): paper methods + extensions, so this
+  // suite can never drift from the other differential suites.
+  return {AllCodecsWithExtensions().begin(), AllCodecsWithExtensions().end()};
 }
 
 TEST(AdversarialDifferentialTest, SerialPathMatchesSetOracle) {

@@ -162,10 +162,9 @@ std::string CodecName(const ::testing::TestParamInfo<const Codec*>& info) {
 }
 
 std::vector<const Codec*> AllPlusExtensions() {
-  std::vector<const Codec*> codecs(AllCodecs().begin(), AllCodecs().end());
-  codecs.insert(codecs.end(), ExtensionCodecs().begin(),
-                ExtensionCodecs().end());
-  return codecs;
+  // Shared roster (core/registry.h): paper methods + extensions, so this
+  // suite can never drift from the other differential suites.
+  return {AllCodecsWithExtensions().begin(), AllCodecsWithExtensions().end()};
 }
 
 INSTANTIATE_TEST_SUITE_P(AllCodecs, MetamorphicTest,

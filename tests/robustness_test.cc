@@ -129,8 +129,7 @@ TEST(DeserializeCheckedTest, EveryPrefixOfEveryCodecIsContained) {
   // quadratic sweep, small.
   constexpr uint64_t kDomain = 1 << 14;
   const auto list = RandomSortedList(1000, kDomain, 97);
-  std::vector<const Codec*> codecs(AllCodecs().begin(), AllCodecs().end());
-  for (const Codec* c : ExtensionCodecs()) codecs.push_back(c);
+  const auto codecs = AllCodecsWithExtensions();
   for (const Codec* codec : codecs) {
     SCOPED_TRACE(std::string(codec->Name()));
     auto set = codec->Encode(list, kDomain);

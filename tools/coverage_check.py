@@ -10,8 +10,9 @@ coverage for the gated source prefixes.
     python3 tools/coverage_check.py --build-dir build-cov --fail-under 80
 
 Exits non-zero when the combined coverage of the gated prefixes (default
-src/core, src/service, and src/storage) is below the threshold, or when no coverage data
-was found at all (a silently-empty gate must fail, not pass).
+src/core, src/service, src/storage, and src/planner) is below the threshold,
+or when no coverage data was found at all (a silently-empty gate must fail,
+not pass).
 """
 
 import argparse
@@ -72,13 +73,15 @@ def main():
                         help="repository root the prefixes are relative to")
     parser.add_argument("--prefix", action="append", default=None,
                         help="gated source prefix (repeatable; default "
-                             "src/core, src/service, and src/storage)")
+                             "src/core, src/service, src/storage, and "
+                             "src/planner)")
     parser.add_argument("--fail-under", type=float, default=80.0,
                         help="minimum combined line coverage percent")
     parser.add_argument("--summary-out", default=None,
                         help="also write the summary table to this file")
     args = parser.parse_args()
-    prefixes = args.prefix or ["src/core", "src/service", "src/storage"]
+    prefixes = args.prefix or ["src/core", "src/service", "src/storage",
+                               "src/planner"]
 
     if not os.path.isdir(args.build_dir):
         print(f"error: build dir {args.build_dir} does not exist",
