@@ -11,6 +11,9 @@
 //   --metrics-format=FMT   "jsonl" (default) or "prom"
 //   --trace-sample=N       enable tracing at 1/N root sampling (0 = off)
 //   --trace-seed=S         sampling PRNG seed (default 42, deterministic)
+//   --trace-out=PATH       write the sampled spans as a Chrome trace-event
+//                          JSON file on exit (load in chrome://tracing or
+//                          Perfetto); requires --trace-sample
 //
 // The export happens in the destructor, after the bench body ran; a failed
 // write is loud (non-zero exit), so run_benches.sh --metrics-dir can trust
@@ -39,6 +42,7 @@ class BenchMetrics {
   std::string bench_name_;
   std::string out_path_;
   std::string format_;
+  std::string trace_out_path_;
 };
 
 }  // namespace intcomp

@@ -4,6 +4,7 @@
 
 #include "core/set_ops.h"
 #include "invlist/plain_list.h"
+#include "obs/explain.h"
 #include "obs/op_counters.h"
 #include "obs/trace.h"
 
@@ -17,6 +18,19 @@ inline void CountDecodedSet(const CompressedSet& set) {
   obs::ThreadOpCounters().bytes_decoded += set.SizeInBytes();
 }
 
+// Emits one explain node for a leaf that an AND/OR parent consumes in place
+// (inlined leaves never recurse, so without this they would be invisible and
+// the explain tree would not cover the whole plan).
+inline void ExplainInlineLeaf(const Codec& codec, uint32_t leaf,
+                              const CompressedSet& set) {
+  obs::ExplainScope scope("plan.leaf");
+  if (scope.active()) {
+    scope.AddUint("leaf", leaf);
+    scope.AddUint("card", set.Cardinality());
+    scope.AddStr("codec", codec.SetCodecName(set));
+  }
+}
+
 // Writes the plan's result into *out (cleared first). Temporaries are
 // leased from `arena`; `out` itself is caller storage so results can
 // outlive the evaluation.
@@ -27,17 +41,26 @@ void Evaluate(const Codec& codec, const QueryPlan& plan,
   switch (plan.op) {
     case QueryPlan::Op::kLeaf: {
       TRACE_SPAN("decode");
+      obs::ExplainScope scope("plan.leaf");
+      if (scope.active()) {
+        scope.AddUint("leaf", plan.leaf);
+        scope.AddUint("card", sets[plan.leaf]->Cardinality());
+        scope.AddStr("codec", codec.SetCodecName(*sets[plan.leaf]));
+      }
       ++obs::ThreadOpCounters().lists_touched;
       CountDecodedSet(*sets[plan.leaf]);
       codec.Decode(*sets[plan.leaf], out);
       return;
     }
     case QueryPlan::Op::kAnd: {
+      obs::ExplainScope scope("plan.and");
+      scope.AddUint("children", plan.children.size());
       // Materialize non-leaf children; keep leaves compressed for SvS.
       std::vector<const CompressedSet*> leaves;
       std::vector<ScratchArena::Lease> materialized;
       for (const QueryPlan& child : plan.children) {
         if (child.op == QueryPlan::Op::kLeaf) {
+          ExplainInlineLeaf(codec, child.leaf, *sets[child.leaf]);
           leaves.push_back(sets[child.leaf]);
         } else {
           ScratchArena::Lease sub = arena.Acquire();
@@ -86,14 +109,18 @@ void Evaluate(const Codec& codec, const QueryPlan& plan,
         }
         out->swap(*next);
       }
+      scope.AddUint("rows", out->size());
       return;
     }
     case QueryPlan::Op::kOr:
     default: {
+      obs::ExplainScope scope("plan.or");
+      scope.AddUint("children", plan.children.size());
       std::vector<const CompressedSet*> leaves;
       std::vector<ScratchArena::Lease> materialized;
       for (const QueryPlan& child : plan.children) {
         if (child.op == QueryPlan::Op::kLeaf) {
+          ExplainInlineLeaf(codec, child.leaf, *sets[child.leaf]);
           leaves.push_back(sets[child.leaf]);
         } else {
           ScratchArena::Lease sub = arena.Acquire();
@@ -109,6 +136,7 @@ void Evaluate(const Codec& codec, const QueryPlan& plan,
         UnionLists(*out, *m, merged.get());
         out->swap(*merged);
       }
+      scope.AddUint("rows", out->size());
       return;
     }
   }
@@ -134,6 +162,12 @@ Status EvaluateChecked(const Codec& codec, const QueryPlan& plan,
       if (sets[plan.leaf] == nullptr)
         return Status::InvalidArgument("plan references missing input set");
       TRACE_SPAN("decode");
+      obs::ExplainScope scope("plan.leaf");
+      if (scope.active()) {
+        scope.AddUint("leaf", plan.leaf);
+        scope.AddUint("card", sets[plan.leaf]->Cardinality());
+        scope.AddStr("codec", codec.SetCodecName(*sets[plan.leaf]));
+      }
       ++obs::ThreadOpCounters().lists_touched;
       CountDecodedSet(*sets[plan.leaf]);
       codec.Decode(*sets[plan.leaf], out);
@@ -142,6 +176,8 @@ Status EvaluateChecked(const Codec& codec, const QueryPlan& plan,
     case QueryPlan::Op::kAnd: {
       if (plan.children.empty())
         return Status::InvalidArgument("AND node with no children");
+      obs::ExplainScope scope("plan.and");
+      scope.AddUint("children", plan.children.size());
       std::vector<const CompressedSet*> leaves;
       std::vector<ScratchArena::Lease> materialized;
       for (const QueryPlan& child : plan.children) {
@@ -150,6 +186,7 @@ Status EvaluateChecked(const Codec& codec, const QueryPlan& plan,
             return Status::InvalidArgument("plan leaf index out of range");
           if (sets[child.leaf] == nullptr)
             return Status::InvalidArgument("plan references missing input set");
+          ExplainInlineLeaf(codec, child.leaf, *sets[child.leaf]);
           leaves.push_back(sets[child.leaf]);
         } else {
           ScratchArena::Lease sub = arena.Acquire();
@@ -199,12 +236,15 @@ Status EvaluateChecked(const Codec& codec, const QueryPlan& plan,
         }
         out->swap(*next);
       }
+      scope.AddUint("rows", out->size());
       return Status::Ok();
     }
     case QueryPlan::Op::kOr:
     default: {
       if (plan.children.empty())
         return Status::InvalidArgument("OR node with no children");
+      obs::ExplainScope scope("plan.or");
+      scope.AddUint("children", plan.children.size());
       std::vector<const CompressedSet*> leaves;
       std::vector<ScratchArena::Lease> materialized;
       for (const QueryPlan& child : plan.children) {
@@ -213,6 +253,7 @@ Status EvaluateChecked(const Codec& codec, const QueryPlan& plan,
             return Status::InvalidArgument("plan leaf index out of range");
           if (sets[child.leaf] == nullptr)
             return Status::InvalidArgument("plan references missing input set");
+          ExplainInlineLeaf(codec, child.leaf, *sets[child.leaf]);
           leaves.push_back(sets[child.leaf]);
         } else {
           ScratchArena::Lease sub = arena.Acquire();
@@ -230,6 +271,7 @@ Status EvaluateChecked(const Codec& codec, const QueryPlan& plan,
         UnionLists(*out, *m, merged.get());
         out->swap(*merged);
       }
+      scope.AddUint("rows", out->size());
       return Status::Ok();
     }
   }

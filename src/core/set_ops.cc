@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/simd_intersect.h"
+#include "obs/explain.h"
 #include "obs/metrics.h"
 #include "obs/op_counters.h"
 #include "obs/trace.h"
@@ -119,7 +120,13 @@ void DifferenceSets(const Codec& codec, const CompressedSet& a,
 
 void IntersectTagged(const TaggedSet& a, const TaggedSet& b,
                      std::vector<uint32_t>* out) {
+  obs::ExplainScope scope("set_ops.intersect_tagged");
+  if (scope.active()) {
+    scope.AddStr("codec_a", a.codec->SetCodecName(*a.set));
+    scope.AddStr("codec_b", b.codec->SetCodecName(*b.set));
+  }
   if (a.codec == b.codec) {
+    scope.AddStr("path", "compressed");
     a.codec->Intersect(*a.set, *b.set, out);
     return;
   }
@@ -134,21 +141,30 @@ void IntersectTagged(const TaggedSet& a, const TaggedSet& b,
   if (ChooseIntersectStrategy(small->set->Cardinality(),
                               large->set->Cardinality()) ==
       IntersectStrategy::kMerge) {
+    scope.AddStr("path", "merge");
     std::vector<uint32_t> decoded_large;
     large->codec->Decode(*large->set, &decoded_large);
     obs::ThreadOpCounters().bytes_decoded += large->set->SizeInBytes();
     IntersectLists(decoded, decoded_large, out);
     return;
   }
+  scope.AddStr("path", "probe");
   large->codec->IntersectWithList(*large->set, decoded, out);
 }
 
 void UnionTagged(const TaggedSet& a, const TaggedSet& b,
                  std::vector<uint32_t>* out) {
+  obs::ExplainScope scope("set_ops.union_tagged");
+  if (scope.active()) {
+    scope.AddStr("codec_a", a.codec->SetCodecName(*a.set));
+    scope.AddStr("codec_b", b.codec->SetCodecName(*b.set));
+  }
   if (a.codec == b.codec) {
+    scope.AddStr("path", "compressed");
     a.codec->Union(*a.set, *b.set, out);
     return;
   }
+  scope.AddStr("path", "merge");
   std::vector<uint32_t> da, db;
   a.codec->Decode(*a.set, &da);
   b.codec->Decode(*b.set, &db);
@@ -160,6 +176,8 @@ void UnionTagged(const TaggedSet& a, const TaggedSet& b,
 void IntersectTaggedSets(std::span<const TaggedSet> sets, ScratchArena* arena,
                          std::vector<uint32_t>* out) {
   TRACE_SPAN("intersect_tagged_sets");
+  obs::ExplainScope scope("set_ops.intersect_tagged_sets");
+  scope.AddUint("k", sets.size());
   obs::ThreadOpCounters().lists_touched += sets.size();
   out->clear();
   if (sets.empty()) return;
@@ -186,6 +204,8 @@ void IntersectTaggedSets(std::span<const TaggedSet> sets, ScratchArena* arena,
 void UnionTaggedSets(std::span<const TaggedSet> sets, ScratchArena* arena,
                      std::vector<uint32_t>* out) {
   TRACE_SPAN("union_tagged_sets");
+  obs::ExplainScope scope("set_ops.union_tagged_sets");
+  scope.AddUint("k", sets.size());
   obs::ThreadOpCounters().lists_touched += sets.size();
   out->clear();
   if (sets.empty()) return;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/fast_clock.h"
+#include "obs/explain.h"
 #include "obs/trace.h"
 
 namespace intcomp {
@@ -44,6 +45,15 @@ void ThreadPool::Enqueue(size_t w, PoolTask task) {
         inner(worker);
       };
     }
+  }
+  // Same handoff for an active explain capture: worker-side scopes attach
+  // under the scope that was open at submit time.
+  if (obs::ExplainActive()) {
+    const obs::ExplainContext ectx = obs::CurrentExplainContext();
+    task = [ectx, inner = std::move(task)](size_t worker) {
+      obs::ScopedExplainContext scope(ectx);
+      inner(worker);
+    };
   }
   pending_.fetch_add(1, std::memory_order_acq_rel);
   {

@@ -1,0 +1,293 @@
+#include "obs/explain.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/fast_clock.h"
+#include "obs/json.h"
+#include "obs/op_counters.h"
+
+namespace intcomp {
+namespace obs {
+
+namespace detail {
+std::atomic<uint32_t> g_explain_active{0};
+}  // namespace detail
+
+namespace {
+
+// Timing attributes (keys ending in "_ns") carry wall time and are dropped
+// from the timing-stripped JSON form along with start_ns/dur_ns.
+bool IsTimingAttr(const ExplainAttr& a) {
+  return a.key.size() >= 3 && a.key.compare(a.key.size() - 3, 3, "_ns") == 0;
+}
+
+void AppendAttrValue(const ExplainAttr& a, std::string* out) {
+  char buf[32];
+  switch (a.kind) {
+    case ExplainAttr::Kind::kUint:
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(a.u));
+      *out += buf;
+      break;
+    case ExplainAttr::Kind::kDouble:
+      std::snprintf(buf, sizeof(buf), "%.1f", a.d);
+      *out += buf;
+      break;
+    case ExplainAttr::Kind::kStr:
+      out->push_back('"');
+      *out += JsonEscape(a.s);
+      out->push_back('"');
+      break;
+  }
+}
+
+void AppendNodeJson(const ExplainNode& n, bool include_timings,
+                    std::string* out) {
+  char buf[64];
+  *out += "{\"name\":\"";
+  *out += JsonEscape(n.name);
+  out->push_back('"');
+  if (include_timings) {
+    std::snprintf(buf, sizeof(buf), ",\"start_ns\":%llu,\"dur_ns\":%llu",
+                  static_cast<unsigned long long>(n.start_ns),
+                  static_cast<unsigned long long>(n.dur_ns));
+    *out += buf;
+  }
+  bool any_attr = false;
+  for (const ExplainAttr& a : n.attrs) {
+    if (!include_timings && IsTimingAttr(a)) continue;
+    *out += any_attr ? "," : ",\"attrs\":{";
+    any_attr = true;
+    out->push_back('"');
+    *out += JsonEscape(a.key);
+    *out += "\":";
+    AppendAttrValue(a, out);
+  }
+  if (any_attr) out->push_back('}');
+  if (!n.children.empty()) {
+    *out += ",\"children\":[";
+    for (size_t i = 0; i < n.children.size(); ++i) {
+      if (i > 0) out->push_back(',');
+      AppendNodeJson(n.children[i], include_timings, out);
+    }
+    out->push_back(']');
+  }
+  out->push_back('}');
+}
+
+void SortByOrdinal(ExplainNode* n) {
+  std::stable_sort(n->children.begin(), n->children.end(),
+                   [](const ExplainNode& a, const ExplainNode& b) {
+                     return a.ordinal < b.ordinal;
+                   });
+  for (ExplainNode& child : n->children) SortByOrdinal(&child);
+}
+
+void AppendNodePretty(const ExplainNode& n, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += n.name;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "  %.3f ms",
+                static_cast<double>(n.dur_ns) / 1e6);
+  *out += buf;
+  for (const ExplainAttr& a : n.attrs) {
+    *out += "  ";
+    *out += a.key;
+    out->push_back('=');
+    switch (a.kind) {
+      case ExplainAttr::Kind::kUint:
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(a.u));
+        *out += buf;
+        break;
+      case ExplainAttr::Kind::kDouble:
+        std::snprintf(buf, sizeof(buf), "%.1f", a.d);
+        *out += buf;
+        break;
+      case ExplainAttr::Kind::kStr:
+        *out += a.s;
+        break;
+    }
+  }
+  out->push_back('\n');
+  for (const ExplainNode& child : n.children) {
+    AppendNodePretty(child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+const ExplainAttr* ExplainNode::FindAttr(std::string_view key) const {
+  for (const ExplainAttr& a : attrs) {
+    if (a.key == key) return &a;
+  }
+  return nullptr;
+}
+
+size_t ExplainNode::CountNodes(std::string_view node_name) const {
+  size_t n = name == node_name ? 1 : 0;
+  for (const ExplainNode& child : children) n += child.CountNodes(node_name);
+  return n;
+}
+
+const ExplainNode* ExplainNode::Find(std::string_view node_name) const {
+  if (name == node_name) return this;
+  for (const ExplainNode& child : children) {
+    if (const ExplainNode* hit = child.Find(node_name)) return hit;
+  }
+  return nullptr;
+}
+
+std::string QueryExplain::ToString() const {
+  if (!ok) return "(no explain data)\n";
+  std::string out;
+  AppendNodePretty(root, 0, &out);
+  return out;
+}
+
+std::string QueryExplain::ToJson(bool include_timings) const {
+  if (!ok) return "{}";
+  std::string out;
+  AppendNodeJson(root, include_timings, &out);
+  return out;
+}
+
+QueryExplain ExplainSink::Build() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  QueryExplain out;
+  if (recs_.empty()) return out;
+  // Assemble bottom-up: children attach to parents in record order, which is
+  // program order per recording thread; racing siblings are then ordered by
+  // their explicit ordinal (stable sort keeps record order within a tie).
+  std::vector<ExplainNode> nodes(recs_.size());
+  for (size_t i = 0; i < recs_.size(); ++i) {
+    const Rec& r = recs_[i];
+    nodes[i].name = r.name;
+    nodes[i].start_ns = r.start_ns;
+    nodes[i].dur_ns = r.dur_ns;
+    nodes[i].ordinal = r.ordinal;
+    nodes[i].attrs = r.attrs;
+  }
+  for (size_t i = recs_.size(); i-- > 1;) {
+    const uint64_t parent = recs_[i].parent;
+    if (parent == 0 || parent > recs_.size()) continue;
+    std::vector<ExplainNode>& siblings = nodes[parent - 1].children;
+    siblings.insert(siblings.begin(), std::move(nodes[i]));
+  }
+  out.ok = true;
+  out.root = std::move(nodes[0]);
+  SortByOrdinal(&out.root);
+  return out;
+}
+
+uint64_t ExplainSink::Open(const char* name, uint64_t parent,
+                           uint64_t ordinal, uint64_t start_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Rec rec;
+  rec.parent = parent;
+  rec.name = name;
+  rec.start_ns = start_ns;
+  rec.ordinal = ordinal;
+  recs_.push_back(std::move(rec));
+  return recs_.size();
+}
+
+void ExplainSink::Close(uint64_t id, uint64_t dur_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recs_[id - 1].dur_ns = dur_ns;
+}
+
+void ExplainSink::Attr(uint64_t id, ExplainAttr attr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recs_[id - 1].attrs.push_back(std::move(attr));
+}
+
+ScopedExplainCapture::ScopedExplainCapture(ExplainSink* sink) {
+  detail::ExplainTls& tls = detail::t_explain;
+  saved_sink_ = tls.sink;
+  saved_parent_ = tls.parent;
+  tls.sink = sink;
+  tls.parent = 0;
+  detail::g_explain_active.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScopedExplainCapture::~ScopedExplainCapture() {
+  detail::ExplainTls& tls = detail::t_explain;
+  tls.sink = saved_sink_;
+  tls.parent = saved_parent_;
+  detail::g_explain_active.fetch_sub(1, std::memory_order_relaxed);
+}
+
+ExplainContext CurrentExplainContext() {
+  if (!ExplainActive()) return ExplainContext{};
+  const detail::ExplainTls& tls = detail::t_explain;
+  return ExplainContext{tls.sink, tls.parent};
+}
+
+ScopedExplainContext::ScopedExplainContext(const ExplainContext& ctx) {
+  if (ctx.sink == nullptr) return;
+  detail::ExplainTls& tls = detail::t_explain;
+  saved_sink_ = tls.sink;
+  saved_parent_ = tls.parent;
+  tls.sink = ctx.sink;
+  tls.parent = ctx.parent;
+  applied_ = true;
+}
+
+ScopedExplainContext::~ScopedExplainContext() {
+  if (!applied_) return;
+  detail::ExplainTls& tls = detail::t_explain;
+  tls.sink = saved_sink_;
+  tls.parent = saved_parent_;
+}
+
+void ExplainScope::Begin(const char* name, uint64_t ordinal) {
+  detail::ExplainTls& tls = detail::t_explain;
+  sink_ = tls.sink;
+  start_ns_ = NowNs();
+  start_bytes_decoded_ = ThreadOpCounters().bytes_decoded;
+  id_ = sink_->Open(name, tls.parent, ordinal, start_ns_);
+  saved_parent_ = tls.parent;
+  tls.parent = id_;
+}
+
+void ExplainScope::End() {
+  detail::t_explain.parent = saved_parent_;
+  ExplainAttr bytes;
+  bytes.key = "bytes_decoded";
+  bytes.u = ThreadOpCounters().bytes_decoded - start_bytes_decoded_;
+  sink_->Attr(id_, std::move(bytes));
+  sink_->Close(id_, NowNs() - start_ns_);
+}
+
+void ExplainScope::AddUint(const char* key, uint64_t v) {
+  if (sink_ == nullptr) return;
+  ExplainAttr a;
+  a.key = key;
+  a.kind = ExplainAttr::Kind::kUint;
+  a.u = v;
+  sink_->Attr(id_, std::move(a));
+}
+
+void ExplainScope::AddDouble(const char* key, double v) {
+  if (sink_ == nullptr) return;
+  ExplainAttr a;
+  a.key = key;
+  a.kind = ExplainAttr::Kind::kDouble;
+  a.d = v;
+  sink_->Attr(id_, std::move(a));
+}
+
+void ExplainScope::AddStr(const char* key, std::string_view v) {
+  if (sink_ == nullptr) return;
+  ExplainAttr a;
+  a.key = key;
+  a.kind = ExplainAttr::Kind::kStr;
+  a.s = std::string(v);
+  sink_->Attr(id_, std::move(a));
+}
+
+}  // namespace obs
+}  // namespace intcomp

@@ -1,0 +1,221 @@
+// Per-query EXPLAIN capture: a structured decision/timing tree built by the
+// query path itself, opt-in per query.
+//
+// Relationship to the trace layer (obs/trace.h): spans answer "where did the
+// nanoseconds go, sampled across the whole process"; an explain capture
+// answers "what did *this* query decide and why" — which codec served each
+// list, which intersection strategy the cost model picked and what it
+// predicted vs. what it measured, whether the cache hit, how the fan-out
+// split. Spans are always-on infrastructure with ring buffers and sampling;
+// explain is a per-query opt-in that records everything for exactly one
+// query into a caller-owned sink.
+//
+// Cost discipline mirrors TRACE_SPAN:
+//   - No capture active anywhere in the process: every instrumentation site
+//     is one relaxed atomic load and a branch.
+//   - A capture active on *some* thread: threads not involved additionally
+//     read one thread_local pointer (still no branches taken).
+//   - The capturing thread: a mutex-protected append per event. Explain is
+//     opt-in per query, so this is paid only by queries that asked for it.
+//
+// Cross-thread handoff mirrors TraceContext: CurrentExplainContext() /
+// ScopedExplainContext let a worker's scopes attach under the submitting
+// thread's open scope; ThreadPool::Enqueue forwards both contexts.
+//
+// Sibling ordering: nodes recorded by one thread appear in program order.
+// Nodes racing from different threads (per-shard scopes under a fan-out)
+// are ordered by the explicit `ordinal` passed to ExplainScope — the service
+// passes the shard index — so the built tree is deterministic for a
+// deterministic query regardless of worker scheduling.
+
+#ifndef INTCOMP_OBS_EXPLAIN_H_
+#define INTCOMP_OBS_EXPLAIN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace intcomp {
+namespace obs {
+
+// One key/value attribute on an explain node. Keys are string literals from
+// our own instrumentation sites.
+struct ExplainAttr {
+  enum class Kind : uint8_t { kUint, kDouble, kStr };
+  std::string key;
+  Kind kind = Kind::kUint;
+  uint64_t u = 0;
+  double d = 0.0;
+  std::string s;
+};
+
+// One node of the built tree. Durations are steady-clock nanoseconds and
+// inclusive of children (like spans).
+struct ExplainNode {
+  std::string name;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  uint64_t ordinal = 0;
+  std::vector<ExplainAttr> attrs;
+  std::vector<ExplainNode> children;
+
+  // First attribute with `key`, or nullptr.
+  const ExplainAttr* FindAttr(std::string_view key) const;
+  // Nodes named `name` in this subtree (including this node).
+  size_t CountNodes(std::string_view name) const;
+  // First node named `name` in DFS order (including this node), or nullptr.
+  const ExplainNode* Find(std::string_view name) const;
+};
+
+// The finished capture. `ok` is false when nothing was recorded (e.g. the
+// query failed before the root scope opened).
+struct QueryExplain {
+  bool ok = false;
+  ExplainNode root;
+
+  // Pretty tree for terminals: one node per line, indented, with duration
+  // and attributes.
+  std::string ToString() const;
+  // Single-line JSON object {"name":...,"start_ns":...,"dur_ns":...,
+  // "attrs":{...},"children":[...]}. With include_timings=false the
+  // start_ns/dur_ns fields (and measured-ns attributes, which carry wall
+  // time) are omitted — that form is byte-identical across identical runs
+  // and is what the determinism tests compare.
+  std::string ToJson(bool include_timings = true) const;
+};
+
+// Caller-owned event store for one capture. Thread-safe for concurrent
+// recorders (fan-out workers append under a mutex).
+class ExplainSink {
+ public:
+  ExplainSink() = default;
+  ExplainSink(const ExplainSink&) = delete;
+  ExplainSink& operator=(const ExplainSink&) = delete;
+
+  // Assembles the tree. Siblings are ordered by (ordinal, record order).
+  // Records whose scope never closed (worker died) keep dur_ns = 0.
+  QueryExplain Build() const;
+
+ private:
+  friend class ExplainScope;
+
+  struct Rec {
+    uint64_t parent = 0;
+    std::string name;
+    uint64_t start_ns = 0;
+    uint64_t dur_ns = 0;
+    uint64_t ordinal = 0;
+    std::vector<ExplainAttr> attrs;
+  };
+
+  // Returns the new record id (1-based; 0 is "no parent").
+  uint64_t Open(const char* name, uint64_t parent, uint64_t ordinal,
+                uint64_t start_ns);
+  void Close(uint64_t id, uint64_t dur_ns);
+  void Attr(uint64_t id, ExplainAttr attr);
+
+  mutable std::mutex mu_;
+  std::vector<Rec> recs_;
+};
+
+namespace detail {
+// Count of live captures process-wide: the fast-path gate.
+extern std::atomic<uint32_t> g_explain_active;
+
+struct ExplainTls {
+  ExplainSink* sink = nullptr;
+  uint64_t parent = 0;  // innermost open record id on this thread
+};
+inline thread_local ExplainTls t_explain;
+}  // namespace detail
+
+// True iff the *calling thread* is inside an active capture. One relaxed
+// load when no capture exists anywhere.
+inline bool ExplainActive() {
+  return detail::g_explain_active.load(std::memory_order_relaxed) != 0 &&
+         detail::t_explain.sink != nullptr;
+}
+
+// Activates `sink` as the calling thread's capture target for the current
+// scope. The query root; typically immediately followed by an ExplainScope.
+class ScopedExplainCapture {
+ public:
+  explicit ScopedExplainCapture(ExplainSink* sink);
+  ~ScopedExplainCapture();
+
+  ScopedExplainCapture(const ScopedExplainCapture&) = delete;
+  ScopedExplainCapture& operator=(const ScopedExplainCapture&) = delete;
+
+ private:
+  ExplainSink* saved_sink_;
+  uint64_t saved_parent_;
+};
+
+// Capture of "where am I in the explain tree" for handoff to a worker.
+struct ExplainContext {
+  ExplainSink* sink = nullptr;
+  uint64_t parent = 0;
+};
+
+// {} when the calling thread is not capturing.
+ExplainContext CurrentExplainContext();
+
+// Applies a captured context for the current scope (no-op for a null sink).
+class ScopedExplainContext {
+ public:
+  explicit ScopedExplainContext(const ExplainContext& ctx);
+  ~ScopedExplainContext();
+
+  ScopedExplainContext(const ScopedExplainContext&) = delete;
+  ScopedExplainContext& operator=(const ScopedExplainContext&) = delete;
+
+ private:
+  ExplainSink* saved_sink_ = nullptr;
+  uint64_t saved_parent_ = 0;
+  bool applied_ = false;
+};
+
+// RAII node. Inactive (one relaxed load) unless the thread is capturing.
+// `name` must be a string literal. `ordinal` orders racing siblings.
+//
+// Every scope automatically records the bytes_decoded delta observed by
+// this thread's OpCounters between open and close as a "bytes_decoded"
+// attribute — per-node decode attribution comes for free.
+class ExplainScope {
+ public:
+  explicit ExplainScope(const char* name, uint64_t ordinal = 0) {
+    if (ExplainActive()) Begin(name, ordinal);
+  }
+  ~ExplainScope() {
+    if (sink_ != nullptr) End();
+  }
+
+  ExplainScope(const ExplainScope&) = delete;
+  ExplainScope& operator=(const ExplainScope&) = delete;
+
+  // True when this scope is recording: guard attribute computation that is
+  // not free.
+  bool active() const { return sink_ != nullptr; }
+
+  void AddUint(const char* key, uint64_t v);
+  void AddDouble(const char* key, double v);
+  void AddStr(const char* key, std::string_view v);
+
+ private:
+  void Begin(const char* name, uint64_t ordinal);
+  void End();
+
+  ExplainSink* sink_ = nullptr;
+  uint64_t id_ = 0;
+  uint64_t saved_parent_ = 0;
+  uint64_t start_ns_ = 0;
+  uint64_t start_bytes_decoded_ = 0;
+};
+
+}  // namespace obs
+}  // namespace intcomp
+
+#endif  // INTCOMP_OBS_EXPLAIN_H_

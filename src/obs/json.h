@@ -1,0 +1,40 @@
+// Tiny JSON string escaper shared by the metrics, explain, and trace-event
+// exporters. Inputs are our own identifiers (codec names, span names), but
+// escape anyway so a hostile name can't corrupt an exported stream.
+
+#ifndef INTCOMP_OBS_JSON_H_
+#define INTCOMP_OBS_JSON_H_
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace intcomp {
+namespace obs {
+
+inline std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace intcomp
+
+#endif  // INTCOMP_OBS_JSON_H_

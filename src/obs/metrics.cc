@@ -5,36 +5,13 @@
 #include <mutex>
 #include <utility>
 
+#include "obs/json.h"
 #include "obs/trace.h"
 
 namespace intcomp {
 namespace obs {
 
 namespace {
-
-// Metric keys are codec/op identifiers from our own code, but escape anyway
-// so a hostile codec name can't corrupt the JSONL stream.
-std::string JsonEscape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 void AppendQuantiles(const LatencyHistogram& h, std::string* out) {
   char buf[256];
@@ -110,6 +87,28 @@ uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
   return it->second->load(std::memory_order_relaxed);
 }
 
+void MetricsRegistry::SetGauge(std::string_view name, uint64_t value) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = gauges_.find(name);
+    if (it != gauges_.end()) {
+      it->second->store(value, std::memory_order_relaxed);
+      return;
+    }
+  }
+  std::unique_lock lock(mu_);
+  auto [it, inserted] = gauges_.try_emplace(std::string(name), nullptr);
+  if (inserted) it->second = std::make_unique<std::atomic<uint64_t>>(0);
+  it->second->store(value, std::memory_order_relaxed);
+}
+
+uint64_t MetricsRegistry::GaugeValue(std::string_view name) const {
+  std::shared_lock lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) return 0;
+  return it->second->load(std::memory_order_relaxed);
+}
+
 void MetricsRegistry::RecordKernelCounters(std::string_view codec,
                                            const KernelCounters& k) {
   const std::pair<const char*, uint64_t> fields[] = {
@@ -156,6 +155,15 @@ std::string MetricsRegistry::ExportJsonl(std::string_view bench_name) const {
   for (const auto& [name, value] : counters_) {
     char buf[32];
     out += "{\"metric\":\"counter\",\"name\":\"";
+    out += JsonEscape(name);
+    std::snprintf(buf, sizeof(buf), "\",\"value\":%llu}\n",
+                  static_cast<unsigned long long>(
+                      value->load(std::memory_order_relaxed)));
+    out += buf;
+  }
+  for (const auto& [name, value] : gauges_) {
+    char buf[32];
+    out += "{\"metric\":\"gauge\",\"name\":\"";
     out += JsonEscape(name);
     std::snprintf(buf, sizeof(buf), "\",\"value\":%llu}\n",
                   static_cast<unsigned long long>(
@@ -211,6 +219,16 @@ std::string MetricsRegistry::ExportPrometheus() const {
                       value->load(std::memory_order_relaxed)));
     out += buf;
   }
+  out +=
+      "# HELP intcomp_gauge Point-in-time values (occupancy, depths).\n"
+      "# TYPE intcomp_gauge gauge\n";
+  for (const auto& [name, value] : gauges_) {
+    std::snprintf(buf, sizeof(buf), "intcomp_gauge{name=\"%s\"} %llu\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(
+                      value->load(std::memory_order_relaxed)));
+    out += buf;
+  }
   return out;
 }
 
@@ -235,6 +253,7 @@ void MetricsRegistry::Reset() {
   std::unique_lock lock(mu_);
   latency_.clear();
   counters_.clear();
+  gauges_.clear();
 }
 
 }  // namespace obs

@@ -74,6 +74,12 @@ class MetricsRegistry {
   void AddCounter(std::string_view name, uint64_t delta);
   uint64_t CounterValue(std::string_view name) const;
 
+  // Gauges: last-write-wins point-in-time values (cache occupancy, queue
+  // depths) — unlike counters they can go down, so exporters label them
+  // separately and perf_check never gates their values.
+  void SetGauge(std::string_view name, uint64_t value);
+  uint64_t GaugeValue(std::string_view name) const;
+
   // Folds a per-codec KernelCounters delta into counters named
   // "kernel.<codec>.<kernel>" (only non-zero fields).
   void RecordKernelCounters(std::string_view codec, const KernelCounters& k);
@@ -83,6 +89,7 @@ class MetricsRegistry {
   //   {"metric":"op_latency","codec":...,"op":...,"count":N,"mean_ns":...,
   //    "p50_ns":...,"p90_ns":...,"p99_ns":...,"p999_ns":...}
   //   {"metric":"counter","name":...,"value":N}
+  //   {"metric":"gauge","name":...,"value":N}
   // Keys iterate in map order, so output is deterministic for a given set of
   // recorded metrics — which is what lets tools/perf_check.py diff runs.
   std::string ExportJsonl(std::string_view bench_name) const;
@@ -109,6 +116,8 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<OpHistograms>, std::less<>> latency_;
   std::map<std::string, std::unique_ptr<std::atomic<uint64_t>>, std::less<>>
       counters_;
+  std::map<std::string, std::unique_ptr<std::atomic<uint64_t>>, std::less<>>
+      gauges_;
 };
 
 // Times one codec operation into the global registry; a no-op (one relaxed

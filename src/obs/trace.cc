@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <cassert>
 #include <memory>
 #include <mutex>
 
@@ -27,6 +28,10 @@ struct Ring {
   size_t head = 0;        // next write position
   uint64_t written = 0;   // total spans ever written (>= capacity => wrapped)
   uint32_t thread_index;
+  // Spans this thread currently has open in the recording state. Atomic so
+  // readers can poll it to *check* the quiescence contract; it does not make
+  // concurrent snapshotting safe.
+  std::atomic<uint64_t> open{0};
 };
 
 struct RingRegistry {
@@ -58,6 +63,15 @@ struct ThreadTraceState {
 
 thread_local ThreadTraceState t_state;
 
+// Registry mutex must be held.
+uint64_t ActiveRecorderCountLocked(const RingRegistry& reg) {
+  uint64_t open = 0;
+  for (const auto& ring : reg.rings) {
+    open += ring->open.load(std::memory_order_relaxed);
+  }
+  return open;
+}
+
 void EnsureRing(ThreadTraceState& ts) {
   if (ts.ring != nullptr) return;
   RingRegistry& reg = Registry();
@@ -86,6 +100,8 @@ void SetTraceRingCapacity(size_t capacity) {
   if (capacity == 0) capacity = 1;
   RingRegistry& reg = Registry();
   std::lock_guard<std::mutex> lock(reg.mu);
+  assert(ActiveRecorderCountLocked(reg) == 0 &&
+         "SetTraceRingCapacity requires quiescence");
   reg.capacity = capacity;
   for (auto& ring : reg.rings) {
     ring->slots.assign(capacity, SpanRecord{});
@@ -97,6 +113,8 @@ void SetTraceRingCapacity(size_t capacity) {
 std::vector<SpanRecord> SnapshotSpans() {
   RingRegistry& reg = Registry();
   std::lock_guard<std::mutex> lock(reg.mu);
+  assert(ActiveRecorderCountLocked(reg) == 0 &&
+         "SnapshotSpans racing an active recorder");
   std::vector<SpanRecord> out;
   for (const auto& ring : reg.rings) {
     const size_t cap = ring->slots.size();
@@ -117,6 +135,8 @@ std::vector<SpanRecord> SnapshotSpans() {
 void ClearSpans() {
   RingRegistry& reg = Registry();
   std::lock_guard<std::mutex> lock(reg.mu);
+  assert(ActiveRecorderCountLocked(reg) == 0 &&
+         "ClearSpans racing an active recorder");
   for (auto& ring : reg.rings) {
     ring->head = 0;
     ring->written = 0;
@@ -132,6 +152,12 @@ uint64_t DroppedSpans() {
     if (ring->written > cap) dropped += ring->written - cap;
   }
   return dropped;
+}
+
+uint64_t ActiveRecorderCount() {
+  RingRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return ActiveRecorderCountLocked(reg);
 }
 
 TraceContext CurrentTraceContext() {
@@ -180,6 +206,7 @@ void TraceSpan::Begin(const char* name) {
     return;
   }
   EnsureRing(ts);
+  ts.ring->open.fetch_add(1, std::memory_order_relaxed);
   name_ = name;
   span_id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
   saved_parent_ = ts.current_parent;
@@ -204,6 +231,7 @@ void TraceSpan::End() {
   slot.thread_index = ring.thread_index;
   ring.head = (ring.head + 1) % ring.slots.size();
   ++ring.written;
+  ring.open.fetch_sub(1, std::memory_order_relaxed);
 }
 
 }  // namespace obs

@@ -84,6 +84,13 @@ void ClearSpans();
 // Spans overwritten by ring wraparound since the last ClearSpans.
 uint64_t DroppedSpans();
 
+// Number of spans currently open in the recording state, summed across all
+// threads. The quiescence contract above is precisely "this returns 0":
+// debug builds assert it inside SnapshotSpans / ClearSpans /
+// SetTraceRingCapacity, turning a racing reader into a crash instead of a
+// torn snapshot.
+uint64_t ActiveRecorderCount();
+
 // Capture of "where am I in the trace" for handoff to another thread.
 struct TraceContext {
   uint64_t parent_id = 0;

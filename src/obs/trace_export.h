@@ -1,0 +1,33 @@
+// Chrome trace-event exporter: turns a SnapshotSpans() result into the JSON
+// trace-event format that chrome://tracing and Perfetto load directly, so
+// any bench's span buffer becomes a flamegraph (--trace-out on every bench
+// via benchutil/metrics_export.h).
+//
+// Output is deterministic for a given set of spans: events are sorted by
+// (start_ns, span_id) before serialization, independent of which thread's
+// ring they came from.
+
+#ifndef INTCOMP_OBS_TRACE_EXPORT_H_
+#define INTCOMP_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace intcomp {
+namespace obs {
+
+// Complete ("ph":"X") events, one per span: pid 0, tid = recording thread
+// index, ts/dur in fractional microseconds (the unit the format requires),
+// span/parent ids in args for cross-referencing.
+std::string ExportChromeTrace(const std::vector<SpanRecord>& spans);
+
+// Writes ExportChromeTrace to `path`; false on I/O failure.
+bool WriteChromeTrace(const std::string& path,
+                      const std::vector<SpanRecord>& spans);
+
+}  // namespace obs
+}  // namespace intcomp
+
+#endif  // INTCOMP_OBS_TRACE_EXPORT_H_

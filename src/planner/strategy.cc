@@ -1,7 +1,10 @@
 #include "planner/strategy.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "common/fast_clock.h"
+#include "obs/explain.h"
 #include "obs/metrics.h"
 #include "obs/op_counters.h"
 #include "obs/trace.h"
@@ -26,6 +29,29 @@ void BumpStrategyCounter(SetOpStrategy chosen) {
     case SetOpStrategy::kAuto:
       break;
   }
+}
+
+// Folds one decision's estimated and measured cost into the
+// planner.cost.residual.<strategy>.{est_ns,act_ns,count} counters, so
+// est/act across a whole run exposes model miscalibration per strategy as a
+// queryable ratio instead of a bisection session.
+void RecordCostResidual(SetOpStrategy chosen, double est_ns,
+                        uint64_t act_ns) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  if (!reg.Enabled()) return;
+  std::string key("planner.cost.residual.");
+  key += SetOpStrategyName(chosen);
+  const size_t stem = key.size();
+  key += ".est_ns";
+  reg.AddCounter(key, est_ns <= 0.0 ? 0
+                                    : static_cast<uint64_t>(std::llround(
+                                          est_ns)));
+  key.resize(stem);
+  key += ".act_ns";
+  reg.AddCounter(key, act_ns);
+  key.resize(stem);
+  key += ".count";
+  reg.AddCounter(key, 1);
 }
 
 }  // namespace
@@ -128,10 +154,43 @@ void PlannedIntersect(const TaggedSet& a, const TaggedSet& b,
     strategy = SetOpStrategy::kGallopProbe;
   }
   BumpStrategyCounter(strategy);
+  // Estimate-vs-actual audit: priced only when a per-query explain capture
+  // or the metrics registry is on; the plain path pays two relaxed loads.
+  obs::ExplainScope scope("planner.pair");
+  const bool audit =
+      scope.active() || obs::MetricsRegistry::Global().Enabled();
+  double est_ns = 0.0;
+  uint64_t t0 = 0;
+  if (audit) {
+    est_ns = IntersectCostNs(a, b, strategy, model);
+    if (scope.active()) {
+      scope.AddStr("strategy", SetOpStrategyName(strategy));
+      scope.AddStr("codec_a", a.codec->SetCodecName(*a.set));
+      scope.AddStr("codec_b", b.codec->SetCodecName(*b.set));
+      scope.AddUint("card_a", a.set->Cardinality());
+      scope.AddUint("card_b", b.set->Cardinality());
+      // The full alternative menu the chooser priced (estimates depend on
+      // the host's kernel calibration, hence the _ns suffix so the
+      // structural form stays run-independent).
+      scope.AddDouble("est_merge_ns",
+                      IntersectCostNs(a, b, SetOpStrategy::kDecodeMerge,
+                                      model));
+      scope.AddDouble("est_gallop_ns",
+                      IntersectCostNs(a, b, SetOpStrategy::kGallopProbe,
+                                      model));
+      if (a.codec == b.codec) {
+        scope.AddDouble("est_compressed_ns",
+                        IntersectCostNs(a, b, SetOpStrategy::kCompressed,
+                                        model));
+      }
+      scope.AddDouble("est_ns", est_ns);
+    }
+    t0 = NowNs();
+  }
   switch (strategy) {
     case SetOpStrategy::kCompressed:
       a.codec->Intersect(*a.set, *b.set, out);
-      return;
+      break;
     case SetOpStrategy::kDecodeMerge: {
       std::vector<uint32_t> da, db;
       a.codec->Decode(*a.set, &da);
@@ -144,7 +203,7 @@ void PlannedIntersect(const TaggedSet& a, const TaggedSet& b,
       } else {
         ScalarMergeIntersectInto(da, db, out);
       }
-      return;
+      break;
     }
     case SetOpStrategy::kGallopProbe: {
       const TaggedSet* small = &a;
@@ -156,10 +215,18 @@ void PlannedIntersect(const TaggedSet& a, const TaggedSet& b,
       small->codec->Decode(*small->set, &decoded);
       obs::ThreadOpCounters().bytes_decoded += small->set->SizeInBytes();
       large->codec->IntersectWithList(*large->set, decoded, out);
-      return;
+      break;
     }
     case SetOpStrategy::kAuto:
       return;  // unreachable
+  }
+  if (audit) {
+    const uint64_t act_ns = NowNs() - t0;
+    if (scope.active()) {
+      scope.AddUint("measured_ns", act_ns);
+      scope.AddUint("rows", out->size());
+    }
+    RecordCostResidual(strategy, est_ns, act_ns);
   }
 }
 

@@ -1,0 +1,113 @@
+#include "service/plan_text.h"
+
+#include <cctype>
+#include <cstdint>
+
+namespace intcomp {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Status Parse(QueryPlan* plan) {
+    Status st = ParseNode(plan);
+    if (!st.ok()) return st;
+    SkipSpace();
+    if (pos_ != text_.size()) return Error("trailing input after plan");
+    return Status::Ok();
+  }
+
+ private:
+  Status ParseNode(QueryPlan* plan) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("expected plan node");
+    const char c = text_[pos_];
+    if (c == '&' || c == '|') {
+      const QueryPlan::Op op =
+          c == '&' ? QueryPlan::Op::kAnd : QueryPlan::Op::kOr;
+      ++pos_;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '(')
+        return Error("expected '(' after operator");
+      ++pos_;
+      QueryPlan node;
+      node.op = op;
+      while (true) {
+        QueryPlan child;
+        Status st = ParseNode(&child);
+        if (!st.ok()) return st;
+        node.children.push_back(std::move(child));
+        SkipSpace();
+        if (pos_ >= text_.size())
+          return Error("unterminated operator node (missing ')')");
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == ')') {
+          ++pos_;
+          break;
+        }
+        return Error("expected ',' or ')' in operator node");
+      }
+      *plan = std::move(node);
+      return Status::Ok();
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      uint64_t v = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        v = v * 10 + static_cast<uint64_t>(text_[pos_] - '0');
+        if (v > UINT32_MAX) return Error("leaf id out of range");
+        ++pos_;
+      }
+      *plan = QueryPlan::Leaf(static_cast<size_t>(v));
+      return Status::Ok();
+    }
+    return Error("expected leaf number, '&(', or '|('");
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status Error(const char* what) const {
+    return Status::InvalidArgument(std::string(what) + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+void Render(const QueryPlan& plan, std::string* out) {
+  if (plan.op == QueryPlan::Op::kLeaf) {
+    out->append(std::to_string(plan.leaf));
+    return;
+  }
+  out->push_back(plan.op == QueryPlan::Op::kAnd ? '&' : '|');
+  out->push_back('(');
+  for (size_t i = 0; i < plan.children.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    Render(plan.children[i], out);
+  }
+  out->push_back(')');
+}
+
+}  // namespace
+
+Status ParsePlanText(std::string_view text, QueryPlan* plan) {
+  return Parser(text).Parse(plan);
+}
+
+std::string PlanToText(const QueryPlan& plan) {
+  std::string out;
+  Render(plan, &out);
+  return out;
+}
+
+}  // namespace intcomp

@@ -1,0 +1,40 @@
+// Textual query plans for tools — the same grammar the result cache's
+// canonical encoder emits (service/result_cache.cc), so any cache key or
+// EXPLAIN signature can be pasted back in as a plan:
+//
+//   plan  := NUM                    leaf (list id, decimal)
+//          | '&' '(' plan-list ')'  intersection
+//          | '|' '(' plan-list ')'  union
+//   plan-list := plan (',' plan)*
+//
+// Whitespace is allowed between tokens. Examples:
+//   "3"            → Leaf(3)
+//   "&(1,2,5)"     → And(1, 2, 5)
+//   "&(|(0,1),2)"  → And(Or(0, 1), 2)
+//
+// Parsing does NOT canonicalize: child order, nesting, and duplicates are
+// preserved exactly as written, so a tool can explain the plan the user
+// asked for rather than its cache-key normal form.
+
+#ifndef INTCOMP_SERVICE_PLAN_TEXT_H_
+#define INTCOMP_SERVICE_PLAN_TEXT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/query.h"
+
+namespace intcomp {
+
+// Parses `text` into *plan. Returns kInvalidArgument (with a position-tagged
+// message) on syntax errors, trailing garbage, or an empty operator node.
+Status ParsePlanText(std::string_view text, QueryPlan* plan);
+
+// Renders a plan in the same grammar (no canonicalization; inverse of
+// ParsePlanText for any plan it accepts).
+std::string PlanToText(const QueryPlan& plan);
+
+}  // namespace intcomp
+
+#endif  // INTCOMP_SERVICE_PLAN_TEXT_H_

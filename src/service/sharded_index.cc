@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "index/bitmap_index.h"
+#include "obs/explain.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -151,12 +152,38 @@ std::shared_ptr<const IndexSnapshot> IndexService::Snapshot() const {
 }
 
 Status IndexService::Query(const QueryPlan& plan, std::vector<uint32_t>* out) {
+  return QueryImpl(plan, out);
+}
+
+Status IndexService::Query(const QueryPlan& plan, std::vector<uint32_t>* out,
+                           obs::QueryExplain* explain) {
+  if (explain == nullptr) return QueryImpl(plan, out);
+  obs::ExplainSink sink;
+  Status st;
+  {
+    // Activate capture for this thread; the fan-out forwards it to workers
+    // (ThreadPool::Enqueue), so their scopes land in the same sink.
+    obs::ScopedExplainCapture capture(&sink);
+    st = QueryImpl(plan, out);
+  }
+  *explain = sink.Build();
+  return st;
+}
+
+Status IndexService::QueryImpl(const QueryPlan& plan,
+                               std::vector<uint32_t>* out) {
   TRACE_SPAN("service.query");
   // Pin the snapshot once: a concurrent SwapSnapshot retires index_, but
   // this query keeps evaluating the generation it started on.
   const std::shared_ptr<const IndexSnapshot> index = Snapshot();
   obs::ScopedOpTimer timer(index->codec().Name(),
                            obs::OpKind::kServiceQuery);
+  obs::ExplainScope explain_scope("service.query");
+  if (explain_scope.active()) {
+    explain_scope.AddStr("codec", index->codec().Name());
+    explain_scope.AddStr("signature", index->CodecSignature());
+    explain_scope.AddUint("shards", index->NumShards());
+  }
   out->clear();
   queries_.fetch_add(1, std::memory_order_relaxed);
 
@@ -171,6 +198,9 @@ Status IndexService::Query(const QueryPlan& plan, std::vector<uint32_t>* out) {
   }
   std::sort(leaves.begin(), leaves.end());
   leaves.erase(std::unique(leaves.begin(), leaves.end()), leaves.end());
+  if (explain_scope.active()) {
+    explain_scope.AddUint("lists", leaves.size());
+  }
   std::string key;
   uint64_t stamp = 0;
   if (cache_ != nullptr) {
@@ -182,11 +212,22 @@ Status IndexService::Query(const QueryPlan& plan, std::vector<uint32_t>* out) {
     // name: two Planner-built snapshots with different per-list codec
     // choices must not share a key namespace.
     key = PlanCacheKey(index->CodecSignature(), plan);
-    if (cache_->Get(key, out)) {
+    obs::ExplainScope probe("cache.probe");
+    const bool hit = cache_->Get(key, out);
+    if (probe.active()) {
+      probe.AddStr("key", key);
+      probe.AddUint("stamp", stamp);
+      probe.AddStr("outcome", hit ? "hit" : "miss");
+      if (hit) probe.AddUint("rows", out->size());
+    }
+    if (hit) {
       if (stats_ != nullptr) stats_->AddCacheHit();
       BumpServiceCounter("service.cache.hit");
       return Status::Ok();
     }
+  } else {
+    obs::ExplainScope probe("cache.probe");
+    probe.AddStr("outcome", "disabled");
   }
 
   const size_t num_shards = index->NumShards();
@@ -194,19 +235,54 @@ Status IndexService::Query(const QueryPlan& plan, std::vector<uint32_t>* out) {
   std::vector<Status> statuses(num_shards);
   {
     TRACE_SPAN("service.fanout");
+    obs::ExplainScope fanout("service.fanout");
+    fanout.AddUint("shards", num_shards);
     pool_->ParallelFor(0, num_shards, [&](size_t s, size_t worker) {
       TRACE_SPAN("service.shard");
+      // Ordinal = shard id: racing shard scopes sort deterministically in
+      // the built tree no matter which worker ran them.
+      obs::ExplainScope shard_scope("service.shard", /*ordinal=*/s);
+      shard_scope.AddUint("shard", s);
       // Materialization failures (lazy mapped snapshots) fail just this
       // query, with the snapshot's kCorruptData status.
       StatusOr<std::span<const CompressedSet* const>> sets =
           index->PlanSets(s, leaves);
       if (!sets.ok()) {
         statuses[s] = sets.status();
+        if (shard_scope.active()) {
+          shard_scope.AddStr("status", sets.status().message());
+        }
         return;
+      }
+      if (shard_scope.active()) {
+        // Per-touched-list codec attribution: what the planner chose for
+        // each list this shard actually serves (EffectiveFamily /
+        // SetCodecName resolve adaptive wrappers per set).
+        const Codec& codec = index->codec();
+        for (size_t l : leaves) {
+          const CompressedSet* set = sets.value()[l];
+          if (set == nullptr) continue;
+          obs::ExplainScope list_scope("list", /*ordinal=*/l);
+          list_scope.AddUint("list", l);
+          list_scope.AddStr("codec", codec.SetCodecName(*set));
+          list_scope.AddStr("family",
+                            codec.EffectiveFamily(*set) ==
+                                    CodecFamily::kBitmap
+                                ? "bitmap"
+                                : "list");
+          list_scope.AddUint("bytes", set->SizeInBytes());
+          list_scope.AddUint("card", set->Cardinality());
+        }
       }
       statuses[s] =
           EvaluatePlanChecked(index->codec(), plan, sets.value(),
                               nullptr, arenas_[worker].get(), &parts[s]);
+      if (shard_scope.active()) {
+        shard_scope.AddUint("rows", parts[s].size());
+        if (!statuses[s].ok()) {
+          shard_scope.AddStr("status", statuses[s].message());
+        }
+      }
     });
   }
   for (const Status& st : statuses) {
@@ -219,6 +295,7 @@ Status IndexService::Query(const QueryPlan& plan, std::vector<uint32_t>* out) {
 
   {
     TRACE_SPAN("service.stitch");
+    obs::ExplainScope stitch("service.stitch");
     size_t total = 0;
     for (const auto& part : parts) total += part.size();
     out->reserve(total);
@@ -226,22 +303,42 @@ Status IndexService::Query(const QueryPlan& plan, std::vector<uint32_t>* out) {
     for (size_t s = 0; s < num_shards; ++s) {
       router.Rebase(s, parts[s], out);
     }
+    stitch.AddUint("rows", total);
   }
 
   if (cache_ != nullptr) {
-    cache_->PutWithStamp(key, index->codec(), *out, index->NumRows(), stamp);
+    const bool admitted =
+        cache_->PutWithStamp(key, index->codec(), *out, index->NumRows(),
+                             stamp);
+    {
+      obs::ExplainScope admit("cache.admit");
+      admit.AddStr("outcome", admitted ? "stored" : "rejected");
+    }
+    PublishCacheGauges();
     if (stats_ != nullptr) stats_->AddCacheMiss();
     BumpServiceCounter("service.cache.miss");
   } else {
     if (stats_ != nullptr) stats_->AddCacheBypass();
     BumpServiceCounter("service.cache.bypass");
   }
+  if (explain_scope.active()) {
+    explain_scope.AddUint("rows", out->size());
+  }
   return Status::Ok();
+}
+
+void IndexService::PublishCacheGauges() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  if (cache_ == nullptr || !reg.Enabled()) return;
+  reg.SetGauge("service.cache.bytes", cache_->SizeInBytes());
+  reg.SetGauge("service.cache.entries", cache_->Entries());
+  reg.SetGauge("service.cache.evictions", cache_->Snapshot().evicted);
 }
 
 void IndexService::Invalidate(size_t shard) {
   if (cache_ != nullptr) cache_->BumpGeneration(shard);
   BumpServiceCounter("service.cache.invalidation");
+  PublishCacheGauges();
 }
 
 Status IndexService::SwapSnapshot(std::shared_ptr<const IndexSnapshot> next) {

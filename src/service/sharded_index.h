@@ -67,6 +67,10 @@
 
 namespace intcomp {
 
+namespace obs {
+struct QueryExplain;
+}  // namespace obs
+
 class ShardedIndex final : public IndexSnapshot {
  public:
   // Builds from per-list sorted row-id lists (values < num_rows): list l of
@@ -165,6 +169,17 @@ class IndexService {
   // on any non-OK status *out is empty.
   Status Query(const QueryPlan& plan, std::vector<uint32_t>* out);
 
+  // EXPLAIN flavor: additionally captures the full decision/timing tree for
+  // this one query into *explain — per-plan-node attribution, per-list codec
+  // choices, the planner's per-pair strategy with estimated vs. measured
+  // cost, cache probe outcome, and the per-shard fan-out/stitch breakdown
+  // (obs/explain.h). Costs a mutex-protected event append per decision, paid
+  // only by queries that ask; with explain == nullptr this is exactly the
+  // plain Query. The capture itself never changes results: the evaluation
+  // path is shared.
+  Status Query(const QueryPlan& plan, std::vector<uint32_t>* out,
+               obs::QueryExplain* explain);
+
   // Marks shard s's underlying data as changed: bumps the cache generation
   // so no result computed before this call can be served again.
   void Invalidate(size_t shard);
@@ -190,6 +205,11 @@ class IndexService {
   ServiceStats Stats() const;
 
  private:
+  Status QueryImpl(const QueryPlan& plan, std::vector<uint32_t>* out);
+  // Refreshes the service.cache.* occupancy gauges (entries, bytes,
+  // evictions) when the metrics registry is enabled.
+  void PublishCacheGauges();
+
   mutable std::mutex index_mu_;  // guards index_ (pointer copy only)
   std::shared_ptr<const IndexSnapshot> index_;
   ThreadPool* pool_;

@@ -355,6 +355,14 @@ Status LiveIndex::Compact() {
 
 void LiveIndex::CompactAsync(ThreadPool* pool,
                              std::function<void(Status)> done) {
+  // Submit-side trace anchor. ThreadPool::Enqueue only carries a trace
+  // context when the submitting thread has a span open, so a CompactAsync
+  // called outside any span used to surface its storage.compaction span as
+  // an orphaned root in snapshots. Opening the anchor here (a child of
+  // whatever the caller has open, or a root of its own) gives Enqueue a
+  // context to capture, and the worker-side spans nest under the submitting
+  // thread's trace.
+  TRACE_SPAN("storage.compact_submit");
   pool->Submit([this, done = std::move(done)](size_t /*worker*/) {
     Status st = Compact();
     if (done) done(st);

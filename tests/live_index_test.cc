@@ -24,6 +24,7 @@
 #include "core/query.h"
 #include "core/registry.h"
 #include "engine/thread_pool.h"
+#include "obs/trace.h"
 #include "service/sharded_index.h"
 #include "test_util.h"
 
@@ -342,6 +343,53 @@ TEST(LiveIndexTest, CompactAsyncReportsCompletion) {
   EXPECT_TRUE(st.ok()) << st.ToString();
   EXPECT_EQ((*live)->Stats().compactions, 1u);
   EXPECT_EQ((*live)->Stats().delta_rows, 0u);
+  ASSERT_TRUE((*live)->Close().ok());
+}
+
+// The worker-side compaction span must nest under the submitting thread's
+// trace (via the compact_submit anchor CompactAsync opens), not surface as
+// an orphaned root in snapshots.
+TEST(LiveIndexTest, CompactAsyncSpansNestUnderTheSubmittingTrace) {
+  const Codec& codec = *FindCodec("Roaring");
+  BaseFixture f = MakeBase(TestSeed(0x11f6));
+  const std::string dir = MakeDir("live_async_trace");
+  auto live = LiveIndex::Create(dir, f.Build(codec));
+  ASSERT_TRUE(live.ok());
+  ASSERT_TRUE(
+      (*live)
+          ->Insert(0, RandomSortedList(30, f.num_rows, TestSeed(0x11f7)))
+          .ok());
+
+  obs::SetTraceSampling(0);
+  obs::ClearSpans();
+  obs::SetTraceSeed(42);
+  obs::SetTraceSampling(1);
+  {
+    ThreadPool pool(2);
+    std::promise<Status> done;
+    (*live)->CompactAsync(&pool, [&](Status st) { done.set_value(st); });
+    ASSERT_TRUE(done.get_future().get().ok());
+  }  // pool joined: rings quiescent
+  obs::SetTraceSampling(0);
+
+  const auto all = obs::SnapshotSpans();
+  uint64_t submit_id = 0;
+  for (const auto& s : all) {
+    if (s.name != nullptr &&
+        std::string_view(s.name) == "storage.compact_submit") {
+      submit_id = s.span_id;
+    }
+  }
+  ASSERT_NE(submit_id, 0u);
+  bool found_compaction = false;
+  for (const auto& s : all) {
+    if (s.name != nullptr && std::string_view(s.name) == "storage.compaction") {
+      found_compaction = true;
+      EXPECT_EQ(s.parent_id, submit_id);
+    }
+  }
+  EXPECT_TRUE(found_compaction);
+  obs::ClearSpans();
   ASSERT_TRUE((*live)->Close().ok());
 }
 

@@ -1,0 +1,165 @@
+// tools/explain — run one query plan against an index and print its EXPLAIN
+// profile: per-plan-node attribution, the codec serving each list, the
+// planner's per-pair intersection strategy with estimated vs. measured cost,
+// the cache probe outcome, and the per-shard fan-out/stitch breakdown.
+//
+// Sources (pick one):
+//   --index=FILE.ics       serve an index container file (storage/mapped_index)
+//   --demo                 build an in-RAM demo index: five mixed-shape lists
+//                          (dense / sparse / clustered) under the Planner
+//                          codec, so per-list codec choice is genuinely mixed
+//
+// Common flags:
+//   --plan=TEXT            plan in cache-key grammar (default "&(0,1)"):
+//                          NUM | &(p,p,...) | |(p,p,...)
+//   --json=PATH            also dump the explain tree as JSON (with timings)
+//   --shards=S             demo shard count (default 2)
+//   --threads=T            worker threads (default 4)
+//   --cache=0|1            result cache on/off (default 1)
+//   --repeat=N             run the query N times, print the last capture
+//                          (default 1: a fresh evaluation with the full
+//                          decision tree; use --repeat=3 to profile a cache
+//                          hit instead — the admission gate stores on the
+//                          second miss, so run 3 is served from cache)
+//   --demo-out=FILE.ics    with --demo: write the demo index as a container
+//                          file and serve THAT through the mapped path, so
+//                          the profile shows exactly what a persisted index
+//                          reports
+//   --codec=NAME           demo index codec (default "Planner")
+//   --domain=N             demo row-space size (default 1<<16)
+//
+// Examples:
+//   explain --demo
+//   explain --demo --demo-out=/tmp/demo.ics --plan='&(0,1,2)' --json=out.json
+//   explain --index=/tmp/demo.ics --plan='|(&(0,2),1)' --cache=0
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchutil/flags.h"
+#include "core/registry.h"
+#include "engine/thread_pool.h"
+#include "obs/explain.h"
+#include "service/plan_text.h"
+#include "service/sharded_index.h"
+#include "storage/index_writer.h"
+#include "storage/mapped_index.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace intcomp;
+
+[[noreturn]] void Die(const std::string& msg) {
+  std::fprintf(stderr, "error: %s\n", msg.c_str());
+  std::exit(1);
+}
+
+// The demo workload spans both codec families on purpose: dense and
+// clustered lists compress best as bitmaps, sparse uniform lists as
+// delta-coded inverted lists, so a Planner-built index mixes codecs and the
+// per-pair strategy audit has real decisions to show.
+std::vector<std::vector<uint32_t>> DemoLists(uint64_t domain, uint64_t seed) {
+  std::vector<std::vector<uint32_t>> lists;
+  lists.push_back(GenerateUniform(domain / 3, domain, seed));  // dense
+  lists.push_back(GenerateUniform(200, domain, seed + 1));     // sparse
+  lists.push_back(GenerateMarkov(domain / 8, domain, 64.0, seed + 2));
+  lists.push_back(GenerateZipf(2000, domain, 1.0, seed + 3));
+  lists.push_back(GenerateUniform(domain / 4, domain, seed + 4));
+  return lists;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+
+  const std::string index_path = flags.GetString("index", "");
+  const bool demo = flags.GetBool("demo", false);
+  if ((index_path.empty()) == (!demo)) {
+    std::fprintf(stderr,
+                 "usage: explain (--index=FILE.ics | --demo) [--plan=TEXT] "
+                 "[--json=PATH]\n       [--shards=S] [--threads=T] "
+                 "[--cache=0|1] [--repeat=N] [--demo-out=FILE.ics]\n");
+    return 2;
+  }
+
+  QueryPlan plan;
+  const std::string plan_text = flags.GetString("plan", "&(0,1)");
+  if (Status st = ParsePlanText(plan_text, &plan); !st.ok()) {
+    Die("bad --plan: " + st.message());
+  }
+
+  // Assemble the snapshot to serve.
+  std::unique_ptr<ShardedIndex> built;
+  std::unique_ptr<storage::MappedIndex> mapped;
+  const IndexSnapshot* snapshot = nullptr;
+  if (demo) {
+    const Codec* codec = FindCodec(flags.GetString("codec", "Planner"));
+    if (codec == nullptr) Die("unknown --codec");
+    const uint64_t domain =
+        static_cast<uint64_t>(flags.GetInt("domain", 1 << 16));
+    const size_t shards = static_cast<size_t>(flags.GetInt("shards", 2));
+    const auto lists = DemoLists(domain, /*seed=*/42);
+    built = std::make_unique<ShardedIndex>(
+        ShardedIndex::Build(*codec, lists, domain, shards));
+    const std::string demo_out = flags.GetString("demo-out", "");
+    if (!demo_out.empty()) {
+      if (Status st = storage::WriteIndexFile(demo_out, *built); !st.ok()) {
+        Die("writing " + demo_out + ": " + st.message());
+      }
+      std::printf("# demo container written to %s\n", demo_out.c_str());
+      auto opened = storage::MappedIndex::Open(demo_out);
+      if (!opened.ok()) Die("reopening " + demo_out + ": " +
+                            opened.status().message());
+      mapped = std::move(opened.value());
+      snapshot = mapped.get();
+    } else {
+      snapshot = built.get();
+    }
+  } else {
+    auto opened = storage::MappedIndex::Open(index_path);
+    if (!opened.ok()) Die("opening " + index_path + ": " +
+                          opened.status().message());
+    mapped = std::move(opened.value());
+    snapshot = mapped.get();
+  }
+
+  ThreadPool pool(static_cast<size_t>(flags.GetInt("threads", 4)));
+  IndexServiceOptions options;
+  options.cache_enabled = flags.GetBool("cache", true);
+  IndexService service(snapshot, &pool, options);
+
+  const int repeat = static_cast<int>(flags.GetInt("repeat", 1));
+  if (repeat < 1) Die("--repeat must be >= 1");
+  obs::QueryExplain explain;
+  std::vector<uint32_t> rows;
+  for (int r = 0; r < repeat; ++r) {
+    Status st = service.Query(plan, &rows, &explain);
+    if (!st.ok()) Die("query failed: " + st.message());
+  }
+
+  std::printf("index:  %s (%zu lists, %zu shards, %zu bytes)\n",
+              std::string(snapshot->CodecSignature()).c_str(),
+              snapshot->NumLists(), snapshot->Router().NumShards(),
+              snapshot->SizeInBytes());
+  std::printf("plan:   %s\n", PlanToText(plan).c_str());
+  std::printf("rows:   %zu\n\n", rows.size());
+  std::fputs(explain.ToString().c_str(), stdout);
+
+  const std::string json_path = flags.GetString("json", "");
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "wb");
+    if (f == nullptr) Die("cannot open " + json_path);
+    const std::string json = explain.ToJson(/*include_timings=*/true);
+    if (std::fwrite(json.data(), 1, json.size(), f) != json.size() ||
+        std::fputc('\n', f) == EOF || std::fclose(f) != 0) {
+      Die("short write to " + json_path);
+    }
+    std::printf("\n# explain JSON written to %s\n", json_path.c_str());
+  }
+  return 0;
+}

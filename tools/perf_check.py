@@ -14,8 +14,11 @@ Subcommands:
       median of every latency field, counters and counts required identical
       across runs (the bench workloads are seeded and deterministic). This
       is how the checked-in baselines under tools/perf_baseline/ are built.
+      Timing-valued counters (planner.cost.residual.*, accumulated ns) are
+      the exception: they merge by median like latencies.
 
   diff BASELINE CURRENT... [--tail-tolerance F] [--calibrate] [--min-ns N]
+                           [--attribute]
       Regression gate against a checked-in baseline. CURRENT may be several
       runs; their per-key medians are compared (median-of-3 is what the CI
       job uses — single-run p99 on a shared runner is scheduler noise).
@@ -37,12 +40,22 @@ Subcommands:
       and current come from different machines (CI vs. the baseline host).
       Keys whose p99 delta is below --min-ns (default 2000 ns) are never
       flagged: at that scale histogram bucket width dominates.
+      With --attribute, a per-stage (per-op) calibrated delta report names
+      which stage moved — printed whenever a gate trips, and also on success
+      so a near-miss can be eyeballed.
+
+Record kinds: "meta", "op_latency", "counter", and "gauge" (point-in-time
+occupancy such as cache bytes/entries/evictions — merged by median, reported,
+never gated). An op name outside KNOWN_OPS is a hard error everywhere, with
+the nearest known op suggested: new instrumentation sites must be registered
+in KNOWN_OPS before the gates can reason about them.
 
 The JSONL schema is produced by MetricsRegistry::ExportJsonl
 (src/obs/metrics.cc); keep the two in sync.
 """
 
 import argparse
+import difflib
 import json
 import statistics
 import sys
@@ -55,6 +68,17 @@ KNOWN_OPS = {"intersect", "union", "decode", "deserialize_checked", "query",
              "planner_build", "planner_query"}
 KERNEL_FIELDS = {"scalar_merge", "simd_merge", "scalar_gallop", "simd_gallop",
                  "scalar_union", "simd_union", "block_probes"}
+
+
+def unknown_op_error(path, lineno, op):
+    """An op name outside KNOWN_OPS is always a hard error: it is either a
+    typo (the nearest known op is suggested) or a new instrumentation site
+    that must be registered here so the gates know about it."""
+    hint = difflib.get_close_matches(op, sorted(KNOWN_OPS), n=1)
+    suggestion = f"; did you mean {hint[0]!r}?" if hint else ""
+    return SystemExit(
+        f"{path}:{lineno}: unknown op {op!r}{suggestion} "
+        "(new ops must be added to KNOWN_OPS in tools/perf_check.py)")
 
 
 def load_jsonl(path):
@@ -84,14 +108,19 @@ class Metrics:
         self.meta = None
         self.latency = {}   # (codec, op) -> record
         self.counters = {}  # name -> value
+        self.gauges = {}    # name -> value (occupancy; reported, never gated)
         for lineno, obj in load_jsonl(path):
             metric = obj.get("metric")
             if metric == "meta":
                 self.meta = obj
             elif metric == "op_latency":
+                if obj["op"] not in KNOWN_OPS:
+                    raise unknown_op_error(path, lineno, obj["op"])
                 self.latency[(obj["codec"], obj["op"])] = obj
             elif metric == "counter":
                 self.counters[obj["name"]] = obj["value"]
+            elif metric == "gauge":
+                self.gauges[obj["name"]] = obj["value"]
             else:
                 raise SystemExit(
                     f"{path}:{lineno}: unknown metric kind {metric!r}")
@@ -119,29 +148,58 @@ class Metrics:
         return float(med) if med > 0 else 1.0
 
 
+def is_timing_counter(name):
+    """Counters whose value is accumulated wall time, not a work count.
+
+    The planner's cost-audit stream (planner.cost.residual.*) sums
+    estimated and measured nanoseconds per strategy; like latency it
+    varies run to run, so it merges by median and is never required
+    identical. Everything else (engine.*, kernel.*) counts deterministic
+    work and must match exactly.
+    """
+    return name.startswith("planner.cost.residual.")
+
+
 def merge_runs(runs):
     """Per-key median of the latency fields across runs of one bench.
 
-    Counts and counters must be identical across runs (seeded workloads);
-    any mismatch is a hard error because it means the runs are not
-    comparable.
+    Counts and (non-timing) counters must be identical across runs
+    (seeded workloads); any mismatch is a hard error because it means
+    the runs are not comparable.
     """
     first = runs[0]
     keys = set(first.latency)
+
+    def work_counters(m):
+        return {k: v for k, v in m.counters.items()
+                if not is_timing_counter(k)}
+
     for m in runs[1:]:
         if set(m.latency) != keys:
             raise SystemExit(f"{m.path}: latency keys differ from "
                              f"{first.path} — runs are not comparable")
-        if m.counters != first.counters:
-            drift = sorted(set(m.counters.items()) ^
-                           set(first.counters.items()))
+        if work_counters(m) != work_counters(first):
+            drift = sorted(set(work_counters(m).items()) ^
+                           set(work_counters(first).items()))
             raise SystemExit(f"{m.path}: counters differ from {first.path} "
                              f"({len(drift)} entries) — nondeterministic "
                              "bench or mixed workloads")
     merged = Metrics.__new__(Metrics)
     merged.path = "+".join(m.path for m in runs)
     merged.meta = first.meta
-    merged.counters = dict(first.counters)
+    merged.counters = work_counters(first)
+    timing_names = sorted(
+        {k for m in runs for k in m.counters if is_timing_counter(k)})
+    for name in timing_names:
+        values = [m.counters[name] for m in runs if name in m.counters]
+        merged.counters[name] = int(statistics.median(values))
+    # Gauges are point-in-time occupancy (cache bytes/entries/evictions):
+    # they may legitimately differ across runs under different eviction
+    # timing, so they merge by median and are never gated.
+    merged.gauges = {}
+    for name in sorted(set().union(*(m.gauges for m in runs))):
+        values = [m.gauges[name] for m in runs if name in m.gauges]
+        merged.gauges[name] = int(statistics.median(values))
     merged.latency = {}
     for key in keys:
         counts = {m.latency[key]["count"] for m in runs}
@@ -187,7 +245,7 @@ def cmd_check(args):
                     fail(path, f"line {lineno}: missing keys {sorted(missing)}")
                     continue
                 if obj["op"] not in KNOWN_OPS:
-                    fail(path, f"line {lineno}: unknown op {obj['op']!r}")
+                    raise unknown_op_error(path, lineno, obj["op"])
                 if obj["count"] <= 0:
                     fail(path, f"line {lineno}: count {obj['count']} <= 0")
                 q = [obj["p50_ns"], obj["p90_ns"], obj["p99_ns"],
@@ -206,6 +264,11 @@ def cmd_check(args):
                     fail(path, f"line {lineno}: malformed counter")
                 elif obj["value"] < 0:
                     fail(path, f"line {lineno}: negative counter")
+            elif metric == "gauge":
+                if "name" not in obj or "value" not in obj:
+                    fail(path, f"line {lineno}: malformed gauge")
+                elif obj["value"] < 0:
+                    fail(path, f"line {lineno}: negative gauge")
             else:
                 fail(path, f"line {lineno}: unknown metric {metric!r}")
         if n_latency == 0:
@@ -228,10 +291,42 @@ def cmd_median(args):
         print(json.dumps({"metric": "counter", "name": name,
                           "value": merged.counters[name]},
                          separators=(",", ":")), file=out)
+    for name in sorted(merged.gauges):
+        print(json.dumps({"metric": "gauge", "name": name,
+                          "value": merged.gauges[name]},
+                         separators=(",", ":")), file=out)
     if out is not sys.stdout:
         out.close()
         print(f"wrote median of {len(args.runs)} runs to {args.output}")
     return 0
+
+
+def attribute_report(base, cur, base_scale, cur_scale):
+    """Name the stage that moved: per-op calibrated p50/p99 deltas, worst
+    first. A tail-gate failure says *that* something regressed; this says
+    *where* — which pipeline stage (op) and which codec carries the shift,
+    so the offending change can be found without re-profiling."""
+    stages = {}  # op -> list of (delta_p50, delta_p99, codec, b50, c50)
+    for key in sorted(set(base.latency) & set(cur.latency)):
+        b, c = base.latency[key], cur.latency[key]
+        b50, c50 = b["p50_ns"] / base_scale, c["p50_ns"] / cur_scale
+        b99, c99 = b["p99_ns"] / base_scale, c["p99_ns"] / cur_scale
+        d50 = c50 / b50 - 1.0 if b50 > 0 else 0.0
+        d99 = c99 / b99 - 1.0 if b99 > 0 else 0.0
+        stages.setdefault(key[1], []).append((d50, d99, key[0], b50, c50))
+    if not stages:
+        return
+    ranked = []
+    for op, rows in stages.items():
+        worst = max(rows, key=lambda r: max(r[0], r[1]))
+        ranked.append((max(worst[0], worst[1]), op, worst))
+    ranked.sort(reverse=True)
+    print("attribution (per-stage calibrated deltas, worst codec shown):")
+    for moved, op, (d50, d99, codec, b50, c50) in ranked:
+        marker = "  <-- largest mover" if (moved, op) == (
+            ranked[0][0], ranked[0][1]) and moved > 0 else ""
+        print(f"  {op:<20} p50 {d50 * 100:+6.1f}%  p99 {d99 * 100:+6.1f}%  "
+              f"({codec}: p50 {b50:.1f} -> {c50:.1f}){marker}")
 
 
 def cmd_diff(args):
@@ -291,12 +386,17 @@ def cmd_diff(args):
         print(f"note: scalar/simd kernel split differs on {len(drift)} "
               "counters (not gated; host SIMD support may differ)")
 
+    if args.attribute and failures:
+        attribute_report(base, cur, base_scale, cur_scale)
+
     if failures == 0:
         n = len(base_keys & cur_keys)
         mode = "calibrated" if args.calibrate else "absolute"
         print(f"ok: {n} latency keys within {args.tail_tolerance * 100:.0f}% "
               f"({mode} p90+p99, median of {len(args.current)} runs), "
               "counters consistent")
+        if args.attribute:
+            attribute_report(base, cur, base_scale, cur_scale)
     return 1 if failures else 0
 
 
@@ -323,6 +423,10 @@ def main():
                              "(cross-machine comparisons)")
     p_diff.add_argument("--min-ns", type=int, default=2000,
                         help="ignore p99 deltas below this many ns")
+    p_diff.add_argument("--attribute", action="store_true",
+                        help="print a per-stage delta report naming the op "
+                             "that moved (always on failure; also on success "
+                             "for eyeballing)")
     p_diff.set_defaults(func=cmd_diff)
 
     args = parser.parse_args()
