@@ -1,0 +1,342 @@
+// Open-loop load generator for the TCP query front end (DESIGN.md §5.14).
+//
+// Replays a zipf-popular stream of plan-text queries against a self-hosted
+// QueryServer over loopback, with OPEN-LOOP arrivals: request send times
+// are drawn from a Poisson process at the target qps and fixed BEFORE the
+// run, so a slow server cannot slow the arrival rate down. Per-request
+// latency is measured from the request's SCHEDULED arrival to its
+// completion — a sender that falls behind schedule charges the backlog to
+// the requests that suffered it. Closed-loop clients (send, wait, send)
+// hide exactly this coordinated-omission tail, which is the knee the SLO
+// table in EXPERIMENTS.md exists to show.
+//
+//   load_gen --codec=Roaring --wire-codec=VB --size=1000000 --lists=48
+//     --queries=64 --popularity-skew=1.0 --conns=8 --ops=4000
+//     --qps=2000,4000,8000,16000,32000 [--cache] [--deadline-ms=N]
+//     [--metrics-out=PATH]
+//
+// Output: one row per qps step — target vs achieved qps, outcome counts
+// (ok / overloaded / deadline), and client-observed p50/p90/p99/p999.
+//
+// The result cache is DISABLED by default (--cache opts back in): the CI
+// perf gate diffs the exported metrics against tools/perf_baseline/
+// load_gen.jsonl, and its exact-match gates (sample counts, kernel totals)
+// need every request to take the full evaluation path regardless of plan
+// popularity. The server records one net_request latency sample per
+// admitted request, so the artifact carries the server-side tail next to
+// the engine.* evaluation metrics; the gate config keeps qps below the
+// shedding point so sample counts stay exact.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/prng.h"
+#include "engine/thread_pool.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "obs/histogram.h"
+#include "service/plan_text.h"
+#include "service/sharded_index.h"
+#include "workload/synthetic.h"
+
+namespace intcomp {
+namespace {
+
+// Random predicate plans over list ids (Eq / IN / range / AND-of-ORs),
+// rendered to the wire grammar — the same plan shapes service_scale sweeps.
+std::vector<std::string> MakePlanTexts(size_t count, size_t lists, Prng* rng) {
+  std::vector<std::string> plans;
+  plans.reserve(count);
+  const auto leaf = [&] { return QueryPlan::Leaf(rng->NextBounded(lists)); };
+  const auto some_or = [&](size_t max_terms) {
+    std::vector<QueryPlan> kids;
+    const size_t terms = 1 + rng->NextBounded(max_terms);
+    for (size_t i = 0; i < terms; ++i) kids.push_back(leaf());
+    return kids.size() == 1 ? kids[0] : QueryPlan::Or(std::move(kids));
+  };
+  for (size_t q = 0; q < count; ++q) {
+    QueryPlan plan;
+    switch (rng->NextBounded(4)) {
+      case 0:
+        plan = leaf();
+        break;
+      case 1:
+        plan = some_or(4);
+        break;
+      case 2: {
+        const size_t lo = rng->NextBounded(lists);
+        const size_t hi = std::min<size_t>(lists - 1, lo + rng->NextBounded(4));
+        std::vector<QueryPlan> kids;
+        for (size_t c = lo; c <= hi; ++c) kids.push_back(QueryPlan::Leaf(c));
+        plan = kids.size() == 1 ? kids[0] : QueryPlan::Or(std::move(kids));
+        break;
+      }
+      default:
+        plan = QueryPlan::And({some_or(3), some_or(3)});
+    }
+    plans.push_back(PlanToText(plan));
+  }
+  return plans;
+}
+
+// Zipf sampler over plan ranks: P(rank r) ∝ 1/(r+1)^skew.
+class ZipfPicker {
+ public:
+  ZipfPicker(size_t n, double skew) : cdf_(n) {
+    double total = 0;
+    for (size_t r = 0; r < n; ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r + 1), skew);
+      cdf_[r] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+  size_t Pick(Prng* rng) const {
+    const double u = rng->NextDouble();
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+struct StepResult {
+  uint64_t ok = 0, overloaded = 0, deadline = 0, other = 0;
+  double achieved_qps = 0;
+  uint64_t p50 = 0, p90 = 0, p99 = 0, p999 = 0;
+};
+
+std::vector<uint64_t> ParseQpsList(const std::string& csv) {
+  std::vector<uint64_t> out;
+  size_t pos = 0;
+  while (pos <= csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    const uint64_t v =
+        std::strtoull(csv.substr(pos, comma - pos).c_str(), nullptr, 10);
+    if (v == 0) {
+      std::fprintf(stderr, "bad --qps entry in '%s'\n", csv.c_str());
+      std::exit(2);
+    }
+    out.push_back(v);
+    pos = comma + 1;
+  }
+  return out;
+}
+
+// One open-loop step: `ops` requests at Poisson arrivals averaging `qps`,
+// spread over `conns` connections. The (request index -> plan, arrival
+// time) schedule is fully precomputed from the seed, so two runs of the
+// same flags issue byte-identical request streams in the same order.
+StepResult RunStep(const std::string& host, uint16_t port, uint64_t qps,
+                   size_t ops, size_t conns,
+                   const std::vector<std::string>& plans,
+                   const ZipfPicker& zipf, uint64_t deadline_ns,
+                   uint64_t seed) {
+  Prng rng(seed);
+  std::vector<uint64_t> arrival_ns(ops);
+  std::vector<uint32_t> plan_of(ops);
+  double t = 0;
+  for (size_t i = 0; i < ops; ++i) {
+    // Exponential inter-arrival with mean 1/qps seconds.
+    const double u = rng.NextDouble();
+    t += -std::log(1.0 - u) / static_cast<double>(qps);
+    arrival_ns[i] = static_cast<uint64_t>(t * 1e9);
+    plan_of[i] = static_cast<uint32_t>(zipf.Pick(&rng));
+  }
+
+  obs::LatencyHistogram latency;
+  StepResult result;
+  std::atomic<size_t> next_op{0};
+  std::atomic<uint64_t> ok{0}, overloaded{0}, deadline{0}, other{0};
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (size_t c = 0; c < conns; ++c) {
+    workers.emplace_back([&] {
+      net::QueryClient client;
+      if (!client.Connect(host, port).ok()) {
+        other.fetch_add(1);
+        return;
+      }
+      std::vector<uint32_t> rows;
+      while (true) {
+        const size_t i = next_op.fetch_add(1, std::memory_order_relaxed);
+        if (i >= ops) break;
+        const auto scheduled =
+            start + std::chrono::nanoseconds(arrival_ns[i]);
+        std::this_thread::sleep_until(scheduled);  // no-op when behind
+        const Status st =
+            client.Query(plans[plan_of[i]], deadline_ns, &rows);
+        const auto done = std::chrono::steady_clock::now();
+        // Open-loop latency: completion minus SCHEDULED arrival. A late
+        // send (all conns busy = backlog) counts against latency.
+        const uint64_t ns = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(done -
+                                                                 scheduled)
+                .count());
+        if (st.ok()) {
+          ok.fetch_add(1);
+          latency.Record(ns);
+        } else if (st.code() == StatusCode::kOverloaded) {
+          overloaded.fetch_add(1);
+        } else if (st.code() == StatusCode::kDeadlineExceeded) {
+          deadline.fetch_add(1);
+        } else {
+          other.fetch_add(1);
+          if (!client.Connected() && !client.Connect(host, port).ok()) break;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  result.ok = ok.load();
+  result.overloaded = overloaded.load();
+  result.deadline = deadline.load();
+  result.other = other.load();
+  result.achieved_qps =
+      elapsed_s > 0 ? static_cast<double>(ops) / elapsed_s : 0;
+  result.p50 = latency.P50();
+  result.p90 = latency.P90();
+  result.p99 = latency.P99();
+  result.p999 = latency.P999();
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  BenchMetrics metrics("load_gen", flags);
+  ApplyKernelFlag(flags);
+
+  const std::string codec_name = flags.GetString("codec", "Roaring");
+  const Codec* codec = FindCodec(codec_name);
+  if (codec == nullptr) {
+    std::fprintf(stderr, "unknown --codec=%s\n", codec_name.c_str());
+    return 2;
+  }
+  const uint64_t num_rows =
+      static_cast<uint64_t>(flags.GetInt("size", 1000000));
+  const size_t num_lists = static_cast<size_t>(flags.GetInt("lists", 48));
+  const size_t num_queries = static_cast<size_t>(flags.GetInt("queries", 64));
+  const size_t shards = static_cast<size_t>(flags.GetInt("shards", 4));
+  const size_t threads = static_cast<size_t>(flags.GetInt("threads", 4));
+  const size_t conns = static_cast<size_t>(flags.GetInt("conns", 8));
+  const size_t ops = static_cast<size_t>(flags.GetInt("ops", 4000));
+  const double skew = flags.GetDouble("popularity-skew", 1.0);
+  const uint64_t deadline_ns =
+      static_cast<uint64_t>(flags.GetInt("deadline-ms", 0)) * 1000000ull;
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 77));
+  const bool cache = flags.GetBool("cache", false);
+  const std::vector<uint64_t> qps_list =
+      ParseQpsList(flags.GetString("qps", "2000,4000,8000,16000,32000"));
+
+  // Index: zipf-drawn posting lists of mixed density over [0, num_rows).
+  Prng rng(seed);
+  std::vector<std::vector<uint32_t>> lists;
+  lists.reserve(num_lists);
+  for (size_t l = 0; l < num_lists; ++l) {
+    const size_t n =
+        1 + static_cast<size_t>(
+                static_cast<double>(num_rows) /
+                (3.0 + static_cast<double>(rng.NextBounded(40))));
+    switch (l % 3) {
+      case 0:
+        lists.push_back(GenerateUniform(n, num_rows, seed + 100 + l));
+        break;
+      case 1:
+        lists.push_back(
+            GenerateZipf(n, num_rows, kPaperZipfSkew, seed + 100 + l));
+        break;
+      default:
+        lists.push_back(GenerateMarkov(n, num_rows, kPaperMarkovClustering,
+                                       seed + 100 + l));
+    }
+  }
+
+  ThreadPool pool(threads);
+  const ShardedIndex index = ShardedIndex::Build(*codec, lists, num_rows, shards);
+  IndexServiceOptions service_options;
+  service_options.cache_enabled = cache;
+  IndexService service(&index, &pool, service_options);
+
+  net::ServerOptions server_options;
+  server_options.wire_codec = flags.GetString("wire-codec", "VB");
+  server_options.max_in_flight =
+      static_cast<size_t>(flags.GetInt("max-in-flight", 256));
+  net::QueryServer server(&service, server_options);
+  {
+    const Status st = server.Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  const std::vector<std::string> plans =
+      MakePlanTexts(num_queries, num_lists, &rng);
+  const ZipfPicker zipf(num_queries, skew);
+
+  std::printf(
+      "# load_gen codec=%s wire=%s rows=%llu lists=%zu plans=%zu shards=%zu "
+      "pool=%zu conns=%zu ops/step=%zu skew=%.2f cache=%s\n",
+      codec_name.c_str(), server_options.wire_codec.c_str(),
+      static_cast<unsigned long long>(num_rows), num_lists, plans.size(),
+      shards, threads, conns, ops, skew, cache ? "on" : "off");
+  std::printf("%10s %10s %8s %6s %6s %9s %9s %9s %9s\n", "qps_target",
+              "qps_ach", "ok", "shed", "dl", "p50_us", "p90_us", "p99_us",
+              "p999_us");
+
+  // Warmup: touch every plan once so first-decode effects (page faults,
+  // lazy materialization) don't land in the first step's tail.
+  {
+    net::QueryClient warm;
+    if (warm.Connect("127.0.0.1", server.port()).ok()) {
+      std::vector<uint32_t> rows;
+      for (const std::string& p : plans) (void)warm.Query(p, 0, &rows);
+    }
+  }
+
+  for (size_t s = 0; s < qps_list.size(); ++s) {
+    const StepResult r =
+        RunStep("127.0.0.1", server.port(), qps_list[s], ops, conns, plans,
+                zipf, deadline_ns, seed + 1000 + s);
+    std::printf(
+        "%10llu %10.0f %8llu %6llu %6llu %9.1f %9.1f %9.1f %9.1f\n",
+        static_cast<unsigned long long>(qps_list[s]), r.achieved_qps,
+        static_cast<unsigned long long>(r.ok),
+        static_cast<unsigned long long>(r.overloaded),
+        static_cast<unsigned long long>(r.deadline),
+        static_cast<double>(r.p50) / 1e3, static_cast<double>(r.p90) / 1e3,
+        static_cast<double>(r.p99) / 1e3, static_cast<double>(r.p999) / 1e3);
+    std::fflush(stdout);
+  }
+
+  server.Stop();
+  return 0;
+}
+
+}  // namespace
+}  // namespace intcomp
+
+int main(int argc, char** argv) { return intcomp::Main(argc, argv); }

@@ -27,6 +27,7 @@ enum class StatusCode : uint8_t {
   kCancelled,          // cancellation token tripped
   kInternal,           // invariant violation; indicates a bug
   kUnavailable,        // transient I/O or resource failure; retry may succeed
+  kOverloaded,         // admission control shed the request; retry later
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -38,6 +39,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kCancelled: return "CANCELLED";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kOverloaded: return "OVERLOADED";
   }
   return "UNKNOWN";
 }
@@ -66,6 +68,9 @@ class Status {
   }
   static Status Unavailable(std::string_view m) {
     return Status(StatusCode::kUnavailable, m);
+  }
+  static Status Overloaded(std::string_view m) {
+    return Status(StatusCode::kOverloaded, m);
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

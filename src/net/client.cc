@@ -1,0 +1,119 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+
+#include <utility>
+
+#include "core/registry.h"
+
+namespace intcomp {
+namespace net {
+
+Status QueryClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  decoder_ = FrameDecoder(max_payload_);
+
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.ok()) return ErrnoStatus("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad server address: " + host);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return ErrnoStatus("connect");
+
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = std::move(fd);
+  return Status::Ok();
+}
+
+Status QueryClient::SendRaw(const uint8_t* data, size_t n) {
+  if (!fd_.ok()) return Status::Unavailable("client not connected");
+  return WriteAll(fd_.get(), data, n);
+}
+
+Status QueryClient::ReadResponse(QueryResponse* resp) {
+  if (!fd_.ok()) return Status::Unavailable("client not connected");
+  std::vector<uint8_t> payload;
+  uint8_t buf[64 * 1024];
+  while (true) {
+    Status err = Status::Ok();
+    const FrameDecoder::Result r = decoder_.Next(&payload, &err);
+    if (r == FrameDecoder::Result::kBad) {
+      Close();  // framing lost byte alignment; the connection is dead
+      return err;
+    }
+    if (r == FrameDecoder::Result::kFrame) {
+      return ParseResponsePayload(payload, resp);
+    }
+    size_t n = 0;
+    const Status rs = ReadSome(fd_.get(), buf, sizeof(buf), &n);
+    if (!rs.ok()) return rs;
+    if (n == 0) {
+      Close();
+      return Status::Unavailable("server closed connection");
+    }
+    decoder_.Feed(buf, n);
+  }
+}
+
+Status QueryClient::RoundTrip(const std::vector<uint8_t>& frame,
+                              QueryResponse* resp) {
+  Status st = SendRaw(frame.data(), frame.size());
+  if (!st.ok()) return st;
+  return ReadResponse(resp);
+}
+
+Status QueryClient::Query(std::string_view plan_text, uint64_t deadline_ns,
+                          std::vector<uint32_t>* rows) {
+  rows->clear();
+  QueryRequest req;
+  req.type = MsgType::kQuery;
+  req.deadline_ns = deadline_ns;
+  req.plan_text.assign(plan_text);
+  std::vector<uint8_t> frame;
+  EncodeRequestFrame(req, &frame);
+
+  QueryResponse resp;
+  Status st = RoundTrip(frame, &resp);
+  if (!st.ok()) return st;
+  if (resp.code != StatusCode::kOk) return Status(resp.code, resp.message);
+  if (!resp.has_rows) return Status::Corrupt("OK reply without rows");
+
+  const Codec* codec = FindCodec(resp.codec_name);
+  if (codec == nullptr) {
+    return Status::Corrupt("reply uses unknown codec: " + resp.codec_name);
+  }
+  // The image came over the network: it crosses the checked trust boundary
+  // before any decode touches it.
+  auto set = codec->DeserializeChecked(resp.image, resp.domain);
+  if (!set.ok()) return set.status();
+  codec->Decode(**set, rows);
+  return Status::Ok();
+}
+
+Status QueryClient::Ping() {
+  QueryRequest req;
+  req.type = MsgType::kPing;
+  std::vector<uint8_t> frame;
+  EncodeRequestFrame(req, &frame);
+  QueryResponse resp;
+  Status st = RoundTrip(frame, &resp);
+  if (!st.ok()) return st;
+  if (resp.code != StatusCode::kOk) return Status(resp.code, resp.message);
+  return Status::Ok();
+}
+
+}  // namespace net
+}  // namespace intcomp

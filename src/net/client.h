@@ -1,0 +1,71 @@
+// QueryClient — blocking TCP client for the QueryServer wire protocol.
+//
+// One client owns one connection and is NOT thread-safe (the load generator
+// opens one client per concurrent stream, which also matches how the server
+// accounts connections). Query() sends a plan in the service/plan_text
+// grammar, waits for the reply frame, and — on an OK reply — decodes the
+// row image through the wire codec's DeserializeChecked, the same trust
+// boundary every on-disk payload crosses: a byzantine server can fail the
+// query but cannot make the client read out of bounds.
+//
+// Status mapping: server-reported errors come back with their original
+// StatusCode (kInvalidArgument, kDeadlineExceeded, kOverloaded, ...);
+// transport failures (connect refused, peer reset, short read) are
+// kUnavailable; a malformed reply frame is kCorruptData.
+
+#ifndef INTCOMP_NET_CLIENT_H_
+#define INTCOMP_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "net/socket_io.h"
+#include "net/wire.h"
+
+namespace intcomp {
+namespace net {
+
+class QueryClient {
+ public:
+  explicit QueryClient(size_t max_payload_bytes = kDefaultMaxPayloadBytes)
+      : max_payload_(max_payload_bytes) {}
+
+  // Connects to host:port. kUnavailable on failure. Reconnecting an already
+  // connected client closes the old connection first.
+  Status Connect(const std::string& host, uint16_t port);
+
+  bool Connected() const { return fd_.ok(); }
+  void Close() { fd_.Reset(); }
+
+  // Round-trips one query. `deadline_ns` is the relative per-request
+  // deadline (0 = server default). On OK, *rows holds the sorted global row
+  // ids. On any error *rows is empty.
+  Status Query(std::string_view plan_text, uint64_t deadline_ns,
+               std::vector<uint32_t>* rows);
+
+  // Liveness probe: one kPing round trip.
+  Status Ping();
+
+  // Raw-stream access for protocol tests: send arbitrary bytes (fuzzers
+  // splice corrupted frames in), read one reply frame off the wire.
+  Status SendRaw(const uint8_t* data, size_t n);
+  Status ReadResponse(QueryResponse* resp);
+
+  int raw_fd() const { return fd_.get(); }
+
+ private:
+  // Writes `frame`, then blocks for the next reply frame.
+  Status RoundTrip(const std::vector<uint8_t>& frame, QueryResponse* resp);
+
+  size_t max_payload_;
+  ScopedFd fd_;
+  FrameDecoder decoder_{kDefaultMaxPayloadBytes};
+};
+
+}  // namespace net
+}  // namespace intcomp
+
+#endif  // INTCOMP_NET_CLIENT_H_

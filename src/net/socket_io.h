@@ -1,0 +1,108 @@
+// Small POSIX TCP helpers shared by the server, the client, and the
+// protocol tests. Everything reports Status instead of errno so callers
+// stay on the repo's error-propagation idiom; writes use MSG_NOSIGNAL so a
+// peer that closed mid-response surfaces as an error return, never SIGPIPE.
+
+#ifndef INTCOMP_NET_SOCKET_IO_H_
+#define INTCOMP_NET_SOCKET_IO_H_
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace intcomp {
+namespace net {
+
+// Owns a file descriptor; closes on destruction. -1 = empty.
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() { Reset(); }
+
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.Release()) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+
+  int get() const { return fd_; }
+  bool ok() const { return fd_ >= 0; }
+  int Release() { return std::exchange(fd_, -1); }
+  void Reset(int fd = -1) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+inline Status ErrnoStatus(const char* what) {
+  return Status::Unavailable(std::string(what) + ": " +
+                             std::strerror(errno));
+}
+
+// Blocking receive timeout; 0 disables the timeout.
+inline Status SetRecvTimeoutMs(int fd, uint64_t ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return ErrnoStatus("setsockopt(SO_RCVTIMEO)");
+  }
+  return Status::Ok();
+}
+
+// Writes all of [data, data+n); EINTR-restarted, SIGPIPE-suppressed.
+inline Status WriteAll(int fd, const uint8_t* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("send");
+    }
+    off += static_cast<size_t>(w);
+  }
+  return Status::Ok();
+}
+
+// One blocking read. *n receives the byte count; 0 with OK status means the
+// peer closed cleanly. A receive timeout surfaces as kDeadlineExceeded so
+// the server can distinguish a stalled client from a network failure.
+inline Status ReadSome(int fd, uint8_t* buf, size_t cap, size_t* n) {
+  while (true) {
+    const ssize_t r = ::recv(fd, buf, cap, 0);
+    if (r >= 0) {
+      *n = static_cast<size_t>(r);
+      return Status::Ok();
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      *n = 0;
+      return Status::DeadlineExceeded("socket receive timeout");
+    }
+    *n = 0;
+    return ErrnoStatus("recv");
+  }
+}
+
+}  // namespace net
+}  // namespace intcomp
+
+#endif  // INTCOMP_NET_SOCKET_IO_H_

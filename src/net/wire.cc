@@ -1,0 +1,217 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace intcomp {
+namespace net {
+
+namespace {
+
+void PutU8(uint8_t v, std::vector<uint8_t>* out) { out->push_back(v); }
+
+void PutU32(uint32_t v, std::vector<uint8_t>* out) {
+  const size_t n = out->size();
+  out->resize(n + 4);
+  std::memcpy(out->data() + n, &v, 4);
+}
+
+void PutU64(uint64_t v, std::vector<uint8_t>* out) {
+  const size_t n = out->size();
+  out->resize(n + 8);
+  std::memcpy(out->data() + n, &v, 8);
+}
+
+void PutBytes(std::span<const uint8_t> bytes, std::vector<uint8_t>* out) {
+  out->insert(out->end(), bytes.begin(), bytes.end());
+}
+
+// A string whose length must fit the given prefix width; callers bound the
+// inputs (plan caps, codec names) well below these limits.
+void PutString8(std::string_view s, std::vector<uint8_t>* out) {
+  PutU8(static_cast<uint8_t>(s.size()), out);
+  PutBytes({reinterpret_cast<const uint8_t*>(s.data()), s.size()}, out);
+}
+
+void PutString32(std::string_view s, std::vector<uint8_t>* out) {
+  PutU32(static_cast<uint32_t>(s.size()), out);
+  PutBytes({reinterpret_cast<const uint8_t*>(s.data()), s.size()}, out);
+}
+
+bool ValidStatusCode(uint8_t v) {
+  return v <= static_cast<uint8_t>(StatusCode::kOverloaded);
+}
+
+}  // namespace
+
+void AppendFrame(std::span<const uint8_t> payload, std::vector<uint8_t>* out) {
+  PutU32(kFrameMagic, out);
+  PutU32(static_cast<uint32_t>(payload.size()), out);
+  PutU32(Crc32Of(payload), out);
+  PutBytes(payload, out);
+}
+
+void EncodeRequestFrame(const QueryRequest& req, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  PutU8(static_cast<uint8_t>(req.type), &payload);
+  if (req.type == MsgType::kQuery) {
+    PutU64(req.deadline_ns, &payload);
+    PutString32(req.plan_text, &payload);
+  }
+  AppendFrame(payload, out);
+}
+
+void EncodeResponseFrame(const QueryResponse& resp, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  PutU8(static_cast<uint8_t>(MsgType::kReply), &payload);
+  PutU8(static_cast<uint8_t>(resp.code), &payload);
+  PutString32(resp.message, &payload);
+  PutU8(resp.has_rows ? 1 : 0, &payload);
+  if (resp.has_rows) {
+    PutString8(resp.codec_name, &payload);
+    PutU64(resp.domain, &payload);
+    PutU32(static_cast<uint32_t>(resp.image.size()), &payload);
+    PutBytes(resp.image, &payload);
+  }
+  AppendFrame(payload, out);
+}
+
+Status ParseRequestPayload(std::span<const uint8_t> payload,
+                           size_t max_plan_bytes, QueryRequest* out) {
+  CheckedByteReader r(payload.data(), payload.size());
+  uint8_t type = 0;
+  if (!r.GetU8(&type)) return Status::Corrupt("request truncated: no type");
+  if (type == static_cast<uint8_t>(MsgType::kPing)) {
+    if (!r.AtEnd()) return Status::Corrupt("trailing bytes after ping");
+    out->type = MsgType::kPing;
+    out->deadline_ns = 0;
+    out->plan_text.clear();
+    return Status::Ok();
+  }
+  if (type != static_cast<uint8_t>(MsgType::kQuery)) {
+    return Status::Corrupt("unknown request type");
+  }
+  uint64_t deadline_ns = 0;
+  uint32_t plan_len = 0;
+  if (!r.GetU64(&deadline_ns) || !r.GetU32(&plan_len)) {
+    return Status::Corrupt("request truncated: header");
+  }
+  // Declared-length check against what is actually present AND the cap:
+  // plan_len is attacker-controlled (0 and 2^32-1 are both legal encodings
+  // of hostility here).
+  if (plan_len > max_plan_bytes) {
+    return Status::Corrupt("declared plan length exceeds cap");
+  }
+  if (plan_len > r.Remaining()) {
+    return Status::Corrupt("declared plan length exceeds payload");
+  }
+  out->plan_text.resize(plan_len);
+  if (plan_len > 0 &&
+      !r.GetBytes(reinterpret_cast<uint8_t*>(out->plan_text.data()),
+                  plan_len)) {
+    return Status::Corrupt("request truncated: plan");
+  }
+  if (!r.AtEnd()) return Status::Corrupt("trailing bytes after request");
+  out->type = MsgType::kQuery;
+  out->deadline_ns = deadline_ns;
+  return Status::Ok();
+}
+
+Status ParseResponsePayload(std::span<const uint8_t> payload,
+                            QueryResponse* out) {
+  CheckedByteReader r(payload.data(), payload.size());
+  uint8_t type = 0, code = 0, has_rows = 0;
+  uint32_t msg_len = 0;
+  if (!r.GetU8(&type)) return Status::Corrupt("response truncated: no type");
+  if (type != static_cast<uint8_t>(MsgType::kReply)) {
+    return Status::Corrupt("unknown response type");
+  }
+  if (!r.GetU8(&code) || !ValidStatusCode(code)) {
+    return Status::Corrupt("bad response status code");
+  }
+  if (!r.GetU32(&msg_len) || msg_len > r.Remaining()) {
+    return Status::Corrupt("declared message length exceeds payload");
+  }
+  out->message.resize(msg_len);
+  if (msg_len > 0 &&
+      !r.GetBytes(reinterpret_cast<uint8_t*>(out->message.data()), msg_len)) {
+    return Status::Corrupt("response truncated: message");
+  }
+  if (!r.GetU8(&has_rows) || has_rows > 1) {
+    return Status::Corrupt("bad has_rows flag");
+  }
+  out->code = static_cast<StatusCode>(code);
+  out->has_rows = has_rows == 1;
+  out->codec_name.clear();
+  out->domain = 0;
+  out->image.clear();
+  if (!out->has_rows) {
+    if (!r.AtEnd()) return Status::Corrupt("trailing bytes after response");
+    return Status::Ok();
+  }
+  uint8_t codec_len = 0;
+  if (!r.GetU8(&codec_len) || codec_len > r.Remaining()) {
+    return Status::Corrupt("declared codec name exceeds payload");
+  }
+  out->codec_name.resize(codec_len);
+  if (codec_len > 0 &&
+      !r.GetBytes(reinterpret_cast<uint8_t*>(out->codec_name.data()),
+                  codec_len)) {
+    return Status::Corrupt("response truncated: codec name");
+  }
+  uint32_t image_len = 0;
+  if (!r.GetU64(&out->domain) || !r.GetU32(&image_len) ||
+      image_len > r.Remaining()) {
+    return Status::Corrupt("declared image length exceeds payload");
+  }
+  out->image.resize(image_len);
+  if (image_len > 0 && !r.GetBytes(out->image.data(), image_len)) {
+    return Status::Corrupt("response truncated: image");
+  }
+  if (!r.AtEnd()) return Status::Corrupt("trailing bytes after response");
+  return Status::Ok();
+}
+
+FrameDecoder::Result FrameDecoder::Next(std::vector<uint8_t>* payload,
+                                        Status* error) {
+  if (bad_) {
+    *error = bad_status_;
+    return Result::kBad;
+  }
+  if (buf_.size() < kFrameHeaderBytes) return Result::kNeedMore;
+  uint8_t header[kFrameHeaderBytes];
+  for (size_t i = 0; i < kFrameHeaderBytes; ++i) header[i] = buf_[i];
+  uint32_t magic = 0, len = 0, crc = 0;
+  std::memcpy(&magic, header, 4);
+  std::memcpy(&len, header + 4, 4);
+  std::memcpy(&crc, header + 8, 4);
+  if (magic != kFrameMagic) {
+    bad_ = true;
+    bad_status_ = Status::Corrupt("bad frame magic");
+  } else if (len > max_payload_) {
+    // Reject on the declared length alone: never buffer toward an
+    // attacker-chosen 2^32-1.
+    bad_ = true;
+    bad_status_ = Status::Corrupt("declared frame length exceeds cap");
+  }
+  if (bad_) {
+    *error = bad_status_;
+    return Result::kBad;
+  }
+  if (buf_.size() < kFrameHeaderBytes + len) return Result::kNeedMore;
+  payload->assign(buf_.begin() + kFrameHeaderBytes,
+                  buf_.begin() + kFrameHeaderBytes + len);
+  if (Crc32Of(*payload) != crc) {
+    payload->clear();
+    bad_ = true;
+    bad_status_ = Status::Corrupt("frame checksum mismatch");
+    *error = bad_status_;
+    return Result::kBad;
+  }
+  buf_.erase(buf_.begin(), buf_.begin() + kFrameHeaderBytes + len);
+  return Result::kFrame;
+}
+
+}  // namespace net
+}  // namespace intcomp

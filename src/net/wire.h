@@ -1,0 +1,141 @@
+// Length-prefixed, CRC-framed wire protocol for the query front end
+// (DESIGN.md §5.14).
+//
+// Every message travels in one frame:
+//
+//   [u32 magic "ICP1"] [u32 payload_len] [u32 crc32(payload)] [payload]
+//
+// all little-endian. The declared length is the trust boundary: a decoder
+// rejects frames above its payload cap *before* buffering (an adversarial
+// length of 2^32-1 costs 12 bytes of input, not 4 GiB of memory), and a CRC
+// mismatch rejects the frame without ever handing the payload to a parser.
+// Framing errors (bad magic, oversized length, CRC mismatch) are not
+// recoverable — the stream has lost byte alignment — so the server replies
+// with one error frame and closes; payload-level errors (malformed request
+// inside a valid frame) keep the connection alive.
+//
+// Request payload:
+//   [u8 type]                        kQuery=1, kPing=2
+//   kQuery only:
+//     [u64 deadline_ns]              relative deadline; 0 = server default
+//     [u32 plan_len] [plan bytes]    service/plan_text grammar — the same
+//                                    grammar the result-cache key and the
+//                                    EXPLAIN tool use, now depth-capped
+//                                    because it is untrusted input
+//
+// Response payload:
+//   [u8 type = kReply]
+//   [u8 status_code]                 StatusCode numeric value
+//   [u32 msg_len] [msg bytes]        empty when OK
+//   [u8 has_rows]                    1 on successful kQuery replies
+//   has_rows only:
+//     [u8 codec_len] [codec name]    registry name of the row encoding
+//     [u64 domain]                   row-id domain the image was encoded for
+//     [u32 image_len] [image]        Codec::Serialize image of the result —
+//                                    decoded client-side through the same
+//                                    DeserializeChecked trust boundary every
+//                                    on-disk payload already crosses
+//
+// Every parser here is a pure function over bytes (CheckedByteReader, exact
+// length required) so the fuzz layer can drive it without sockets.
+
+#ifndef INTCOMP_NET_WIRE_H_
+#define INTCOMP_NET_WIRE_H_
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace intcomp {
+namespace net {
+
+inline constexpr uint32_t kFrameMagic = 0x31504349;  // "ICP1" little-endian
+inline constexpr size_t kFrameHeaderBytes = 12;
+// Default payload cap. Covers any plan the grammar accepts at full depth and
+// result images for multi-million-row answers; both server and client take
+// theirs from options so tests can shrink it.
+inline constexpr size_t kDefaultMaxPayloadBytes = 4u << 20;
+
+enum class MsgType : uint8_t {
+  kQuery = 1,
+  kPing = 2,
+  kReply = 3,
+};
+
+struct QueryRequest {
+  MsgType type = MsgType::kQuery;
+  uint64_t deadline_ns = 0;  // relative; 0 = use the server default
+  std::string plan_text;     // empty for kPing
+};
+
+struct QueryResponse {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  bool has_rows = false;
+  std::string codec_name;       // row-image encoding (registry name)
+  uint64_t domain = 0;          // row-id domain of the image
+  std::vector<uint8_t> image;   // Codec::Serialize bytes of the result set
+};
+
+// Appends one complete frame (header + payload) to *out.
+void AppendFrame(std::span<const uint8_t> payload, std::vector<uint8_t>* out);
+
+// Serializes a request into a ready-to-send frame appended to *out.
+void EncodeRequestFrame(const QueryRequest& req, std::vector<uint8_t>* out);
+
+// Serializes a response into a ready-to-send frame appended to *out. OK
+// query replies carry the row image; error replies and ping replies don't.
+void EncodeResponseFrame(const QueryResponse& resp, std::vector<uint8_t>* out);
+
+// Parses a frame payload into a request. Exact-length: trailing bytes after
+// a well-formed request are an error (they would desynchronize a framed
+// stream that trusted them). Returns kCorruptData with a reason on any
+// malformed input; plan text longer than `max_plan_bytes` is rejected here
+// so the plan parser never sees unbounded input.
+Status ParseRequestPayload(std::span<const uint8_t> payload,
+                           size_t max_plan_bytes, QueryRequest* out);
+
+// Parses a frame payload into a response (structural only — the row image
+// is NOT decoded here; the client runs it through DeserializeChecked).
+Status ParseResponsePayload(std::span<const uint8_t> payload,
+                            QueryResponse* out);
+
+// Incremental frame decoder over an arbitrary byte-chunked stream (the
+// receive path of both server and client). Feed() appends raw bytes; Next()
+// yields complete validated payloads in order.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_payload_bytes = kDefaultMaxPayloadBytes)
+      : max_payload_(max_payload_bytes) {}
+
+  void Feed(const uint8_t* data, size_t n) {
+    buf_.insert(buf_.end(), data, data + n);
+  }
+
+  enum class Result {
+    kFrame,     // *payload holds the next frame's validated payload
+    kNeedMore,  // no complete frame buffered yet
+    kBad,       // stream unrecoverable; *error says why
+  };
+
+  // On kBad the decoder stays bad forever: framing errors lose byte
+  // alignment, so the only sound continuation is closing the connection.
+  Result Next(std::vector<uint8_t>* payload, Status* error);
+
+  size_t BufferedBytes() const { return buf_.size(); }
+
+ private:
+  size_t max_payload_;
+  std::deque<uint8_t> buf_;
+  bool bad_ = false;
+  Status bad_status_;
+};
+
+}  // namespace net
+}  // namespace intcomp
+
+#endif  // INTCOMP_NET_WIRE_H_

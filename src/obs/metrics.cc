@@ -41,6 +41,7 @@ std::string_view OpKindName(OpKind op) {
     case OpKind::kCompaction: return "compaction";
     case OpKind::kPlannerBuild: return "planner_build";
     case OpKind::kPlannerQuery: return "planner_query";
+    case OpKind::kNetRequest: return "net_request";
   }
   return "unknown";
 }

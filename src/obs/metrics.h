@@ -44,8 +44,9 @@ enum class OpKind : uint8_t {
   kCompaction,    // whole compaction: merge + rewrite + commit + swap
   kPlannerBuild,  // per-list codec selection: stats + trial encodes
   kPlannerQuery,  // query-time strategy choice + mixed-codec execution
+  kNetRequest,    // one served network request: decode + query + respond
 };
-inline constexpr size_t kNumOpKinds = 11;
+inline constexpr size_t kNumOpKinds = 12;
 
 std::string_view OpKindName(OpKind op);
 

@@ -11,7 +11,7 @@ class Parser {
   explicit Parser(std::string_view text) : text_(text) {}
 
   Status Parse(QueryPlan* plan) {
-    Status st = ParseNode(plan);
+    Status st = ParseNode(plan, /*depth=*/0);
     if (!st.ok()) return st;
     SkipSpace();
     if (pos_ != text_.size()) return Error("trailing input after plan");
@@ -19,11 +19,12 @@ class Parser {
   }
 
  private:
-  Status ParseNode(QueryPlan* plan) {
+  Status ParseNode(QueryPlan* plan, size_t depth) {
     SkipSpace();
     if (pos_ >= text_.size()) return Error("expected plan node");
     const char c = text_[pos_];
     if (c == '&' || c == '|') {
+      if (depth >= kMaxPlanTextDepth) return Error("plan nested too deeply");
       const QueryPlan::Op op =
           c == '&' ? QueryPlan::Op::kAnd : QueryPlan::Op::kOr;
       ++pos_;
@@ -35,7 +36,7 @@ class Parser {
       node.op = op;
       while (true) {
         QueryPlan child;
-        Status st = ParseNode(&child);
+        Status st = ParseNode(&child, depth + 1);
         if (!st.ok()) return st;
         node.children.push_back(std::move(child));
         SkipSpace();

@@ -27,8 +27,16 @@
 
 namespace intcomp {
 
+// Deepest operator nesting ParsePlanText accepts. The grammar is recursive
+// and, since the wire front end (src/net), parsed from untrusted network
+// bytes: without a cap a hostile "&(&(&(..." plan would recurse the parser —
+// and later the plan's own destructor — off the stack. 64 is far beyond any
+// plan the service or cache key emits.
+inline constexpr size_t kMaxPlanTextDepth = 64;
+
 // Parses `text` into *plan. Returns kInvalidArgument (with a position-tagged
-// message) on syntax errors, trailing garbage, or an empty operator node.
+// message) on syntax errors, trailing garbage, an empty operator node, or
+// nesting deeper than kMaxPlanTextDepth.
 Status ParsePlanText(std::string_view text, QueryPlan* plan);
 
 // Renders a plan in the same grammar (no canonicalization; inverse of

@@ -152,25 +152,32 @@ std::shared_ptr<const IndexSnapshot> IndexService::Snapshot() const {
 }
 
 Status IndexService::Query(const QueryPlan& plan, std::vector<uint32_t>* out) {
-  return QueryImpl(plan, out);
+  return QueryImpl(plan, nullptr, out);
+}
+
+Status IndexService::Query(const QueryPlan& plan,
+                           const CancellationToken* token,
+                           std::vector<uint32_t>* out) {
+  return QueryImpl(plan, token, out);
 }
 
 Status IndexService::Query(const QueryPlan& plan, std::vector<uint32_t>* out,
                            obs::QueryExplain* explain) {
-  if (explain == nullptr) return QueryImpl(plan, out);
+  if (explain == nullptr) return QueryImpl(plan, nullptr, out);
   obs::ExplainSink sink;
   Status st;
   {
     // Activate capture for this thread; the fan-out forwards it to workers
     // (ThreadPool::Enqueue), so their scopes land in the same sink.
     obs::ScopedExplainCapture capture(&sink);
-    st = QueryImpl(plan, out);
+    st = QueryImpl(plan, nullptr, out);
   }
   *explain = sink.Build();
   return st;
 }
 
 Status IndexService::QueryImpl(const QueryPlan& plan,
+                               const CancellationToken* token,
                                std::vector<uint32_t>* out) {
   TRACE_SPAN("service.query");
   // Pin the snapshot once: a concurrent SwapSnapshot retires index_, but
@@ -186,6 +193,14 @@ Status IndexService::QueryImpl(const QueryPlan& plan,
   }
   out->clear();
   queries_.fetch_add(1, std::memory_order_relaxed);
+
+  // Fail fast before any work — including the cache probe — so a request
+  // that arrives with an already-expired deadline costs one clock read and
+  // returns deterministically, cached answer or not.
+  if (token != nullptr) {
+    Status gate = token->Check();
+    if (!gate.ok()) return gate;
+  }
 
   // Plan once: shape validation plus the canonical cache key; the fan-out
   // below reuses the original plan (same algebra, so the cache entry is
@@ -276,7 +291,7 @@ Status IndexService::QueryImpl(const QueryPlan& plan,
       }
       statuses[s] =
           EvaluatePlanChecked(index->codec(), plan, sets.value(),
-                              nullptr, arenas_[worker].get(), &parts[s]);
+                              token, arenas_[worker].get(), &parts[s]);
       if (shard_scope.active()) {
         shard_scope.AddUint("rows", parts[s].size());
         if (!statuses[s].ok()) {
@@ -288,7 +303,10 @@ Status IndexService::QueryImpl(const QueryPlan& plan,
   for (const Status& st : statuses) {
     if (!st.ok()) {
       out->clear();
-      rejected_.fetch_add(1, std::memory_order_relaxed);
+      // Deadline/cancellation are caller outcomes, not plan rejections.
+      if (st.code() == StatusCode::kInvalidArgument) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+      }
       return st;
     }
   }

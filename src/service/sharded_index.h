@@ -169,6 +169,17 @@ class IndexService {
   // on any non-OK status *out is empty.
   Status Query(const QueryPlan& plan, std::vector<uint32_t>* out);
 
+  // Deadline/cancellation flavor (the network front end's entry point):
+  // `token` is polled once before the cache probe — so a request that
+  // arrives already past its deadline fails fast even when the answer is
+  // cached — and then at every plan-node boundary inside each shard's
+  // evaluation, bounding cancellation latency by one decode/intersect.
+  // Returns kDeadlineExceeded / kCancelled with *out empty; a null token is
+  // exactly the plain Query. (Token precedes `out` so the overload never
+  // collides with the QueryExplain* flavor on a literal nullptr.)
+  Status Query(const QueryPlan& plan, const CancellationToken* token,
+               std::vector<uint32_t>* out);
+
   // EXPLAIN flavor: additionally captures the full decision/timing tree for
   // this one query into *explain — per-plan-node attribution, per-list codec
   // choices, the planner's per-pair strategy with estimated vs. measured
@@ -205,7 +216,8 @@ class IndexService {
   ServiceStats Stats() const;
 
  private:
-  Status QueryImpl(const QueryPlan& plan, std::vector<uint32_t>* out);
+  Status QueryImpl(const QueryPlan& plan, const CancellationToken* token,
+                   std::vector<uint32_t>* out);
   // Refreshes the service.cache.* occupancy gauges (entries, bytes,
   // evictions) when the metrics registry is enabled.
   void PublishCacheGauges();

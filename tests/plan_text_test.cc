@@ -1,0 +1,134 @@
+// Edge-case suite for the service/plan_text grammar. Since the network
+// front end (src/net) this grammar parses untrusted bytes, so the corners —
+// empty input, single terms, maximum nesting, unknown leaves, overflow-sized
+// numbers — are adversarial surface, not just tooling polish.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/query.h"
+#include "service/plan_text.h"
+
+namespace intcomp {
+namespace {
+
+QueryPlan MustParse(std::string_view text) {
+  QueryPlan plan;
+  const Status st = ParsePlanText(text, &plan);
+  EXPECT_TRUE(st.ok()) << "'" << text << "': " << st.ToString();
+  return plan;
+}
+
+void ExpectReject(std::string_view text) {
+  QueryPlan plan;
+  const Status st = ParsePlanText(text, &plan);
+  EXPECT_FALSE(st.ok()) << "'" << text << "' should not parse";
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << st.ToString();
+}
+
+// Builds "&(&(...&(0)...))" with `ops` nested operator nodes.
+std::string NestedPlan(size_t ops) {
+  std::string text;
+  for (size_t i = 0; i < ops; ++i) text += "&(";
+  text += "0";
+  text.append(ops, ')');
+  return text;
+}
+
+TEST(PlanTextEdgeCases, EmptyAndWhitespaceOnlyPlansAreRejected) {
+  ExpectReject("");
+  ExpectReject("   ");
+  ExpectReject("\t\n");
+}
+
+TEST(PlanTextEdgeCases, SingleTermPlans) {
+  const QueryPlan p = MustParse("7");
+  EXPECT_EQ(p.op, QueryPlan::Op::kLeaf);
+  EXPECT_EQ(p.leaf, 7u);
+
+  const QueryPlan spaced = MustParse("  42  ");
+  EXPECT_EQ(spaced.op, QueryPlan::Op::kLeaf);
+  EXPECT_EQ(spaced.leaf, 42u);
+
+  // Single-child operator nodes are grammatical (one-element plan-list).
+  const QueryPlan one_child = MustParse("&(3)");
+  EXPECT_EQ(one_child.op, QueryPlan::Op::kAnd);
+  ASSERT_EQ(one_child.children.size(), 1u);
+  EXPECT_EQ(one_child.children[0].leaf, 3u);
+}
+
+TEST(PlanTextEdgeCases, MaximumNestingDepthIsAcceptedOnePastIsNot) {
+  const QueryPlan deep = MustParse(NestedPlan(kMaxPlanTextDepth));
+  // Walk to the leaf to prove the full spine materialized.
+  const QueryPlan* node = &deep;
+  size_t ops = 0;
+  while (node->op != QueryPlan::Op::kLeaf) {
+    ASSERT_EQ(node->children.size(), 1u);
+    node = &node->children[0];
+    ++ops;
+  }
+  EXPECT_EQ(ops, kMaxPlanTextDepth);
+  EXPECT_EQ(node->leaf, 0u);
+
+  ExpectReject(NestedPlan(kMaxPlanTextDepth + 1));
+  // A hostile plan far past the cap must fail cleanly, not by stack
+  // overflow in the parser or the plan destructor.
+  ExpectReject(NestedPlan(100000));
+}
+
+TEST(PlanTextEdgeCases, UnknownTermsRoundTripUninterpreted) {
+  // The grammar does not know the index: any numeric leaf parses, and the
+  // service rejects out-of-range leaves later. Parsing must preserve the
+  // id exactly so the rejection names the right leaf.
+  const QueryPlan p = MustParse("&(999999, 0)");
+  ASSERT_EQ(p.children.size(), 2u);
+  EXPECT_EQ(p.children[0].leaf, 999999u);
+  EXPECT_EQ(PlanToText(p), "&(999999,0)");
+}
+
+TEST(PlanTextEdgeCases, OverflowSizedLeafIsRejected) {
+  ExpectReject("99999999999999999999999999");  // > 2^64
+  ExpectReject(std::string(500, '9'));
+}
+
+TEST(PlanTextEdgeCases, MalformedSyntaxIsRejected) {
+  ExpectReject("&()");       // empty operator node
+  ExpectReject("|()");
+  ExpectReject("&(1,2");     // unclosed
+  ExpectReject("&(1,2))");   // trailing garbage
+  ExpectReject("&(1,,2)");   // empty list element
+  ExpectReject("&(1 2)");    // missing comma
+  ExpectReject("^(1,2)");    // unknown operator
+  ExpectReject("1x");        // trailing junk on a leaf
+  ExpectReject("-1");        // negative leaf
+  ExpectReject("&");         // operator without list
+}
+
+TEST(PlanTextEdgeCases, RoundTripPreservesShapeWithoutCanonicalization) {
+  for (const char* text :
+       {"3", "&(1,2,5)", "&(|(0,1),2)", "|(5,4,3)", "&(2,2,2)",
+        "|(&(0,1),&(1,0))"}) {
+    SCOPED_TRACE(text);
+    const QueryPlan plan = MustParse(text);
+    EXPECT_EQ(PlanToText(plan), text);
+    // And the rendering re-parses to the same rendering (full inverse).
+    EXPECT_EQ(PlanToText(MustParse(PlanToText(plan))), text);
+  }
+}
+
+TEST(PlanTextEdgeCases, DepthCapCoversMixedOperators) {
+  // Alternating &/| nests count against the same cap.
+  std::string text;
+  for (size_t i = 0; i < kMaxPlanTextDepth + 1; ++i) {
+    text += (i % 2 == 0) ? "&(" : "|(";
+  }
+  text += "0";
+  text.append(kMaxPlanTextDepth + 1, ')');
+  ExpectReject(text);
+}
+
+}  // namespace
+}  // namespace intcomp

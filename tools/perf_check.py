@@ -65,7 +65,7 @@ OP_LATENCY_KEYS = {"metric", "codec", "op", "count", "mean_ns", "p50_ns",
 QUANTILE_FIELDS = ("mean_ns", "p50_ns", "p90_ns", "p99_ns", "p999_ns")
 KNOWN_OPS = {"intersect", "union", "decode", "deserialize_checked", "query",
              "service_query", "storage_open", "wal_append", "compaction",
-             "planner_build", "planner_query"}
+             "planner_build", "planner_query", "net_request"}
 KERNEL_FIELDS = {"scalar_merge", "simd_merge", "scalar_gallop", "simd_gallop",
                  "scalar_union", "simd_union", "block_probes"}
 

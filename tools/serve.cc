@@ -1,0 +1,165 @@
+// tools/serve — stand up the TCP query server (DESIGN.md §5.14) on an index
+// and serve plan-text queries until SIGINT/SIGTERM, then drain gracefully.
+//
+// Sources (pick one):
+//   --index=FILE.ics       serve an index container file (storage/mapped_index)
+//   --demo                 build an in-RAM demo index (same five mixed-shape
+//                          lists as tools/explain)
+//
+// Server flags:
+//   --host=ADDR            bind address (default 127.0.0.1)
+//   --port=N               bind port (default 7333; 0 = kernel-picked,
+//                          printed on startup)
+//   --max-in-flight=N      admission budget; beyond it requests are shed
+//                          with kOverloaded (default 64)
+//   --max-connections=N    accept-time cap (default 256)
+//   --deadline-ms=N        default per-request deadline when a request
+//                          carries none (default 0 = unlimited)
+//   --idle-timeout-ms=N    stalled-client reap bound (default 30000)
+//   --wire-codec=NAME      codec for response row sets (default VB)
+//   --threads=T            shard fan-out pool threads (default 4)
+//   --cache=0|1            result cache on/off (default 1)
+//
+// Talk to it with bench/load_gen's wire client, or just:
+//   build/tools/serve --demo &
+//   build/bench/load_gen ...   # self-hosted; see README for the client API
+//
+// Example:
+//   build/tools/explain --demo --demo-out=/tmp/demo.ics
+//   build/tools/serve --index=/tmp/demo.ics --port=7333
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchutil/flags.h"
+#include "core/registry.h"
+#include "engine/thread_pool.h"
+#include "net/server.h"
+#include "service/sharded_index.h"
+#include "storage/mapped_index.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace intcomp;
+
+[[noreturn]] void Die(const std::string& msg) {
+  std::fprintf(stderr, "error: %s\n", msg.c_str());
+  std::exit(1);
+}
+
+// Same demo shape as tools/explain: spans both codec families so a
+// Planner-built index genuinely mixes codecs.
+std::vector<std::vector<uint32_t>> DemoLists(uint64_t domain, uint64_t seed) {
+  std::vector<std::vector<uint32_t>> lists;
+  lists.push_back(GenerateUniform(domain / 3, domain, seed));  // dense
+  lists.push_back(GenerateUniform(200, domain, seed + 1));     // sparse
+  lists.push_back(GenerateMarkov(domain / 8, domain, 64.0, seed + 2));
+  lists.push_back(GenerateZipf(2000, domain, 1.0, seed + 3));
+  lists.push_back(GenerateUniform(domain / 4, domain, seed + 4));
+  return lists;
+}
+
+// sig_atomic_t write from the handler, polled by the main thread; the
+// handler itself must not touch the server (Stop() takes locks).
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+
+  const std::string index_path = flags.GetString("index", "");
+  const bool demo = flags.GetBool("demo", false);
+  if ((index_path.empty()) == (!demo)) {
+    std::fprintf(stderr,
+                 "usage: serve (--index=FILE.ics | --demo) [--host=ADDR] "
+                 "[--port=N]\n       [--max-in-flight=N] [--max-connections=N] "
+                 "[--deadline-ms=N]\n       [--wire-codec=NAME] [--threads=T] "
+                 "[--cache=0|1]\n");
+    return 2;
+  }
+
+  std::unique_ptr<ShardedIndex> built;
+  std::unique_ptr<storage::MappedIndex> mapped;
+  const IndexSnapshot* snapshot = nullptr;
+  if (demo) {
+    const Codec* codec = FindCodec(flags.GetString("codec", "Planner"));
+    if (codec == nullptr) Die("unknown --codec");
+    const uint64_t domain =
+        static_cast<uint64_t>(flags.GetInt("domain", 1 << 16));
+    const size_t shards = static_cast<size_t>(flags.GetInt("shards", 2));
+    built = std::make_unique<ShardedIndex>(
+        ShardedIndex::Build(*codec, DemoLists(domain, /*seed=*/42), domain,
+                            shards));
+    snapshot = built.get();
+  } else {
+    auto opened = storage::MappedIndex::Open(index_path);
+    if (!opened.ok()) {
+      Die("opening " + index_path + ": " + opened.status().message());
+    }
+    mapped = std::move(opened.value());
+    snapshot = mapped.get();
+  }
+
+  ThreadPool pool(static_cast<size_t>(flags.GetInt("threads", 4)));
+  IndexServiceOptions service_options;
+  service_options.cache_enabled = flags.GetBool("cache", true);
+  IndexService service(snapshot, &pool, service_options);
+
+  net::ServerOptions options;
+  options.host = flags.GetString("host", "127.0.0.1");
+  options.port = static_cast<uint16_t>(flags.GetInt("port", 7333));
+  options.max_in_flight =
+      static_cast<size_t>(flags.GetInt("max-in-flight", 64));
+  options.max_connections =
+      static_cast<size_t>(flags.GetInt("max-connections", 256));
+  options.default_deadline_ns =
+      static_cast<uint64_t>(flags.GetInt("deadline-ms", 0)) * 1000000ull;
+  options.idle_timeout_ms =
+      static_cast<uint64_t>(flags.GetInt("idle-timeout-ms", 30000));
+  options.wire_codec = flags.GetString("wire-codec", "VB");
+
+  net::QueryServer server(&service, options);
+  if (Status st = server.Start(); !st.ok()) Die("start: " + st.message());
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  std::printf("# serving %s (%zu lists, %zu shards, %zu bytes) on %s:%u\n",
+              std::string(snapshot->CodecSignature()).c_str(),
+              snapshot->NumLists(), snapshot->Router().NumShards(),
+              snapshot->SizeInBytes(), options.host.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::printf("# wire=%s in-flight budget=%zu conns<=%zu; Ctrl-C to drain\n",
+              options.wire_codec.c_str(), options.max_in_flight,
+              options.max_connections);
+  std::fflush(stdout);
+
+  while (g_stop == 0) {
+    struct timespec ts = {0, 200 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+
+  std::printf("# draining...\n");
+  server.Stop();
+  const auto stats = server.GetStats();
+  std::printf(
+      "# served: accepted=%llu requests=%llu ok=%llu shed=%llu deadline=%llu "
+      "rejected=%llu malformed=%llu idle_closed=%llu refused=%llu\n",
+      static_cast<unsigned long long>(stats.accepted),
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.ok),
+      static_cast<unsigned long long>(stats.overloaded),
+      static_cast<unsigned long long>(stats.deadline),
+      static_cast<unsigned long long>(stats.rejected),
+      static_cast<unsigned long long>(stats.malformed),
+      static_cast<unsigned long long>(stats.idle_closed),
+      static_cast<unsigned long long>(stats.refused));
+  return 0;
+}
